@@ -1,0 +1,71 @@
+"""Shared workload fixtures for the benchmark suite.
+
+Workloads follow the paper's evaluation setup, scaled by
+``REPRO_BENCH_SCALE`` (default 0.05: |O| = 5 000, |F| = 250 instead of
+100 000 / 5 000). Datasets are built once per session; each algorithm run
+gets a *fresh* problem (Brute Force and Chain mutate the R-tree) built in
+the benchmark's untimed setup phase.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import PAPER_NUM_FUNCTIONS, PAPER_NUM_OBJECTS, bench_scale
+from repro.data import generate_anticorrelated, generate_independent, generate_zillow
+from repro.prefs import generate_preferences
+
+SEED = 42
+
+
+def scaled_objects(scale=None):
+    scale = bench_scale() if scale is None else scale
+    return max(200, int(PAPER_NUM_OBJECTS * scale))
+
+
+def scaled_functions(scale=None):
+    scale = bench_scale() if scale is None else scale
+    return max(20, int(PAPER_NUM_FUNCTIONS * scale))
+
+
+_GENERATORS = {
+    "independent": generate_independent,
+    "anticorrelated": generate_anticorrelated,
+}
+
+
+@pytest.fixture(scope="session")
+def figure2_workloads():
+    """{variant: {D: (objects, functions)}} for the Figure 2 sweep."""
+    num_objects = scaled_objects()
+    num_functions = scaled_functions()
+    workloads = {}
+    for variant, generator in _GENERATORS.items():
+        per_dim = {}
+        for d in (3, 4, 5, 6):
+            per_dim[d] = (
+                generator(num_objects, d, seed=SEED + d),
+                generate_preferences(num_functions, d, seed=SEED + 100 + d),
+            )
+        workloads[variant] = per_dim
+    return workloads
+
+
+@pytest.fixture(scope="session")
+def figure3_workloads():
+    """{paper_size: (objects, functions)} for the Figure 3 sweep."""
+    scale = bench_scale()
+    sizes = (10_000, 50_000, 100_000, 200_000, 400_000)
+    universe = generate_zillow(max(400, int(max(sizes) * scale)), seed=SEED)
+    num_functions = scaled_functions()
+    functions = generate_preferences(num_functions, universe.dims,
+                                     seed=SEED + 7)
+    workloads = {}
+    for size in sizes:
+        scaled = max(200, int(size * scale))
+        objects = (
+            universe if scaled >= len(universe)
+            else universe.sample(scaled, seed=SEED + size)
+        )
+        workloads[size] = (objects, functions)
+    return workloads

@@ -1,0 +1,72 @@
+"""Assigning jobs to heterogeneous workers (anti-correlated trade-offs).
+
+A scheduling twist on the paper's model: jobs are the "queries" (each job
+weighs CPU speed, memory, disk and network differently) and workers are
+the "objects". Workers are anti-correlated by construction — a machine
+great at CPU tends to be weaker elsewhere — which is exactly the hard
+case for skyline-based processing (large skylines), stressed in the
+paper's Figure 2(b,d).
+
+The example also peeks under the hood: it inspects the skyline of the
+worker pool, then compares SB's design choices (multi-pair emission,
+plist maintenance) against their ablated variants on the same workload.
+
+Run with::
+
+    python examples/task_assignment.py
+"""
+
+from repro import (
+    MatchingProblem,
+    SkylineMatcher,
+    compute_skyline,
+    generate_anticorrelated,
+    generate_preferences,
+)
+
+DIMS = 4  # cpu, memory, disk, network
+
+
+def main(n_workers: int = 10_000, n_jobs: int = 250) -> None:
+    workers = generate_anticorrelated(n=n_workers, dims=DIMS, seed=21)
+    jobs = generate_preferences(n=n_jobs, dims=DIMS, seed=22)
+
+    problem = MatchingProblem.build(workers, jobs)
+
+    # Under the hood: only skyline workers can ever be anyone's top-1.
+    state = compute_skyline(problem.tree)
+    print(
+        f"{len(workers)} workers, but only {len(state)} are in the "
+        f"skyline — SB matches the {len(jobs)} jobs against those."
+    )
+    problem.reset_io()
+
+    variants = {
+        "SB (multi-pair, plists)": dict(),
+        "single pair per round": dict(multi_pair=False),
+        "re-traversal maintenance": dict(maintenance="retraversal"),
+        "naive TA threshold": dict(threshold="naive"),
+    }
+    baseline = None
+    print(f"\n{'variant':>26} {'I/O':>7} {'rounds':>7} {'rev-top1':>9}")
+    for name, kwargs in variants.items():
+        fresh = MatchingProblem.build(workers, jobs)
+        fresh.reset_io()
+        matcher = SkylineMatcher(fresh, **kwargs)
+        matching = matcher.run()
+        if baseline is None:
+            baseline = matching.as_set()
+        assert matching.as_set() == baseline  # design choices change cost only
+        print(
+            f"{name:>26} {fresh.io_stats.io_accesses:>7} "
+            f"{matcher.rounds:>7} {matcher.reverse_top1_queries:>9}"
+        )
+
+    print(
+        "\nevery variant returns the identical stable matching; the"
+        " paper's choices (Sections IV-A/B/C) only reduce the cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — reproduction of *Efficient Evaluation of Multiple Preference
+Queries* (Leong Hou U, Nikos Mamoulis, Kyriakos Mouratidis; ICDE 2009).
+
+The library computes the stable 1-1 matching between a set of linear
+preference functions (queries) and a set of multidimensional objects,
+using the paper's skyline-based SB algorithm, with the Brute Force and
+Chain baselines, a simulated disk + LRU buffer cost model, and a full
+benchmark harness reproducing the paper's figures.
+
+Quickstart::
+
+    from repro import (MatchingProblem, SkylineMatcher,
+                       generate_independent, generate_preferences)
+
+    objects = generate_independent(n=10_000, dims=4, seed=7)
+    prefs = generate_preferences(n=500, dims=4, seed=11)
+    problem = MatchingProblem.build(objects, prefs)
+    matching = SkylineMatcher(problem).run()
+    print(matching.pairs[:3], problem.io_stats.io_accesses)
+"""
+
+from .core import (
+    BruteForceMatcher,
+    ChainMatcher,
+    GenericSkylineMatcher,
+    Matcher,
+    Matching,
+    MatchingProblem,
+    MatchingReport,
+    MatchPair,
+    SkylineMatcher,
+    find_blocking_pairs,
+    greedy_reference_matching,
+    match_with_capacities,
+    summarize,
+    verify_stable_matching,
+)
+from .data import (
+    Dataset,
+    generate_anticorrelated,
+    generate_clustered,
+    generate_correlated,
+    generate_independent,
+    generate_zillow,
+    load_dataset_csv,
+    save_dataset_csv,
+)
+from .errors import ReproError
+from .prefs import FunctionIndex, LinearPreference, generate_preferences
+from .skyline import bnl_skyline, compute_skyline, sfs_skyline
+from .storage import IOStats, SearchStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BruteForceMatcher",
+    "ChainMatcher",
+    "GenericSkylineMatcher",
+    "MatchingReport",
+    "match_with_capacities",
+    "summarize",
+    "Matcher",
+    "Matching",
+    "MatchingProblem",
+    "MatchPair",
+    "SkylineMatcher",
+    "find_blocking_pairs",
+    "greedy_reference_matching",
+    "verify_stable_matching",
+    "Dataset",
+    "generate_anticorrelated",
+    "generate_clustered",
+    "generate_correlated",
+    "generate_independent",
+    "generate_zillow",
+    "load_dataset_csv",
+    "save_dataset_csv",
+    "ReproError",
+    "FunctionIndex",
+    "LinearPreference",
+    "generate_preferences",
+    "bnl_skyline",
+    "compute_skyline",
+    "sfs_skyline",
+    "IOStats",
+    "SearchStats",
+    "__version__",
+]

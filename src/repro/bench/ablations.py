@@ -1,0 +1,90 @@
+"""Programmatic ablation runs (the CLI's ``--figure ablations``).
+
+One anti-correlated workload, every SB design switch toggled one at a
+time, plus the baseline-adaptation toggles. Returns structured results
+(for tests and JSON) and a formatted table (for the CLI).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core import BruteForceMatcher, ChainMatcher, MatchingProblem, SkylineMatcher
+from ..data import generate_anticorrelated
+from ..prefs import generate_preferences
+from ..storage import SearchStats
+from .runner import bench_scale
+
+#: (row label, SkylineMatcher kwargs) for the SB ablation grid.
+SB_VARIANTS: List[Tuple[str, dict]] = [
+    ("SB as published", {}),
+    ("single pair per loop", {"multi_pair": False}),
+    ("re-traversal maintenance", {"maintenance": "retraversal"}),
+    ("naive TA threshold", {"threshold": "naive"}),
+    ("no fbest caching", {"cache_best": False}),
+]
+
+
+def run_sb_ablations(scale: Optional[float] = None, dims: int = 4,
+                     seed: int = 99) -> Dict[str, Dict[str, float]]:
+    """Run every SB variant on one workload; returns per-variant metrics."""
+    if scale is None:
+        scale = bench_scale()
+    num_objects = max(200, int(100_000 * scale))
+    num_functions = max(20, int(5_000 * scale))
+    objects = generate_anticorrelated(num_objects, dims, seed=seed)
+    functions = generate_preferences(num_functions, dims, seed=seed + 1)
+
+    results: Dict[str, Dict[str, float]] = {}
+    reference = None
+    for label, kwargs in SB_VARIANTS:
+        problem = MatchingProblem.build(objects, functions)
+        problem.reset_io()
+        stats = SearchStats()
+        matcher = SkylineMatcher(problem, search_stats=stats, **kwargs)
+        matching = matcher.run()
+        if reference is None:
+            reference = matching.as_set()
+        elif matching.as_set() != reference:
+            raise AssertionError(
+                f"ablation variant {label!r} changed the matching"
+            )
+        results[label] = {
+            "io": problem.io_stats.io_accesses,
+            "rounds": matcher.rounds,
+            "reverse_top1": matcher.reverse_top1_queries,
+            "score_evals": stats.score_evaluations,
+        }
+
+    for label, matcher_factory in [
+        ("Chain (restart, paper)", lambda p: ChainMatcher(p, restart=True)),
+        ("Chain (retained stack)", lambda p: ChainMatcher(p, restart=False)),
+        ("Brute Force", BruteForceMatcher),
+    ]:
+        problem = MatchingProblem.build(objects, functions)
+        problem.reset_io()
+        matcher = matcher_factory(problem)
+        matching = matcher.run()
+        if matching.as_set() != reference:
+            raise AssertionError(f"{label!r} changed the matching")
+        results[label] = {
+            "io": problem.io_stats.io_accesses,
+            "rounds": matching.num_rounds,
+            "top1_searches": getattr(matcher, "top1_searches", 0),
+        }
+    return results
+
+
+def format_ablation_table(results: Dict[str, Dict[str, float]]) -> str:
+    """Render :func:`run_sb_ablations` output as an aligned text table."""
+    columns = ["io", "rounds", "reverse_top1", "score_evals", "top1_searches"]
+    header = f"{'variant':>26} " + " ".join(f"{c:>13}" for c in columns)
+    lines = [header, "-" * len(header)]
+    for label, metrics in results.items():
+        cells = []
+        for column in columns:
+            value = metrics.get(column)
+            cells.append(f"{int(value):>13d}" if value is not None
+                         else f"{'-':>13}")
+        lines.append(f"{label:>26} " + " ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Regenerates the paper's figures as text tables. Examples::
+
+    python -m repro.bench --figure 2a            # I/O, independent data
+    python -m repro.bench --figure 2 --scale 0.1 # all four Fig. 2 panels
+    python -m repro.bench --figure all           # everything (default)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .figures import figure2_sweep, figure3_sweep
+from .report import format_sweep_table
+from .runner import bench_scale
+
+#: figure id -> (builder kwargs, metric, title)
+_PANELS = {
+    "2a": ("independent", "io_accesses", "Fig 2(a) I/O accesses (independent)"),
+    "2b": ("anticorrelated", "io_accesses",
+           "Fig 2(b) I/O accesses (anti-correlated)"),
+    "2c": ("independent", "cpu_seconds", "Fig 2(c) CPU time (independent)"),
+    "2d": ("anticorrelated", "cpu_seconds",
+           "Fig 2(d) CPU time (anti-correlated)"),
+    "3a": ("zillow", "io_accesses", "Fig 3(a) I/O accesses (Zillow)"),
+    "3b": ("zillow", "cpu_seconds", "Fig 3(b) CPU time (Zillow)"),
+}
+
+
+def _expand(figure: str) -> List[str]:
+    if figure == "ablations":
+        return ["ablations"]
+    if figure == "all":
+        return list(_PANELS)
+    if figure in ("2", "3"):
+        return [panel for panel in _PANELS if panel.startswith(figure)]
+    if figure in _PANELS:
+        return [figure]
+    raise SystemExit(
+        f"unknown figure {figure!r}; choose from "
+        f"{['all', '2', '3', 'ablations'] + list(_PANELS)}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the figures of 'Efficient Evaluation of "
+                    "Multiple Preference Queries' (ICDE 2009).",
+    )
+    parser.add_argument("--figure", default="all",
+                        help="all, 2, 3, a panel id like 2a, or 'ablations' "
+                             "(default: all)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale vs the paper's cardinalities "
+                             "(default: REPRO_BENCH_SCALE or 0.05)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="also save each sweep as JSON into DIR")
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else bench_scale()
+    panels = _expand(args.figure)
+    print(f"# workload scale: {scale:g} of the paper's cardinalities")
+
+    cache = {}
+    for panel in panels:
+        if panel == "ablations":
+            from .ablations import format_ablation_table, run_sb_ablations
+
+            print()
+            print("Ablations (anti-correlated, D=4)")
+            print(format_ablation_table(run_sb_ablations(scale=scale,
+                                                         seed=args.seed)))
+            continue
+        variant, metric, title = _PANELS[panel]
+        if variant not in cache:
+            if variant == "zillow":
+                cache[variant] = figure3_sweep(scale=scale, seed=args.seed)
+            else:
+                cache[variant] = figure2_sweep(variant, scale=scale,
+                                               seed=args.seed)
+        print()
+        print(format_sweep_table(cache[variant], metric, title=title))
+
+    if args.json is not None:
+        from pathlib import Path
+
+        from .record import save_sweep_json
+
+        directory = Path(args.json)
+        directory.mkdir(parents=True, exist_ok=True)
+        for variant, sweep in cache.items():
+            target = directory / f"{sweep.name}.json"
+            save_sweep_json(sweep, target)
+            print(f"# wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

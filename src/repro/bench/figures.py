@@ -1,0 +1,115 @@
+"""Workload definitions for every figure in the paper's evaluation.
+
+The paper's evaluation (Section V) consists of:
+
+* **Figure 2** — synthetic data, |O| = 100K objects, |F| = 5K functions,
+  dimensionality swept over 3..6; four panels: I/O and CPU for
+  independent and anti-correlated object sets;
+* **Figure 3** — the Zillow real-estate dataset (substituted here by the
+  synthetic generator of :mod:`repro.data.zillow`), D = 5, |F| = 5K,
+  object cardinality swept over 10K..400K; two panels: I/O and CPU.
+
+Cardinalities scale with ``scale`` (default from ``REPRO_BENCH_SCALE``)
+so the pure-Python harness stays fast; the qualitative shape — who wins,
+by how many orders of magnitude, and the growth trend — is preserved at
+any scale, which is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..data import generate_anticorrelated, generate_independent, generate_zillow
+from ..errors import ReproError
+from ..prefs import generate_preferences
+from .runner import DEFAULT_ALGORITHM_ORDER, Sweep, SweepPoint, bench_scale, run_point
+
+#: Paper cardinalities (before scaling).
+PAPER_NUM_OBJECTS = 100_000
+PAPER_NUM_FUNCTIONS = 5_000
+PAPER_DIMENSIONS = (3, 4, 5, 6)
+PAPER_ZILLOW_SIZES = (10_000, 50_000, 100_000, 200_000, 400_000)
+
+_SYNTHETIC_GENERATORS = {
+    "independent": generate_independent,
+    "anticorrelated": generate_anticorrelated,
+}
+
+
+def figure2_sweep(variant: str, scale: Optional[float] = None,
+                  dims: Sequence[int] = PAPER_DIMENSIONS,
+                  algorithms: Sequence[str] = DEFAULT_ALGORITHM_ORDER,
+                  seed: int = 42) -> Sweep:
+    """Figure 2 workload: vary D on synthetic data.
+
+    ``variant`` is ``"independent"`` (panels a, c) or ``"anticorrelated"``
+    (panels b, d). The returned sweep carries both metrics; panels differ
+    only in which metric they plot.
+    """
+    try:
+        generator = _SYNTHETIC_GENERATORS[variant]
+    except KeyError:
+        raise ReproError(
+            f"variant must be one of {sorted(_SYNTHETIC_GENERATORS)}, "
+            f"got {variant!r}"
+        ) from None
+    if scale is None:
+        scale = bench_scale()
+    num_objects = max(200, int(PAPER_NUM_OBJECTS * scale))
+    num_functions = max(20, int(PAPER_NUM_FUNCTIONS * scale))
+
+    sweep = Sweep(
+        name=f"figure2-{variant}", x_label="D", algorithms=list(algorithms)
+    )
+    for d in dims:
+        objects = generator(num_objects, d, seed=seed + d)
+        functions = generate_preferences(num_functions, d, seed=seed + 100 + d)
+        point = SweepPoint(
+            x=d, label=f"D={d}",
+            params={
+                "num_objects": num_objects,
+                "num_functions": num_functions,
+                "dims": d,
+            },
+        )
+        point.results = run_point(objects, functions, algorithms=algorithms)
+        sweep.points.append(point)
+    return sweep
+
+
+def figure3_sweep(scale: Optional[float] = None,
+                  sizes: Sequence[int] = PAPER_ZILLOW_SIZES,
+                  algorithms: Sequence[str] = DEFAULT_ALGORITHM_ORDER,
+                  seed: int = 42) -> Sweep:
+    """Figure 3 workload: vary |O| on the (synthetic) Zillow dataset.
+
+    As in the paper, each cardinality is a random subset of one big
+    Zillow universe, matched against |F| = 5K (scaled) functions.
+    """
+    if scale is None:
+        scale = bench_scale()
+    num_functions = max(20, int(PAPER_NUM_FUNCTIONS * scale))
+    universe = generate_zillow(max(400, int(max(sizes) * scale)), seed=seed)
+    dims = universe.dims
+
+    sweep = Sweep(name="figure3-zillow", x_label="|O|",
+                  algorithms=list(algorithms))
+    for size in sizes:
+        scaled = max(200, int(size * scale))
+        objects = (
+            universe if scaled >= len(universe)
+            else universe.sample(scaled, seed=seed + size)
+        )
+        functions = generate_preferences(num_functions, dims,
+                                         seed=seed + 7 + size)
+        point = SweepPoint(
+            x=size, label=f"|O|={size // 1000}K(x{scale:g})",
+            params={
+                "num_objects": len(objects),
+                "num_functions": num_functions,
+                "dims": dims,
+            },
+        )
+        point.results = run_point(objects, functions, algorithms=algorithms)
+        sweep.points.append(point)
+    return sweep

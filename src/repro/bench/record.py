@@ -1,0 +1,96 @@
+"""Persisting experiment results.
+
+Sweeps serialize to JSON (one file per figure) and render to Markdown,
+so benchmark runs can be archived, diffed across commits, and pasted
+into reports. The JSON schema is stable and round-trips through
+:func:`load_sweep_json`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from .instruments import RunMeasurement
+from .runner import Sweep, SweepPoint
+
+PathLike = Union[str, Path]
+
+#: Schema version written into every file.
+SCHEMA_VERSION = 1
+
+
+def sweep_to_dict(sweep: Sweep) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": sweep.name,
+        "x_label": sweep.x_label,
+        "algorithms": list(sweep.algorithms),
+        "points": [
+            {
+                "x": point.x,
+                "label": point.label,
+                "params": dict(point.params),
+                "results": {
+                    algorithm: measurement.as_dict()
+                    for algorithm, measurement in point.results.items()
+                },
+            }
+            for point in sweep.points
+        ],
+    }
+
+
+def save_sweep_json(sweep: Sweep, path: PathLike) -> None:
+    """Write one sweep to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(sweep_to_dict(sweep), indent=2) + "\n")
+
+
+def load_sweep_json(path: PathLike) -> Sweep:
+    """Reconstruct a sweep written by :func:`save_sweep_json`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported sweep schema {payload.get('schema')!r}"
+        )
+    sweep = Sweep(
+        name=payload["name"],
+        x_label=payload["x_label"],
+        algorithms=tuple(payload["algorithms"]),
+    )
+    for raw_point in payload["points"]:
+        point = SweepPoint(
+            x=raw_point["x"], label=raw_point["label"],
+            params=dict(raw_point["params"]),
+        )
+        for algorithm, raw in raw_point["results"].items():
+            fields = {
+                key: raw[key]
+                for key in (
+                    "algorithm", "io_accesses", "page_reads", "page_writes",
+                    "buffer_hits", "cpu_seconds", "pairs", "rounds",
+                    "top1_searches", "reverse_top1_queries",
+                )
+            }
+            point.results[algorithm] = RunMeasurement(**fields)
+        sweep.points.append(point)
+    return sweep
+
+
+def sweep_to_markdown(sweep: Sweep, metric: str = "io_accesses") -> str:
+    """Render one metric of a sweep as a GitHub-flavored Markdown table."""
+    algorithms = list(sweep.algorithms)
+    lines: List[str] = []
+    lines.append(f"| {sweep.x_label} | " + " | ".join(algorithms) + " |")
+    lines.append("|" + "---|" * (len(algorithms) + 1))
+    for point in sweep.points:
+        cells = []
+        for algorithm in algorithms:
+            value = point.metric(algorithm, metric)
+            if metric == "cpu_seconds":
+                cells.append(f"{value:.3f}")
+            else:
+                cells.append(f"{int(value)}")
+        lines.append(f"| {point.label} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Text reports: the paper's figures as aligned tables.
+
+Each figure becomes one table with the sweep variable as rows and one
+column per algorithm, in the same units the paper plots (I/O accesses on
+a log axis, CPU seconds linear). A ratio column states SB's advantage
+over the runner-up, which is the headline claim ("2 to 3 orders of
+magnitude fewer I/Os").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from .runner import Sweep
+
+#: metric name -> (column header, formatter)
+_METRICS = {
+    "io_accesses": ("I/O", lambda v: f"{int(v):>10d}"),
+    "cpu_seconds": ("CPU(s)", lambda v: f"{v:>10.3f}"),
+    "page_reads": ("reads", lambda v: f"{int(v):>10d}"),
+    "page_writes": ("writes", lambda v: f"{int(v):>10d}"),
+    "top1_searches": ("top-1s", lambda v: f"{int(v):>10d}"),
+    "rounds": ("rounds", lambda v: f"{int(v):>10d}"),
+}
+
+
+def format_sweep_table(sweep: Sweep, metric: str = "io_accesses",
+                       title: Optional[str] = None,
+                       ratio_to: str = "SB") -> str:
+    """Render one metric of a sweep as an aligned text table."""
+    try:
+        header_name, fmt = _METRICS[metric]
+    except KeyError:
+        header_name, fmt = metric, lambda v: f"{v:>10g}"
+    algorithms = list(sweep.algorithms)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"[{sweep.name}] metric: {header_name}")
+    header = f"{sweep.x_label:>14} " + " ".join(
+        f"{name:>10}" for name in algorithms
+    )
+    show_ratio = ratio_to in algorithms and len(algorithms) > 1
+    if show_ratio:
+        header += f" {'best/' + ratio_to:>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for point in sweep.points:
+        row = f"{point.label:>14} "
+        row += " ".join(fmt(point.metric(name, metric)) for name in algorithms)
+        if show_ratio:
+            base = point.metric(ratio_to, metric)
+            others = [
+                point.metric(name, metric)
+                for name in algorithms
+                if name != ratio_to
+            ]
+            runner_up = min(others)
+            if base > 0:
+                row += f" {runner_up / base:>9.1f}x"
+            else:
+                row += f" {'inf':>10}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_figure(sweep: Sweep, metrics: Sequence[str] = ("io_accesses",
+                                                          "cpu_seconds"),
+                  title: Optional[str] = None) -> str:
+    """Render a figure (possibly multiple panels/metrics) as text."""
+    parts: List[str] = []
+    if title:
+        parts.append("=" * 64)
+        parts.append(title)
+        parts.append("=" * 64)
+    for metric in metrics:
+        parts.append(format_sweep_table(sweep, metric))
+        parts.append("")
+    return "\n".join(parts)
+
+
+def orders_of_magnitude(a: float, b: float) -> float:
+    """``log10(a / b)`` with guards; how many orders ``a`` exceeds ``b``."""
+    if a <= 0 or b <= 0:
+        return float("inf") if a > b else 0.0
+    return math.log10(a / b)

@@ -1,0 +1,123 @@
+"""Experiment runner: algorithm registry and parameter sweeps.
+
+The harness mirrors the paper's protocol: for each point of a sweep (a
+dimensionality, or an object-set size) it builds a fresh problem per
+algorithm (Brute Force and Chain mutate the R-tree), runs the matcher on a
+cold buffer, and records a :class:`~repro.bench.instruments.RunMeasurement`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core import (
+    BruteForceMatcher,
+    ChainMatcher,
+    Matcher,
+    MatchingProblem,
+    SkylineMatcher,
+)
+from ..data import Dataset
+from ..errors import ReproError
+from ..prefs import LinearPreference
+from .instruments import RunMeasurement, measure_matcher
+
+#: Algorithm registry: display name -> matcher factory.
+MatcherFactory = Callable[[MatchingProblem], Matcher]
+
+ALGORITHMS: Dict[str, MatcherFactory] = {
+    "SB": lambda problem: SkylineMatcher(problem),
+    "BruteForce": lambda problem: BruteForceMatcher(problem),
+    "Chain": lambda problem: ChainMatcher(problem),
+    # Ablation variants (not part of the paper's figures).
+    "SB-single": lambda problem: SkylineMatcher(problem, multi_pair=False),
+    "SB-retraversal": lambda problem: SkylineMatcher(
+        problem, maintenance="retraversal"
+    ),
+    "SB-naive-threshold": lambda problem: SkylineMatcher(
+        problem, threshold="naive"
+    ),
+    "SB-nocache": lambda problem: SkylineMatcher(problem, cache_best=False),
+    "Chain-stack": lambda problem: ChainMatcher(problem, restart=False),
+    "BruteForce-filter": lambda problem: BruteForceMatcher(
+        problem, deletion_mode="filter"
+    ),
+}
+
+#: The paper's plotting order (SB last in its legends, first here for
+#: readability of the winner).
+DEFAULT_ALGORITHM_ORDER = ("SB", "BruteForce", "Chain")
+
+
+def bench_scale(default: float = 0.05) -> float:
+    """Global workload scale factor, from ``REPRO_BENCH_SCALE``.
+
+    The paper runs |O| up to 400K objects in C++; the default scale of
+    0.05 keeps the pure-Python suite to minutes while preserving every
+    qualitative relationship. Set ``REPRO_BENCH_SCALE=1.0`` to run the
+    paper's exact cardinalities.
+    """
+    raw = os.environ.get("REPRO_BENCH_SCALE")
+    if raw is None:
+        return default
+    value = float(raw)
+    if value <= 0:
+        raise ReproError(f"REPRO_BENCH_SCALE must be > 0, got {raw!r}")
+    return value
+
+
+@dataclass
+class SweepPoint:
+    """One x-axis point of a figure: parameters + per-algorithm results."""
+
+    x: float
+    label: str
+    params: Dict[str, float] = field(default_factory=dict)
+    results: Dict[str, RunMeasurement] = field(default_factory=dict)
+
+    def metric(self, algorithm: str, name: str) -> float:
+        measurement = self.results[algorithm]
+        return float(getattr(measurement, name))
+
+
+@dataclass
+class Sweep:
+    """A complete figure's worth of measurements."""
+
+    name: str
+    x_label: str
+    points: List[SweepPoint] = field(default_factory=list)
+    algorithms: Sequence[str] = DEFAULT_ALGORITHM_ORDER
+
+    def series(self, algorithm: str, metric: str) -> List[float]:
+        """One plotted line: ``metric`` of ``algorithm`` across the sweep."""
+        return [point.metric(algorithm, metric) for point in self.points]
+
+    def xs(self) -> List[float]:
+        return [point.x for point in self.points]
+
+
+def run_point(objects: Dataset, functions: Sequence[LinearPreference],
+              algorithms: Optional[Sequence[str]] = None,
+              buffer_fraction: float = 0.02,
+              page_size: int = 4096) -> Dict[str, RunMeasurement]:
+    """Run each algorithm on its own fresh copy of one workload."""
+    if algorithms is None:
+        algorithms = DEFAULT_ALGORITHM_ORDER
+    results: Dict[str, RunMeasurement] = {}
+    for name in algorithms:
+        try:
+            factory = ALGORITHMS[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown algorithm {name!r}; expected one of "
+                f"{sorted(ALGORITHMS)}"
+            ) from None
+        problem = MatchingProblem.build(
+            objects, functions,
+            buffer_fraction=buffer_fraction, page_size=page_size,
+        )
+        results[name] = measure_matcher(factory(problem))
+    return results

@@ -1,0 +1,55 @@
+"""Matching algorithms: the paper's SB plus both baselines and references."""
+
+from .analysis import (
+    MatchingReport,
+    assignment_ranks,
+    score_regrets,
+    summarize,
+)
+from .base import Matcher
+from .brute_force import BruteForceMatcher
+from .capacity import CapacitatedMatching, match_with_capacities
+from .chain import ChainMatcher
+from .generic import GenericSkylineMatcher, greedy_monotone_reference
+from .trace import RoundTrace, TraceRecorder
+from .gale_shapley import (
+    gale_shapley,
+    greedy_reference_matching,
+    preference_lists_from_scores,
+)
+from .problem import MatchingProblem
+from .result import Matching, MatchPair
+from .skyline_matching import SkylineMatcher
+from .verify import (
+    STABILITY_MARGIN,
+    BlockingPair,
+    find_blocking_pairs,
+    verify_stable_matching,
+)
+
+__all__ = [
+    "MatchingReport",
+    "assignment_ranks",
+    "score_regrets",
+    "summarize",
+    "CapacitatedMatching",
+    "match_with_capacities",
+    "GenericSkylineMatcher",
+    "greedy_monotone_reference",
+    "RoundTrace",
+    "TraceRecorder",
+    "Matcher",
+    "BruteForceMatcher",
+    "ChainMatcher",
+    "gale_shapley",
+    "greedy_reference_matching",
+    "preference_lists_from_scores",
+    "MatchingProblem",
+    "Matching",
+    "MatchPair",
+    "SkylineMatcher",
+    "STABILITY_MARGIN",
+    "BlockingPair",
+    "find_blocking_pairs",
+    "verify_stable_matching",
+]

@@ -1,0 +1,120 @@
+"""Matching quality analysis.
+
+A stable 1-1 matching trades individual optimality for global fairness:
+most users cannot all receive their personal top-1. This module
+quantifies that trade-off — per-user rank and score regret, aggregate
+fairness statistics, and round structure — for reporting in examples and
+deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..data import Dataset
+from ..errors import MatchingError
+from ..prefs import LinearPreference, weights_matrix
+from .result import Matching
+
+#: Scores within this margin are treated as ties when ranking.
+RANK_MARGIN = 1e-12
+
+
+def assignment_ranks(matching: Matching, objects: Dataset,
+                     functions: Sequence[LinearPreference]) -> Dict[int, int]:
+    """For each matched function: the 0-based rank of its assigned object
+    in its personal ordering (0 = it received its true top-1)."""
+    if not matching.pairs:
+        return {}
+    weights, fids = weights_matrix(list(functions))
+    by_fid = {fid: row for row, fid in enumerate(fids)}
+    matrix = objects.matrix
+    ranks: Dict[int, int] = {}
+    for pair in matching.pairs:
+        row = by_fid.get(pair.function_id)
+        if row is None:
+            raise MatchingError(
+                f"matched function {pair.function_id} not in the function list"
+            )
+        scores = matrix @ weights[row]
+        ranks[pair.function_id] = int(
+            (scores > pair.score + RANK_MARGIN).sum()
+        )
+    return ranks
+
+
+def score_regrets(matching: Matching, objects: Dataset,
+                  functions: Sequence[LinearPreference]) -> Dict[int, float]:
+    """For each matched function: ``top-1 score - assigned score`` (>= 0)."""
+    if not matching.pairs:
+        return {}
+    weights, fids = weights_matrix(list(functions))
+    by_fid = {fid: row for row, fid in enumerate(fids)}
+    matrix = objects.matrix
+    regrets: Dict[int, float] = {}
+    for pair in matching.pairs:
+        row = by_fid.get(pair.function_id)
+        if row is None:
+            raise MatchingError(
+                f"matched function {pair.function_id} not in the function list"
+            )
+        best = float((matrix @ weights[row]).max())
+        regrets[pair.function_id] = max(0.0, best - pair.score)
+    return regrets
+
+
+@dataclass
+class MatchingReport:
+    """Aggregate quality statistics of one matching."""
+
+    pairs: int
+    unmatched_functions: int
+    rounds: int
+    mean_score: float
+    min_score: float
+    total_score: float
+    top1_fraction: float
+    mean_rank: float
+    max_rank: int
+    mean_regret: float
+    max_regret: float
+    pairs_per_round: List[int] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MatchingReport(pairs={self.pairs}, rounds={self.rounds}, "
+            f"top1={self.top1_fraction:.0%}, mean_rank={self.mean_rank:.1f}, "
+            f"mean_regret={self.mean_regret:.4f})"
+        )
+
+
+def summarize(matching: Matching, objects: Dataset,
+              functions: Sequence[LinearPreference]) -> MatchingReport:
+    """Compute a full :class:`MatchingReport`."""
+    ranks = assignment_ranks(matching, objects, functions)
+    regrets = score_regrets(matching, objects, functions)
+    scores = [pair.score for pair in matching.pairs]
+    rounds = matching.num_rounds
+    per_round = [0] * rounds
+    for pair in matching.pairs:
+        per_round[pair.round] += 1
+    n = len(matching.pairs)
+    return MatchingReport(
+        pairs=n,
+        unmatched_functions=len(matching.unmatched_functions),
+        rounds=rounds,
+        mean_score=float(np.mean(scores)) if scores else 0.0,
+        min_score=min(scores) if scores else 0.0,
+        total_score=sum(scores),
+        top1_fraction=(
+            sum(1 for r in ranks.values() if r == 0) / n if n else 0.0
+        ),
+        mean_rank=float(np.mean(list(ranks.values()))) if ranks else 0.0,
+        max_rank=max(ranks.values()) if ranks else 0,
+        mean_regret=float(np.mean(list(regrets.values()))) if regrets else 0.0,
+        max_regret=max(regrets.values()) if regrets else 0.0,
+        pairs_per_round=per_round,
+    )

@@ -1,0 +1,51 @@
+"""Common matcher interface.
+
+All matchers are *progressive*: :meth:`Matcher.pairs` yields each stable
+pair as soon as it is identified, and :meth:`Matcher.run` drains the
+stream into a :class:`~repro.core.result.Matching`.
+
+Tie discipline (shared by every matcher, which is what makes their outputs
+literally identical): pairs are ordered by score descending, then function
+id ascending, then object id ascending.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional
+
+from ..storage.stats import SearchStats
+from .problem import MatchingProblem
+from .result import Matching, MatchPair
+
+
+class Matcher(ABC):
+    """Base class: a matching algorithm bound to one problem instance."""
+
+    #: Human-readable algorithm name (used in reports).
+    name: str = "matcher"
+
+    def __init__(self, problem: MatchingProblem,
+                 search_stats: Optional[SearchStats] = None) -> None:
+        self.problem = problem
+        self.search_stats = search_stats
+
+    @abstractmethod
+    def pairs(self) -> Iterator[MatchPair]:
+        """Yield stable pairs progressively until ``F`` or ``O`` runs out."""
+
+    def run(self) -> Matching:
+        """Execute to completion and collect the result."""
+        pairs = list(self.pairs())
+        matched = {pair.function_id for pair in pairs}
+        unmatched = [
+            function.fid
+            for function in self.problem.functions
+            if function.fid not in matched
+        ]
+        return Matching(
+            pairs,
+            unmatched_functions=unmatched,
+            unmatched_objects_count=len(self.problem.objects) - len(pairs),
+            algorithm=self.name,
+        )

@@ -1,0 +1,97 @@
+"""Brute Force stable matching (Section III-A of the paper).
+
+One top-1 ranked query per function produces each function's current best
+object; the globally best (score, function id, object id) pair is stable
+— its object is its function's top choice, and no other function can beat
+the globally highest score. After emitting a pair the object is removed,
+and top-1 search is re-applied *only* for functions whose cached top-1 was
+the removed object (lazy invalidation through a max-heap).
+
+``deletion_mode``:
+
+* ``"delete"`` (paper-faithful) — assigned objects are physically deleted
+  from the R-tree (I/O for the delete path, smaller tree afterwards);
+* ``"filter"`` — the tree is left intact and assigned ids are skipped
+  inside ranked search (an ablation; avoids structural I/O at the price
+  of searching a stale tree).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from ..errors import MatchingError
+from ..rtree.topk import top1
+from ..storage.stats import SearchStats
+from .base import Matcher
+from .problem import MatchingProblem
+from .result import MatchPair
+
+
+class BruteForceMatcher(Matcher):
+    """Iterated per-function top-1 search (the paper's first baseline)."""
+
+    name = "brute-force"
+
+    def __init__(self, problem: MatchingProblem,
+                 deletion_mode: str = "delete",
+                 search_stats: Optional[SearchStats] = None) -> None:
+        super().__init__(problem, search_stats)
+        if deletion_mode not in ("delete", "filter"):
+            raise MatchingError(
+                f"deletion_mode must be 'delete' or 'filter', "
+                f"got {deletion_mode!r}"
+            )
+        self.deletion_mode = deletion_mode
+        #: Number of top-1 searches issued (initial + recomputations).
+        self.top1_searches = 0
+
+    def pairs(self) -> Iterator[MatchPair]:
+        tree = self.problem.tree
+        functions = {f.fid: f for f in self.problem.functions}
+        points = dict(self.problem.objects.items())
+        assigned_objects: Set[int] = set()
+        excluded = assigned_objects if self.deletion_mode == "filter" else None
+
+        # fid -> currently cached (score, object id); heap mirrors it.
+        cached: Dict[int, Tuple[float, int]] = {}
+        heap = []
+        for fid in sorted(functions):
+            hit = top1(tree, functions[fid].weights, excluded=excluded,
+                       stats=self.search_stats)
+            self.top1_searches += 1
+            if hit is None:
+                continue  # no objects at all
+            object_id, _point, score = hit
+            cached[fid] = (score, object_id)
+            heapq.heappush(heap, (-score, fid, object_id))
+
+        rank = 0
+        while heap:
+            neg_score, fid, object_id = heapq.heappop(heap)
+            if fid not in functions:
+                continue
+            if cached.get(fid) != (-neg_score, object_id):
+                continue  # stale heap entry, superseded by a recompute
+            if object_id in assigned_objects:
+                # Cached best was taken: re-apply top-1 for this function.
+                hit = top1(tree, functions[fid].weights, excluded=excluded,
+                           stats=self.search_stats)
+                self.top1_searches += 1
+                if hit is None:
+                    del functions[fid]  # objects exhausted: stays unmatched
+                    cached.pop(fid, None)
+                    continue
+                new_object, _point, new_score = hit
+                cached[fid] = (new_score, new_object)
+                heapq.heappush(heap, (-new_score, fid, new_object))
+                continue
+            # Fresh global maximum: a stable pair.
+            yield MatchPair(fid, object_id, -neg_score, round=rank, rank=rank)
+            rank += 1
+            del functions[fid]
+            cached.pop(fid, None)
+            assigned_objects.add(object_id)
+            if self.deletion_mode == "delete":
+                tree.delete(object_id, points[object_id])

@@ -1,0 +1,115 @@
+"""Capacitated matching: objects that can serve more than one query.
+
+A natural extension of the paper's model: a "hotel room" in a booking
+system is usually a *room type* with several identical units. An object
+with capacity ``c`` may be assigned to up to ``c`` functions.
+
+The reduction is exact: expand each object into ``c`` coordinate-
+identical virtual objects, run any of the 1-1 matchers, and fold the
+virtual assignments back. Stability carries over directly — a blocking
+pair against the capacitated matching would be a blocking pair against
+the expanded 1-1 matching, because a unit of capacity is free exactly
+when a virtual copy is unmatched. The skyline machinery handles the
+duplicates natively (one copy is a skyline member, the rest sit in its
+pruned list and resurface as units sell out).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from ..data import Dataset
+from ..errors import MatchingError
+from ..prefs import LinearPreference
+from .problem import MatchingProblem
+from .result import Matching, MatchPair
+from .skyline_matching import SkylineMatcher
+
+
+class CapacitatedMatching:
+    """Result of a capacitated run: pairs reference *original* object ids."""
+
+    def __init__(self, pairs: Sequence[MatchPair],
+                 unmatched_functions: Sequence[int],
+                 capacities: Mapping[int, int],
+                 algorithm: str = "") -> None:
+        self.pairs = list(pairs)
+        self.unmatched_functions = list(unmatched_functions)
+        self.algorithm = algorithm
+        self.by_function: Dict[int, MatchPair] = {}
+        self.usage: Dict[int, int] = {object_id: 0 for object_id in capacities}
+        for pair in self.pairs:
+            if pair.function_id in self.by_function:
+                raise MatchingError(
+                    f"function {pair.function_id} assigned more than once"
+                )
+            self.by_function[pair.function_id] = pair
+            self.usage[pair.object_id] += 1
+            if self.usage[pair.object_id] > capacities[pair.object_id]:
+                raise MatchingError(
+                    f"object {pair.object_id} over capacity"
+                )
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def assignments_of(self, object_id: int) -> List[int]:
+        """Function ids served by one object."""
+        return [
+            pair.function_id for pair in self.pairs
+            if pair.object_id == object_id
+        ]
+
+
+def match_with_capacities(
+    objects: Dataset,
+    functions: Sequence[LinearPreference],
+    capacities: Mapping[int, int],
+    matcher_factory: Callable[[MatchingProblem], object] = SkylineMatcher,
+    **build_kwargs,
+) -> CapacitatedMatching:
+    """Stable many-to-one matching via virtual-object expansion.
+
+    ``capacities`` maps every object id to a non-negative unit count
+    (missing ids default to 1; zero removes the object from sale).
+    """
+    virtual_vectors = []
+    virtual_owner: List[int] = []
+    for object_id, point in objects.items():
+        capacity = int(capacities.get(object_id, 1))
+        if capacity < 0:
+            raise MatchingError(
+                f"object {object_id} has negative capacity {capacity}"
+            )
+        for _ in range(capacity):
+            virtual_vectors.append(point)
+            virtual_owner.append(object_id)
+    expanded = Dataset(
+        np.asarray(virtual_vectors, dtype=np.float64).reshape(
+            len(virtual_vectors), objects.dims
+        ),
+        name=f"{objects.name}-expanded",
+    )
+    problem = MatchingProblem.build(expanded, functions, **build_kwargs)
+    matcher = matcher_factory(problem)
+    matching: Matching = matcher.run()
+    full_capacities = {
+        object_id: int(capacities.get(object_id, 1))
+        for object_id, _ in objects.items()
+    }
+    folded = [
+        MatchPair(
+            pair.function_id,
+            virtual_owner[pair.object_id],
+            pair.score,
+            round=pair.round,
+            rank=pair.rank,
+        )
+        for pair in matching.pairs
+    ]
+    return CapacitatedMatching(
+        folded, matching.unmatched_functions, full_capacities,
+        algorithm=f"capacitated-{matching.algorithm}",
+    )

@@ -1,0 +1,126 @@
+"""Chain stable matching — the adaptation of Wong et al. (VLDB 2007).
+
+The paper's second baseline (Section V): "Chain is an adaptation of [2],
+where the functions are indexed by a main memory R-tree (built on their
+weights), and the nearest neighbor module to either O or F is replaced by
+top-1 search in the corresponding R-tree."
+
+The walk maintains a chain of alternating elements, each the *best
+remaining partner* of its predecessor: function → its top-1 object → that
+object's top-1 function → … Scores are non-decreasing along the chain, so
+the walk must close a 2-cycle (a mutual-best pair) in finitely many steps;
+such a pair satisfies Property 1 and is emitted, both elements are
+removed, and the walk resumes from the element preceding the pair.
+
+The function-side top-1 reuses the generic ranked search: a function is a
+point (its weight vector) in the memory R-tree, and its score for object
+``o`` is the same dot product with the roles of weights and coordinates
+swapped.
+
+As the paper notes, the function R-tree is of limited help because
+normalized weight vectors lie on a hyperplane (anti-correlated by
+construction), which is one reason Chain measures worst.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Set, Tuple
+
+from ..errors import MatchingError
+from ..rtree import MemoryNodeStore, RTree
+from ..rtree.topk import top1
+from ..storage.stats import SearchStats
+from .base import Matcher
+from .problem import MatchingProblem
+from .result import MatchPair
+
+#: A chain element: ("f", function id) or ("o", object id).
+ChainElement = Tuple[str, int]
+
+
+class ChainMatcher(Matcher):
+    """Best-partner chain walking (the paper's second baseline)."""
+
+    name = "chain"
+
+    def __init__(self, problem: MatchingProblem,
+                 deletion_mode: str = "delete",
+                 function_fanout: int = 32,
+                 restart: bool = True,
+                 search_stats: Optional[SearchStats] = None) -> None:
+        super().__init__(problem, search_stats)
+        if deletion_mode not in ("delete", "filter"):
+            raise MatchingError(
+                f"deletion_mode must be 'delete' or 'filter', "
+                f"got {deletion_mode!r}"
+            )
+        self.deletion_mode = deletion_mode
+        self.function_fanout = function_fanout
+        #: Restart the chain from a fresh seed after each emitted pair
+        #: (the paper's adaptation: its Chain "performs even more top-1
+        #: searches than Brute Force", which only happens without stack
+        #: retention). ``False`` keeps Wong et al.'s retained stack — a
+        #: strictly better variant, measured in the ablation benchmark.
+        self.restart = restart
+        #: Number of top-1 searches issued against either tree.
+        self.top1_searches = 0
+
+    def pairs(self) -> Iterator[MatchPair]:
+        object_tree = self.problem.tree
+        functions = {f.fid: f for f in self.problem.functions}
+        points = dict(self.problem.objects.items())
+        if not functions or not points:
+            return
+
+        function_tree = RTree.bulk_load(
+            MemoryNodeStore(self.function_fanout),
+            self.problem.dims,
+            ((fid, f.weights) for fid, f in sorted(functions.items())),
+        )
+
+        remaining_objects: Set[int] = set(points)
+        assigned_objects: Set[int] = set()
+        excluded = assigned_objects if self.deletion_mode == "filter" else None
+
+        chain: list = []
+        rank = 0
+        max_chain = len(functions) + len(points) + 1
+        while functions and remaining_objects:
+            if not chain:
+                chain.append(("f", min(functions)))
+            kind, ident = chain[-1]
+            if kind == "f":
+                hit = top1(object_tree, functions[ident].weights,
+                           excluded=excluded, stats=self.search_stats)
+                partner: ChainElement = ("o", hit[0])
+            else:
+                # Reverse direction: rank functions by score on the object.
+                hit = top1(function_tree, points[ident],
+                           stats=self.search_stats)
+                partner = ("f", hit[0])
+            self.top1_searches += 1
+            score = hit[2]
+            if len(chain) >= 2 and chain[-2] == partner:
+                first, second = chain[-2], chain[-1]
+                fid = first[1] if first[0] == "f" else second[1]
+                object_id = first[1] if first[0] == "o" else second[1]
+                yield MatchPair(fid, object_id, score, round=rank, rank=rank)
+                rank += 1
+                weights = functions.pop(fid).weights
+                function_tree.delete(fid, weights)
+                remaining_objects.discard(object_id)
+                assigned_objects.add(object_id)
+                if self.deletion_mode == "delete":
+                    object_tree.delete(object_id, points[object_id])
+                if self.restart:
+                    chain.clear()
+                else:
+                    chain.pop()
+                    chain.pop()
+            else:
+                chain.append(partner)
+                if len(chain) > max_chain:
+                    raise MatchingError(
+                        "chain exceeded its theoretical maximum length; "
+                        "tie discipline violated"
+                    )

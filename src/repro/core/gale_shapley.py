@@ -1,0 +1,129 @@
+"""Reference matchers on explicit score matrices (no index structures).
+
+For the paper's preference model the two sides rank every pair by the
+*same* value ``f(o)``; preferences are "aligned", and the stable matching
+is unique: it is produced by greedily taking pairs in decreasing
+``(score, -function id, -object id)`` order — exactly the iterative
+best-pair process of Section II. :func:`greedy_reference_matching`
+implements that directly (O(|F|·|O|) scores, no R-tree, no skyline) and is
+the ground truth the real matchers are tested against.
+
+:func:`gale_shapley` is the classic deferred-acceptance algorithm [Gale &
+Shapley 1962] on arbitrary explicit preference lists; on aligned
+preferences it returns the same unique matching, which is itself asserted
+in tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data import Dataset
+from ..prefs import LinearPreference
+from .result import Matching, MatchPair
+
+
+def greedy_reference_matching(objects: Dataset,
+                              functions: Sequence[LinearPreference]) -> Matching:
+    """The unique stable matching, by global greedy pair selection.
+
+    Scores use the canonical arithmetic (plain left-to-right sums), so the
+    result is bitwise comparable with the indexed matchers.
+    """
+    pairs_heap: List[Tuple[float, int, int]] = []
+    points = dict(objects.items())
+    for function in functions:
+        for object_id, point in points.items():
+            score = function.score(point)
+            pairs_heap.append((-score, function.fid, object_id))
+    heapq.heapify(pairs_heap)
+
+    taken_functions = set()
+    taken_objects = set()
+    pairs: List[MatchPair] = []
+    limit = min(len(functions), len(objects))
+    while pairs_heap and len(pairs) < limit:
+        neg_score, fid, object_id = heapq.heappop(pairs_heap)
+        if fid in taken_functions or object_id in taken_objects:
+            continue
+        taken_functions.add(fid)
+        taken_objects.add(object_id)
+        pairs.append(
+            MatchPair(fid, object_id, -neg_score,
+                      round=len(pairs), rank=len(pairs))
+        )
+    unmatched = [f.fid for f in functions if f.fid not in taken_functions]
+    return Matching(
+        pairs, unmatched_functions=unmatched,
+        unmatched_objects_count=len(objects) - len(pairs),
+        algorithm="greedy-reference",
+    )
+
+
+def gale_shapley(proposer_prefs: Dict[int, List[int]],
+                 acceptor_prefs: Dict[int, List[int]]) -> Dict[int, int]:
+    """Deferred acceptance on explicit preference lists.
+
+    ``proposer_prefs[p]`` lists acceptor ids in decreasing preference;
+    ``acceptor_prefs[a]`` likewise for proposers. Unranked partners are
+    never matched. Returns ``{proposer: acceptor}`` (proposer-optimal
+    stable matching).
+    """
+    acceptor_rank = {
+        acceptor: {proposer: rank for rank, proposer in enumerate(prefs)}
+        for acceptor, prefs in acceptor_prefs.items()
+    }
+    next_choice = {proposer: 0 for proposer in proposer_prefs}
+    engaged_to: Dict[int, int] = {}  # acceptor -> proposer
+    free = sorted(proposer_prefs, reverse=True)
+
+    while free:
+        proposer = free.pop()
+        prefs = proposer_prefs[proposer]
+        while next_choice[proposer] < len(prefs):
+            acceptor = prefs[next_choice[proposer]]
+            next_choice[proposer] += 1
+            ranks = acceptor_rank.get(acceptor)
+            if ranks is None or proposer not in ranks:
+                continue
+            current = engaged_to.get(acceptor)
+            if current is None:
+                engaged_to[acceptor] = proposer
+                break
+            if ranks[proposer] < ranks[current]:
+                engaged_to[acceptor] = proposer
+                free.append(current)
+                break
+            # Rejected: try the next choice.
+        # Exhausted list: proposer stays unmatched.
+    return {proposer: acceptor for acceptor, proposer in engaged_to.items()}
+
+
+def preference_lists_from_scores(
+    objects: Dataset, functions: Sequence[LinearPreference],
+) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
+    """Explicit ranked lists for :func:`gale_shapley` from the score model.
+
+    Functions rank objects by ``(score desc, object id asc)``; objects
+    rank functions by ``(score desc, function id asc)`` — the library's
+    canonical tie discipline.
+    """
+    points = list(objects.items())
+    function_lists: Dict[int, List[int]] = {}
+    object_scores: Dict[int, List[Tuple[float, int]]] = {
+        object_id: [] for object_id, _ in points
+    }
+    for function in functions:
+        scored = []
+        for object_id, point in points:
+            score = function.score(point)
+            scored.append((-score, object_id))
+            object_scores[object_id].append((-score, function.fid))
+        scored.sort()
+        function_lists[function.fid] = [object_id for _, object_id in scored]
+    object_lists = {}
+    for object_id, scored in object_scores.items():
+        scored.sort()
+        object_lists[object_id] = [fid for _, fid in scored]
+    return function_lists, object_lists

@@ -1,0 +1,186 @@
+"""SB for arbitrary *monotone* preference functions.
+
+Section II of the paper: "F may contain any monotone function; for ease
+of presentation, however, we focus on linear functions." The skyline
+observation holds for every monotone function, so the SB loop — skyline,
+mutual best pairs, plist maintenance — carries over unchanged. What does
+not carry over is the TA-based reverse top-1 (sorted coefficient lists
+require linearity), so :class:`GenericSkylineMatcher` swaps it for a
+scan-based best-pair module over the (small) skyline.
+
+This is the natural generalization the paper leaves implicit; the linear
+:class:`~repro.core.skyline_matching.SkylineMatcher` remains the fast
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..data import Dataset
+from ..errors import DimensionalityError, MatchingError
+from ..prefs.monotone import MonotonePreference
+from ..skyline import SkylineState, compute_skyline, update_after_removal
+from ..storage.stats import SearchStats
+from .problem import MatchingProblem
+from .result import Matching, MatchPair
+
+
+class GenericSkylineMatcher:
+    """SB with scan-based best-pair search, for monotone functions.
+
+    Parameters
+    ----------
+    problem:
+        A :class:`MatchingProblem` built with an *empty* linear function
+        list (the linear validation does not apply here), or any problem
+        whose tree indexes the objects to match.
+    functions:
+        Monotone preference functions (each needs ``fid``, ``dims`` and
+        ``score``).
+    """
+
+    name = "generic-skyline"
+
+    def __init__(self, problem: MatchingProblem,
+                 functions: Sequence[MonotonePreference],
+                 multi_pair: bool = True,
+                 search_stats: Optional[SearchStats] = None) -> None:
+        for function in functions:
+            if function.dims != problem.dims:
+                raise DimensionalityError(
+                    problem.dims, function.dims, "function"
+                )
+        fids = [function.fid for function in functions]
+        if len(set(fids)) != len(fids):
+            raise MatchingError("function ids must be unique")
+        self.problem = problem
+        self.functions = list(functions)
+        self.multi_pair = multi_pair
+        self.search_stats = search_stats
+        self.rounds = 0
+
+    def pairs(self) -> Iterator[MatchPair]:
+        tree = self.problem.tree
+        alive: Dict[int, MonotonePreference] = {
+            function.fid: function for function in self.functions
+        }
+        state: Optional[SkylineState] = None
+        pending_orphans: List = []
+        fbest: Dict[int, Tuple[float, int]] = {}
+        rank = 0
+
+        while alive:
+            if state is None:
+                state = compute_skyline(tree, stats=self.search_stats)
+            else:
+                update_after_removal(
+                    tree, state, pending_orphans, stats=self.search_stats
+                )
+                pending_orphans = []
+            if len(state) == 0:
+                break
+
+            for object_id, point in state.items():
+                cached = fbest.get(object_id)
+                if cached is not None and cached[1] in alive:
+                    continue
+                fbest[object_id] = self._best_function(alive, point)
+
+            emitted = self._mutual_pairs(alive, state, fbest)
+            if not self.multi_pair:
+                emitted = emitted[:1]
+            if not emitted:
+                raise MatchingError(
+                    "generic SB round produced no stable pair"
+                )
+            for score, fid, object_id in emitted:
+                yield MatchPair(fid, object_id, score,
+                                round=self.rounds, rank=rank)
+                rank += 1
+                del alive[fid]
+                pending_orphans.extend(state.remove(object_id))
+                fbest.pop(object_id, None)
+            self.rounds += 1
+
+    def run(self) -> Matching:
+        pairs = list(self.pairs())
+        matched = {pair.function_id for pair in pairs}
+        return Matching(
+            pairs,
+            unmatched_functions=[
+                f.fid for f in self.functions if f.fid not in matched
+            ],
+            unmatched_objects_count=len(self.problem.objects) - len(pairs),
+            algorithm=self.name,
+        )
+
+    def _best_function(self, alive: Dict[int, MonotonePreference],
+                       point: Tuple[float, ...]) -> Tuple[float, int]:
+        best_score = float("-inf")
+        best_fid = -1
+        for fid in alive:
+            score = alive[fid].score(point)
+            if self.search_stats is not None:
+                self.search_stats.score_evaluations += 1
+            if score > best_score or (score == best_score and fid < best_fid):
+                best_score = score
+                best_fid = fid
+        return best_score, best_fid
+
+    def _mutual_pairs(self, alive: Dict[int, MonotonePreference],
+                      state: SkylineState,
+                      fbest: Dict[int, Tuple[float, int]],
+                      ) -> List[Tuple[float, int, int]]:
+        candidate_fids = sorted({fbest[oid][1] for oid in state.ids()})
+        emitted = []
+        for fid in candidate_fids:
+            function = alive[fid]
+            best_score = float("-inf")
+            best_oid = -1
+            for object_id, point in state.items():
+                score = function.score(point)
+                if self.search_stats is not None:
+                    self.search_stats.score_evaluations += 1
+                if score > best_score or (
+                    score == best_score and object_id < best_oid
+                ):
+                    best_score = score
+                    best_oid = object_id
+            if fbest[best_oid][1] == fid:
+                emitted.append((best_score, fid, best_oid))
+        emitted.sort(key=lambda item: (-item[0], item[1], item[2]))
+        return emitted
+
+
+def greedy_monotone_reference(objects: Dataset,
+                              functions: Sequence[MonotonePreference],
+                              ) -> Matching:
+    """O(|F|·|O|) ground truth for monotone matching (tests/validation)."""
+    import heapq
+
+    heap = []
+    for function in functions:
+        for object_id, point in objects.items():
+            heap.append((-function.score(point), function.fid, object_id))
+    heapq.heapify(heap)
+    taken_f: Set[int] = set()
+    taken_o: Set[int] = set()
+    pairs: List[MatchPair] = []
+    limit = min(len(functions), len(objects))
+    while heap and len(pairs) < limit:
+        neg_score, fid, object_id = heapq.heappop(heap)
+        if fid in taken_f or object_id in taken_o:
+            continue
+        taken_f.add(fid)
+        taken_o.add(object_id)
+        pairs.append(MatchPair(fid, object_id, -neg_score,
+                               round=len(pairs), rank=len(pairs)))
+    return Matching(
+        pairs,
+        unmatched_functions=[
+            f.fid for f in functions if f.fid not in taken_f
+        ],
+        unmatched_objects_count=len(objects) - len(pairs),
+        algorithm="greedy-monotone-reference",
+    )

@@ -1,0 +1,130 @@
+"""The matching problem: functions in memory, objects in a disk R-tree.
+
+The paper's storage model (Section III): "F is kept in memory while O
+(which is typically persistent and much larger than F) is indexed by an
+R-tree on the disk." :class:`MatchingProblem` packages exactly that —
+a :class:`~repro.data.Dataset` bulk-loaded into a disk R-tree behind the
+paper's 2%-LRU buffer, plus the preference function list — and gives the
+matchers a single object to operate on.
+
+Brute Force and Chain physically delete assigned objects from the R-tree
+(their ``deletion_mode="delete"`` default), mutating the problem; use
+:meth:`MatchingProblem.rebuild` or build one problem per algorithm when
+comparing matchers, as the benchmark harness does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..data import Dataset
+from ..errors import DimensionalityError, MatchingError
+from ..prefs import LinearPreference
+from ..rtree import DiskNodeStore, RTree
+from ..storage import DEFAULT_PAGE_SIZE, BufferPool, DiskManager, IOSnapshot, IOStats
+
+
+class MatchingProblem:
+    """Functions + objects + the storage stack underneath them.
+
+    Use :meth:`build` (bulk load, then size the buffer, then zero the I/O
+    counters) rather than the raw constructor.
+    """
+
+    def __init__(self, objects: Dataset,
+                 functions: Sequence[LinearPreference],
+                 tree: RTree, disk: DiskManager, buffer: BufferPool,
+                 build_io: Optional[IOSnapshot] = None,
+                 fill: float = 0.9,
+                 buffer_fraction: float = 0.02) -> None:
+        for function in functions:
+            if function.dims != objects.dims:
+                raise DimensionalityError(
+                    objects.dims, function.dims, "function weights"
+                )
+        fids = [function.fid for function in functions]
+        if len(set(fids)) != len(fids):
+            raise MatchingError("function ids must be unique")
+        self.objects = objects
+        self.functions: List[LinearPreference] = list(functions)
+        self.tree = tree
+        self.disk = disk
+        self.buffer = buffer
+        self.build_io = build_io
+        self._fill = fill
+        self._buffer_fraction = buffer_fraction
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, objects: Dataset,
+              functions: Sequence[LinearPreference],
+              page_size: int = DEFAULT_PAGE_SIZE,
+              buffer_fraction: float = 0.02,
+              buffer_capacity: Optional[int] = None,
+              fill: float = 0.9) -> "MatchingProblem":
+        """Bulk-load the object R-tree and attach the LRU buffer.
+
+        ``buffer_fraction`` follows the paper's "2% of the tree size";
+        pass ``buffer_capacity`` to pin an absolute frame count instead.
+        After the build, the buffer is cleared and the I/O counters are
+        zeroed, so subsequent counts reflect query work only (the build
+        cost is preserved in :attr:`build_io`).
+        """
+        disk = DiskManager(page_size=page_size)
+        # Generous staging buffer for the build itself.
+        staging = BufferPool(disk, capacity=max(64, len(objects) // 8 + 8))
+        store = DiskNodeStore(objects.dims, disk=disk, buffer=staging)
+        tree = RTree.bulk_load(store, objects.dims, objects.items(), fill=fill)
+        staging.flush()
+        build_io = disk.stats.snapshot()
+
+        if buffer_capacity is not None:
+            buffer = BufferPool(disk, capacity=buffer_capacity)
+        else:
+            buffer = BufferPool.fraction_of_disk(disk, fraction=buffer_fraction)
+        store.buffer = buffer
+        disk.stats.reset()
+        return cls(
+            objects, functions, tree, disk, buffer,
+            build_io=build_io, fill=fill, buffer_fraction=buffer_fraction,
+        )
+
+    def rebuild(self) -> "MatchingProblem":
+        """A fresh, identical problem (new disk, tree and buffer).
+
+        Needed to rerun a second matcher after one that deletes objects
+        from the tree.
+        """
+        return MatchingProblem.build(
+            self.objects, self.functions,
+            page_size=self.disk.page_size,
+            buffer_fraction=self._buffer_fraction,
+            buffer_capacity=self.buffer.capacity,
+            fill=self._fill,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> int:
+        return self.objects.dims
+
+    @property
+    def io_stats(self) -> IOStats:
+        """Live I/O counters of the simulated disk."""
+        return self.disk.stats
+
+    def reset_io(self) -> None:
+        """Zero the I/O counters and drop cached pages (cold start)."""
+        self.buffer.clear()
+        self.disk.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MatchingProblem(|O|={len(self.objects)}, |F|="
+            f"{len(self.functions)}, D={self.dims}, "
+            f"pages={self.disk.num_pages}, buffer={self.buffer.capacity})"
+        )

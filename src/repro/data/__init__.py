@@ -1,0 +1,27 @@
+"""Datasets and workload generators (synthetic + Zillow substitute)."""
+
+from .dataset import Dataset, Point
+from .generators import (
+    generate,
+    generate_anticorrelated,
+    generate_clustered,
+    generate_correlated,
+    generate_independent,
+)
+from .io import load_dataset_csv, save_dataset_csv
+from .zillow import ZILLOW_ATTRIBUTES, generate_zillow, generate_zillow_raw
+
+__all__ = [
+    "Dataset",
+    "Point",
+    "generate",
+    "generate_anticorrelated",
+    "generate_clustered",
+    "generate_correlated",
+    "generate_independent",
+    "load_dataset_csv",
+    "save_dataset_csv",
+    "ZILLOW_ATTRIBUTES",
+    "generate_zillow",
+    "generate_zillow_raw",
+]

@@ -1,0 +1,169 @@
+"""Datasets of multidimensional objects.
+
+A :class:`Dataset` is an immutable collection of objects, each with an
+integer id and a ``D``-dimensional feature vector in the unit hypercube
+where **larger is better** in every dimension. Raw data with other ranges
+or "smaller is better" attributes (e.g. price) is brought into this space
+with :meth:`Dataset.from_raw`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+
+Point = Tuple[float, ...]
+
+
+class Dataset:
+    """An id-indexed set of points in ``[0, 1]^D``.
+
+    Parameters
+    ----------
+    vectors:
+        Array-like of shape ``(n, dims)`` with values in ``[0, 1]``.
+    ids:
+        Optional explicit object ids (default ``0 … n-1``). Must be unique
+        and non-negative.
+    name:
+        Optional label used in reports.
+    """
+
+    def __init__(self, vectors, ids: Optional[Sequence[int]] = None,
+                 name: str = "dataset") -> None:
+        matrix = np.asarray(vectors, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise DatasetError(
+                f"vectors must be 2-dimensional, got shape {matrix.shape}"
+            )
+        if matrix.size and (np.isnan(matrix).any() or np.isinf(matrix).any()):
+            raise DatasetError("vectors contain NaN or infinity")
+        if matrix.size and (matrix.min() < 0.0 or matrix.max() > 1.0):
+            raise DatasetError(
+                "vectors must lie in [0, 1]; normalize raw data with "
+                "Dataset.from_raw"
+            )
+        self._matrix = matrix
+        self.name = name
+        if ids is None:
+            self._ids = list(range(matrix.shape[0]))
+        else:
+            id_list = [int(i) for i in ids]
+            if len(id_list) != matrix.shape[0]:
+                raise DatasetError(
+                    f"{len(id_list)} ids for {matrix.shape[0]} vectors"
+                )
+            if len(set(id_list)) != len(id_list):
+                raise DatasetError("object ids must be unique")
+            if any(i < 0 for i in id_list):
+                raise DatasetError("object ids must be non-negative")
+            self._ids = id_list
+        self._by_id = {
+            object_id: row for row, object_id in enumerate(self._ids)
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_raw(cls, vectors, larger_is_better: Optional[Sequence[bool]] = None,
+                 ids: Optional[Sequence[int]] = None,
+                 name: str = "dataset") -> "Dataset":
+        """Min-max normalize raw columns into ``[0, 1]``.
+
+        ``larger_is_better[i]`` being ``False`` flips dimension ``i``
+        (e.g. price: cheap rooms should score high). Constant columns map
+        to 0.5.
+        """
+        matrix = np.asarray(vectors, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise DatasetError(
+                f"vectors must be 2-dimensional, got shape {matrix.shape}"
+            )
+        if np.isnan(matrix).any() or np.isinf(matrix).any():
+            raise DatasetError("raw vectors contain NaN or infinity")
+        dims = matrix.shape[1]
+        if larger_is_better is None:
+            larger_is_better = [True] * dims
+        if len(larger_is_better) != dims:
+            raise DatasetError(
+                f"{len(larger_is_better)} orientation flags for {dims} columns"
+            )
+        lo = matrix.min(axis=0)
+        hi = matrix.max(axis=0)
+        span = hi - lo
+        normalized = np.where(span > 0, (matrix - lo) / np.where(span == 0, 1, span), 0.5)
+        for i, flag in enumerate(larger_is_better):
+            if not flag:
+                normalized[:, i] = 1.0 - normalized[:, i]
+        return cls(normalized, ids=ids, name=name)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> int:
+        return int(self._matrix.shape[1])
+
+    @property
+    def ids(self) -> List[int]:
+        return list(self._ids)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Read-only view of the ``(n, dims)`` feature matrix."""
+        view = self._matrix.view()
+        view.flags.writeable = False
+        return view
+
+    def vector(self, object_id: int) -> Point:
+        """The feature tuple of one object."""
+        try:
+            row = self._by_id[object_id]
+        except KeyError:
+            raise DatasetError(f"unknown object id {object_id}") from None
+        return tuple(self._matrix[row].tolist())
+
+    def __len__(self) -> int:
+        return int(self._matrix.shape[0])
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._by_id
+
+    def __iter__(self) -> Iterator[Tuple[int, Point]]:
+        for object_id, row in zip(self._ids, self._matrix):
+            yield object_id, tuple(row.tolist())
+
+    def items(self) -> Iterator[Tuple[int, Point]]:
+        """Alias of iteration: yields ``(object_id, point)``."""
+        return iter(self)
+
+    def subset(self, ids: Iterable[int], name: Optional[str] = None) -> "Dataset":
+        """A new dataset restricted to ``ids`` (order preserved)."""
+        id_list = list(ids)
+        rows = [self._by_id[i] for i in id_list]
+        return Dataset(
+            self._matrix[rows], ids=id_list,
+            name=name if name is not None else self.name,
+        )
+
+    def sample(self, n: int, seed: int = 0,
+               name: Optional[str] = None) -> "Dataset":
+        """A uniform random subset of ``n`` objects (without replacement)."""
+        if n > len(self):
+            raise DatasetError(
+                f"cannot sample {n} objects from a dataset of {len(self)}"
+            )
+        rng = np.random.default_rng(seed)
+        rows = rng.choice(len(self), size=n, replace=False)
+        rows.sort()
+        return Dataset(
+            self._matrix[rows], ids=[self._ids[r] for r in rows],
+            name=name if name is not None else f"{self.name}-sample{n}",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dataset(name={self.name!r}, n={len(self)}, dims={self.dims})"

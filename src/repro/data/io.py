@@ -1,0 +1,67 @@
+"""CSV import/export for datasets.
+
+Real deployments load their object catalog from files; these helpers give
+the examples and the benchmark harness a round-trippable on-disk format:
+a header row (``id, attr0, attr1, …``) followed by one row per object.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..errors import DatasetError
+from .dataset import Dataset
+
+PathLike = Union[str, Path]
+
+
+def save_dataset_csv(dataset: Dataset, path: PathLike,
+                     column_names: Optional[Sequence[str]] = None) -> None:
+    """Write ``dataset`` to ``path`` as CSV (id column first)."""
+    if column_names is None:
+        column_names = [f"attr{i}" for i in range(dataset.dims)]
+    if len(column_names) != dataset.dims:
+        raise DatasetError(
+            f"{len(column_names)} column names for {dataset.dims} dimensions"
+        )
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", *column_names])
+        for object_id, point in dataset:
+            writer.writerow([object_id, *(repr(v) for v in point)])
+
+
+def load_dataset_csv(path: PathLike, name: Optional[str] = None,
+                     normalize: bool = False,
+                     larger_is_better: Optional[Sequence[bool]] = None) -> Dataset:
+    """Read a dataset written by :func:`save_dataset_csv`.
+
+    With ``normalize=True`` the columns are min-max scaled via
+    :meth:`Dataset.from_raw` (use for raw, un-normalized files).
+    """
+    ids: List[int] = []
+    rows: List[List[float]] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or not header or header[0] != "id":
+            raise DatasetError(f"{path}: expected a header starting with 'id'")
+        width = len(header) - 1
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != width + 1:
+                raise DatasetError(
+                    f"{path}:{line_number}: expected {width + 1} fields, "
+                    f"got {len(row)}"
+                )
+            ids.append(int(row[0]))
+            rows.append([float(v) for v in row[1:]])
+    label = name if name is not None else Path(path).stem
+    if normalize:
+        return Dataset.from_raw(
+            rows, larger_is_better=larger_is_better, ids=ids, name=label
+        )
+    return Dataset(rows, ids=ids, name=label)

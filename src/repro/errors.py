@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class. Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class StorageError(ReproError):
+    """Base class for simulated-disk and buffer-pool errors."""
+
+
+class PageNotFoundError(StorageError):
+    """Raised when reading a page id that was never allocated."""
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(f"page {page_id} does not exist on the simulated disk")
+        self.page_id = page_id
+
+
+class PageSizeError(StorageError):
+    """Raised when page payloads do not fit the configured page size."""
+
+
+class RTreeError(ReproError):
+    """Base class for R-tree structural errors."""
+
+
+class EntryNotFoundError(RTreeError):
+    """Raised when deleting an entry that is not present in the tree."""
+
+    def __init__(self, object_id: int) -> None:
+        super().__init__(f"object {object_id} is not stored in the R-tree")
+        self.object_id = object_id
+
+
+class SerializationError(RTreeError):
+    """Raised when a node cannot be (de)serialized into a disk page."""
+
+
+class PreferenceError(ReproError):
+    """Raised for invalid preference functions (bad weights, wrong arity)."""
+
+
+class DimensionalityError(ReproError):
+    """Raised when objects/functions/queries disagree on dimensionality."""
+
+    def __init__(self, expected: int, got: int, what: str = "vector") -> None:
+        super().__init__(
+            f"expected {what} of dimensionality {expected}, got {got}"
+        )
+        self.expected = expected
+        self.got = got
+
+
+class MatchingError(ReproError):
+    """Raised for inconsistent matching-problem configurations."""
+
+
+class DatasetError(ReproError):
+    """Raised for malformed datasets (NaNs, out-of-range values, bad shape)."""

@@ -1,0 +1,5 @@
+"""Geometric primitives: MBR algebra plus score and dominance bounds."""
+
+from .mbr import MBR, Vector
+
+__all__ = ["MBR", "Vector"]

@@ -1,0 +1,155 @@
+"""Monotone (non-linear) preference functions.
+
+The paper's model allows *any* monotone function ("F may contain any
+monotone function; for ease of presentation, however, we focus on linear
+functions"). The skyline observation — every monotone function's top-1 is
+a skyline object — holds for all of them; only the TA-based reverse top-1
+(which needs sorted coefficient lists) is linear-specific.
+
+This module provides the monotone-function protocol plus the common
+non-linear families, and the generic matcher in
+:mod:`repro.core.generic` evaluates them with a scan-based best-pair
+module instead of TA.
+
+All families are monotone non-decreasing in every attribute, as required
+by the model: improving any attribute never lowers the score.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence, runtime_checkable
+
+from ..errors import DimensionalityError, PreferenceError
+
+
+@runtime_checkable
+class MonotonePreference(Protocol):
+    """Anything with an id, a dimensionality, and a monotone score."""
+
+    fid: int
+
+    @property
+    def dims(self) -> int: ...
+
+    def score(self, point: Sequence[float]) -> float: ...
+
+
+def _validate_weights(fid: int, weights: Sequence[float]) -> tuple:
+    weights = tuple(float(w) for w in weights)
+    if not weights:
+        raise PreferenceError(f"function {fid}: empty weight vector")
+    for w in weights:
+        if not (w >= 0.0 and math.isfinite(w)):
+            raise PreferenceError(
+                f"function {fid}: weights must be finite and >= 0, got {w}"
+            )
+    if sum(weights) <= 0:
+        raise PreferenceError(f"function {fid}: weights sum to zero")
+    return weights
+
+
+class MinPreference:
+    """Weighted minimum (egalitarian / Leontief): the score is the worst
+    weighted attribute, ``min_i(w_i * o_i)``.
+
+    Models a user for whom the object is only as good as its weakest
+    relevant aspect. Monotone: raising any attribute never lowers a min.
+    """
+
+    __slots__ = ("fid", "weights")
+
+    def __init__(self, fid: int, weights: Sequence[float]) -> None:
+        self.fid = int(fid)
+        self.weights = _validate_weights(fid, weights)
+
+    @property
+    def dims(self) -> int:
+        return len(self.weights)
+
+    def score(self, point: Sequence[float]) -> float:
+        if len(point) != len(self.weights):
+            raise DimensionalityError(len(self.weights), len(point), "point")
+        return min(w * x for w, x in zip(self.weights, point))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MinPreference(fid={self.fid}, weights={self.weights})"
+
+
+class CobbDouglasPreference:
+    """Weighted geometric form ``prod_i (o_i + eps)^(w_i)``.
+
+    The classic diminishing-returns utility; strongly rewards balanced
+    objects. ``eps`` keeps zero attributes from zeroing the whole score
+    while preserving monotonicity.
+    """
+
+    __slots__ = ("fid", "weights", "eps")
+
+    def __init__(self, fid: int, weights: Sequence[float],
+                 eps: float = 1e-3) -> None:
+        if eps <= 0:
+            raise PreferenceError(f"eps must be > 0, got {eps}")
+        self.fid = int(fid)
+        self.weights = _validate_weights(fid, weights)
+        self.eps = float(eps)
+
+    @property
+    def dims(self) -> int:
+        return len(self.weights)
+
+    def score(self, point: Sequence[float]) -> float:
+        if len(point) != len(self.weights):
+            raise DimensionalityError(len(self.weights), len(point), "point")
+        log_score = 0.0
+        for w, x in zip(self.weights, point):
+            log_score += w * math.log(x + self.eps)
+        return math.exp(log_score)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CobbDouglasPreference(fid={self.fid}, weights={self.weights})"
+
+
+class QuadraticPreference:
+    """Convex scoring ``sum_i w_i * o_i^2``: rewards excellence in a few
+    attributes over mediocrity in all (the opposite taste to Min)."""
+
+    __slots__ = ("fid", "weights")
+
+    def __init__(self, fid: int, weights: Sequence[float]) -> None:
+        self.fid = int(fid)
+        self.weights = _validate_weights(fid, weights)
+
+    @property
+    def dims(self) -> int:
+        return len(self.weights)
+
+    def score(self, point: Sequence[float]) -> float:
+        if len(point) != len(self.weights):
+            raise DimensionalityError(len(self.weights), len(point), "point")
+        total = 0.0
+        for w, x in zip(self.weights, point):
+            total += w * x * x
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QuadraticPreference(fid={self.fid}, weights={self.weights})"
+
+
+def is_monotone_on_sample(function: MonotonePreference, dims: int,
+                          samples: int = 200, seed: int = 0) -> bool:
+    """Empirical monotonicity check (used by tests and input validation):
+    perturb random points upward one coordinate at a time and verify the
+    score never decreases."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    for _ in range(samples):
+        point = rng.random(dims)
+        base = function.score(tuple(point))
+        d = int(rng.integers(0, dims))
+        bumped = point.copy()
+        bumped[d] = min(1.0, bumped[d] + float(rng.random()) * (1 - bumped[d]))
+        if function.score(tuple(bumped)) < base - 1e-12:
+            return False
+    return True

@@ -1,0 +1,44 @@
+"""R-tree node entries.
+
+An :class:`Entry` pairs a bounding box with a child reference. In a leaf
+node (level 0) the child is an *object id* and the box is the degenerate
+MBR of the object's feature vector; in a branch node the child is the
+*node id* of a subtree one level below.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..geometry import MBR
+
+
+class Entry:
+    """One slot of an R-tree node: ``(mbr, child)``."""
+
+    __slots__ = ("mbr", "child")
+
+    def __init__(self, mbr: MBR, child: int) -> None:
+        self.mbr = mbr
+        self.child = int(child)
+
+    @classmethod
+    def for_object(cls, object_id: int, point: Sequence[float]) -> "Entry":
+        """A leaf entry for an object located at ``point``."""
+        return cls(MBR.from_point(point), object_id)
+
+    @property
+    def point(self) -> Sequence[float]:
+        """The stored point, valid only for leaf entries."""
+        return self.mbr.low
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Entry):
+            return NotImplemented
+        return self.child == other.child and self.mbr == other.mbr
+
+    def __hash__(self) -> int:
+        return hash((self.child, self.mbr))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Entry(child={self.child}, mbr={self.mbr!r})"

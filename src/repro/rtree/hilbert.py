@@ -1,0 +1,136 @@
+"""Hilbert-curve bulk loading.
+
+An alternative to STR packing: sort the objects by the Hilbert value of
+their (discretized) coordinates and fill leaves in that order. Hilbert
+packing preserves locality in all dimensions simultaneously and tends
+to produce slightly better point-query trees on skewed data, at the
+price of a costlier sort key. The packing ablation compares both.
+
+The Hilbert index is computed with the classic Butz/Lawder bit
+transposition for arbitrary dimensionality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import RTreeError
+from .entry import Entry
+from .node import RTreeNode
+from .store import NodeStore
+from .tree import RTree
+
+#: Bits of precision per dimension for the Hilbert key.
+DEFAULT_ORDER = 16
+
+
+def hilbert_index(coords: Sequence[int], order: int = DEFAULT_ORDER) -> int:
+    """Hilbert curve index of a lattice point.
+
+    ``coords`` are non-negative integers below ``2**order``; the result
+    is the position of the point along the ``dims``-dimensional Hilbert
+    curve of that order (in ``[0, 2**(order*dims))``).
+    """
+    dims = len(coords)
+    if dims == 0:
+        raise RTreeError("hilbert_index needs at least one coordinate")
+    x = list(coords)
+    for value in x:
+        if not 0 <= value < (1 << order):
+            raise RTreeError(
+                f"coordinate {value} out of range for order {order}"
+            )
+    # Inverse undo of the Hilbert transform (Skilling's algorithm).
+    m = 1 << (order - 1)
+    # Gray decode inverse operations from the top bit down.
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(dims):
+            if x[i] & q:
+                x[0] ^= p  # invert low bits of x[0]
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q >>= 1
+    # Gray encode.
+    for i in range(1, dims):
+        x[i] ^= x[i - 1]
+    t = 0
+    q = m
+    while q > 1:
+        if x[dims - 1] & q:
+            t ^= q - 1
+        q >>= 1
+    for i in range(dims):
+        x[i] ^= t
+    # Interleave bits (transpose) into the final index.
+    result = 0
+    for bit in range(order - 1, -1, -1):
+        for i in range(dims):
+            result = (result << 1) | ((x[i] >> bit) & 1)
+    return result
+
+
+def hilbert_key_for_point(point: Sequence[float],
+                          order: int = DEFAULT_ORDER) -> int:
+    """Hilbert index of a point in the unit cube (coordinates clamped)."""
+    scale = (1 << order) - 1
+    coords = []
+    for value in point:
+        clamped = min(1.0, max(0.0, float(value)))
+        coords.append(int(clamped * scale))
+    return hilbert_index(coords, order)
+
+
+def hilbert_bulk_load(store: NodeStore, dims: int,
+                      objects: Iterable[Tuple[int, Sequence[float]]],
+                      fill: float = 0.9,
+                      order: int = DEFAULT_ORDER) -> RTree:
+    """Build a packed R-tree by Hilbert-sorting the objects.
+
+    Same contract as :meth:`RTree.bulk_load`, different packing order.
+    """
+    if not 0.1 <= fill <= 1.0:
+        raise RTreeError(f"fill factor must be in [0.1, 1], got {fill}")
+    tree = RTree(store, dims)
+    items = [
+        Entry.for_object(object_id, point) for object_id, point in objects
+    ]
+    if not items:
+        return tree
+    store.free(tree.root_id)
+
+    items.sort(
+        key=lambda entry: (hilbert_key_for_point(entry.mbr.low, order),
+                           entry.child)
+    )
+    leaf_cap = max(2, int(store.leaf_capacity * fill))
+    branch_cap = max(2, int(store.branch_capacity * fill))
+
+    level = 0
+    node_ids: List[int] = []
+    node_mbrs = []
+    for start in range(0, len(items), leaf_cap):
+        node = RTreeNode(store.allocate(), 0, items[start:start + leaf_cap])
+        store.write(node)
+        node_ids.append(node.node_id)
+        node_mbrs.append(node.mbr())
+
+    while len(node_ids) > 1:
+        level += 1
+        upper = [Entry(mbr, node_id) for node_id, mbr in zip(node_ids, node_mbrs)]
+        node_ids = []
+        node_mbrs = []
+        for start in range(0, len(upper), branch_cap):
+            node = RTreeNode(store.allocate(), level,
+                             upper[start:start + branch_cap])
+            store.write(node)
+            node_ids.append(node.node_id)
+            node_mbrs.append(node.mbr())
+
+    tree.root_id = node_ids[0]
+    tree._height = level + 1
+    tree._count = len(items)
+    return tree

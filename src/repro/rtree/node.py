@@ -1,0 +1,50 @@
+"""R-tree nodes.
+
+A node is identified by a *node id* (for the disk-backed tree this is the
+page id of the page holding it). ``level`` counts from the leaves: leaf
+nodes are level 0, their parents level 1, and so on up to the root.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..geometry import MBR
+from .entry import Entry
+
+
+class RTreeNode:
+    """A node: a level, and a list of :class:`~repro.rtree.entry.Entry`."""
+
+    __slots__ = ("node_id", "level", "entries")
+
+    def __init__(self, node_id: int, level: int,
+                 entries: Optional[List[Entry]] = None) -> None:
+        self.node_id = int(node_id)
+        self.level = int(level)
+        self.entries: List[Entry] = entries if entries is not None else []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.entries)
+
+    def mbr(self) -> MBR:
+        """The tight bounding box of all entries (node must be non-empty)."""
+        return MBR.union_all(entry.mbr for entry in self.entries)
+
+    def find_child_index(self, child: int) -> int:
+        """Index of the entry pointing at ``child``, or -1."""
+        for i, entry in enumerate(self.entries):
+            if entry.child == child:
+                return i
+        return -1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RTreeNode(id={self.node_id}, level={self.level}, "
+            f"entries={len(self.entries)})"
+        )

@@ -1,0 +1,130 @@
+"""Node split strategies.
+
+The disk tree uses the R*-tree topological split (Beckmann et al. 1990):
+pick the split axis minimizing the summed margins over all candidate
+distributions, then the distribution on that axis minimizing overlap
+(ties: minimal total area). A Guttman quadratic split is provided as an
+alternative, mainly for tests and ablations.
+
+Both functions take the overflowing entry list (``M + 1`` entries) and the
+minimum fill ``m`` and return two disjoint non-empty groups, each of size
+at least ``m``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..geometry import MBR
+from .entry import Entry
+
+SplitResult = Tuple[List[Entry], List[Entry]]
+
+
+def _group_mbr(entries: Sequence[Entry]) -> MBR:
+    return MBR.union_all(entry.mbr for entry in entries)
+
+
+def rstar_split(entries: Sequence[Entry], min_fill: int) -> SplitResult:
+    """R*-tree split: choose axis by margin, distribution by overlap."""
+    if len(entries) < 2 * min_fill:
+        raise ValueError(
+            f"cannot split {len(entries)} entries with min fill {min_fill}"
+        )
+    dims = entries[0].mbr.dims
+    best_axis = -1
+    best_axis_margin = float("inf")
+    axis_sortings: List[List[List[Entry]]] = []
+
+    for axis in range(dims):
+        by_low = sorted(entries, key=lambda e: (e.mbr.low[axis], e.mbr.high[axis]))
+        by_high = sorted(entries, key=lambda e: (e.mbr.high[axis], e.mbr.low[axis]))
+        margin_sum = 0.0
+        for ordering in (by_low, by_high):
+            for k in range(min_fill, len(entries) - min_fill + 1):
+                margin_sum += _group_mbr(ordering[:k]).margin()
+                margin_sum += _group_mbr(ordering[k:]).margin()
+        axis_sortings.append([by_low, by_high])
+        if margin_sum < best_axis_margin:
+            best_axis_margin = margin_sum
+            best_axis = axis
+
+    best_split: SplitResult = ([], [])
+    best_overlap = float("inf")
+    best_area = float("inf")
+    for ordering in axis_sortings[best_axis]:
+        for k in range(min_fill, len(entries) - min_fill + 1):
+            group1 = ordering[:k]
+            group2 = ordering[k:]
+            mbr1 = _group_mbr(group1)
+            mbr2 = _group_mbr(group2)
+            overlap = mbr1.overlap_area(mbr2)
+            area = mbr1.area() + mbr2.area()
+            if overlap < best_overlap or (
+                overlap == best_overlap and area < best_area
+            ):
+                best_overlap = overlap
+                best_area = area
+                best_split = (list(group1), list(group2))
+    return best_split
+
+
+def quadratic_split(entries: Sequence[Entry], min_fill: int) -> SplitResult:
+    """Guttman's quadratic split (seed pair with max dead space)."""
+    if len(entries) < 2 * min_fill:
+        raise ValueError(
+            f"cannot split {len(entries)} entries with min fill {min_fill}"
+        )
+    remaining = list(entries)
+
+    # Pick the two seeds wasting the most area if grouped together.
+    worst = -float("inf")
+    seed_a = 0
+    seed_b = 1
+    for i in range(len(remaining)):
+        for j in range(i + 1, len(remaining)):
+            union = remaining[i].mbr.union(remaining[j].mbr)
+            waste = union.area() - remaining[i].mbr.area() - remaining[j].mbr.area()
+            if waste > worst:
+                worst = waste
+                seed_a, seed_b = i, j
+
+    group1 = [remaining[seed_a]]
+    group2 = [remaining[seed_b]]
+    for index in sorted((seed_a, seed_b), reverse=True):
+        remaining.pop(index)
+    mbr1 = group1[0].mbr
+    mbr2 = group2[0].mbr
+
+    while remaining:
+        # Force-assign when one group must take everything left to reach
+        # the minimum fill.
+        if len(group1) + len(remaining) == min_fill:
+            group1.extend(remaining)
+            break
+        if len(group2) + len(remaining) == min_fill:
+            group2.extend(remaining)
+            break
+        # Pick the entry with the strongest preference for one group.
+        best_index = 0
+        best_diff = -float("inf")
+        best_deltas = (0.0, 0.0)
+        for i, entry in enumerate(remaining):
+            delta1 = mbr1.enlargement(entry.mbr)
+            delta2 = mbr2.enlargement(entry.mbr)
+            diff = abs(delta1 - delta2)
+            if diff > best_diff:
+                best_diff = diff
+                best_index = i
+                best_deltas = (delta1, delta2)
+        entry = remaining.pop(best_index)
+        delta1, delta2 = best_deltas
+        if delta1 < delta2 or (
+            delta1 == delta2 and mbr1.area() <= mbr2.area()
+        ):
+            group1.append(entry)
+            mbr1 = mbr1.union(entry.mbr)
+        else:
+            group2.append(entry)
+            mbr2 = mbr2.union(entry.mbr)
+    return group1, group2

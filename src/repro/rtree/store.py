@@ -1,0 +1,120 @@
+"""Node stores: where R-tree nodes live.
+
+The R-tree algorithms (:mod:`repro.rtree.tree`) are written against the
+small :class:`NodeStore` interface so one implementation serves both trees
+the paper uses:
+
+* :class:`DiskNodeStore` — nodes are serialized into 4 KiB pages on the
+  simulated disk, accessed through the LRU buffer pool. Every buffer miss
+  counts as one I/O access. This is the tree over the object set ``O``.
+* :class:`MemoryNodeStore` — nodes are plain Python objects; access is
+  free. This is Chain's main-memory R-tree over the function weights
+  ("the functions are indexed by a main memory R-tree").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+from ..errors import RTreeError
+from ..storage import BufferPool, DiskManager, Page
+from .node import RTreeNode
+from .serial import (
+    branch_capacity,
+    deserialize_node,
+    leaf_capacity,
+    serialize_node,
+)
+
+
+class NodeStore(Protocol):
+    """Minimal persistence interface required by the R-tree."""
+
+    leaf_capacity: int
+    branch_capacity: int
+
+    def allocate(self) -> int:
+        """Reserve a node id."""
+        ...
+
+    def read(self, node_id: int) -> RTreeNode:
+        """Fetch a node by id."""
+        ...
+
+    def write(self, node: RTreeNode) -> None:
+        """Persist a node."""
+        ...
+
+    def free(self, node_id: int) -> None:
+        """Release a node id."""
+        ...
+
+
+class DiskNodeStore:
+    """Nodes serialized into buffered disk pages (one node per page)."""
+
+    def __init__(self, dims: int, disk: Optional[DiskManager] = None,
+                 buffer: Optional[BufferPool] = None) -> None:
+        self.dims = dims
+        self.disk = disk if disk is not None else DiskManager()
+        self.buffer = (
+            buffer if buffer is not None else BufferPool(self.disk, capacity=64)
+        )
+        if self.buffer.disk is not self.disk:
+            raise RTreeError("buffer pool is attached to a different disk")
+        self.leaf_capacity = leaf_capacity(self.disk.page_size, dims)
+        self.branch_capacity = branch_capacity(self.disk.page_size, dims)
+
+    def allocate(self) -> int:
+        return self.disk.allocate()
+
+    def read(self, node_id: int) -> RTreeNode:
+        page = self.buffer.get_page(node_id)
+        node, dims = deserialize_node(node_id, page.data)
+        if dims != self.dims:
+            raise RTreeError(
+                f"node {node_id} has dims {dims}, store expects {self.dims}"
+            )
+        return node
+
+    def write(self, node: RTreeNode) -> None:
+        data = serialize_node(node, self.dims, self.disk.page_size)
+        self.buffer.put_page(Page(node.node_id, self.disk.page_size, data))
+
+    def free(self, node_id: int) -> None:
+        self.buffer.discard(node_id)
+        self.disk.free(node_id)
+
+
+class MemoryNodeStore:
+    """Nodes kept as in-process objects; access costs no I/O.
+
+    ``fanout`` plays the role of the page-derived capacity; leaf and
+    branch nodes share it (a main-memory tree has no reason to
+    distinguish entry widths).
+    """
+
+    def __init__(self, fanout: int = 32) -> None:
+        if fanout < 4:
+            raise RTreeError(f"memory fanout must be >= 4, got {fanout}")
+        self.leaf_capacity = fanout
+        self.branch_capacity = fanout
+        self._nodes: Dict[int, RTreeNode] = {}
+        self._next_id = 0
+
+    def allocate(self) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    def read(self, node_id: int) -> RTreeNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise RTreeError(f"memory node {node_id} does not exist") from None
+
+    def write(self, node: RTreeNode) -> None:
+        self._nodes[node.node_id] = node
+
+    def free(self, node_id: int) -> None:
+        self._nodes.pop(node_id, None)

@@ -1,0 +1,118 @@
+"""Branch-and-bound ranked (top-k) search over an R-tree.
+
+This is the incremental ranked-query algorithm of Tao et al., "Branch-and-
+bound processing of ranked queries" (Information Systems 2007), which the
+paper uses as the top-1 building block of both baselines (Section III-A
+and the Chain adaptation in Section V).
+
+A max-heap holds R-tree entries keyed by the *upper bound* of the linear
+score inside their MBR (attained at the high corner, because weights are
+non-negative). Popping in decreasing bound order yields objects in exact
+descending score order; the search is incremental, so ``top-1``,
+``top-2``, … cost only as much of the tree as they need.
+
+Tie discipline: equal-score entries pop branches before points, and equal-
+score points pop in increasing object id. Together with the matchers'
+(score, function id, object id) ordering this makes every algorithm in the
+library produce the identical matching.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional, Sequence, Set, Tuple
+
+from ..errors import DimensionalityError
+from ..storage.stats import SearchStats
+from .tree import RTree
+
+#: One ranked-search result: (object id, point, score).
+RankedHit = Tuple[int, Tuple[float, ...], float]
+
+
+class RankedSearch:
+    """Incremental descending-score iterator over the objects of a tree.
+
+    Parameters
+    ----------
+    tree:
+        The R-tree to search.
+    weights:
+        Non-negative linear weights (one per dimension).
+    excluded:
+        Optional set of object ids to skip (the "filter" alternative to
+        physically deleting assigned objects; see the deletion-mode
+        ablation).
+    stats:
+        Optional CPU-operation counters.
+    """
+
+    def __init__(self, tree: RTree, weights: Sequence[float],
+                 excluded: Optional[Set[int]] = None,
+                 stats: Optional[SearchStats] = None) -> None:
+        if len(weights) != tree.dims:
+            raise DimensionalityError(tree.dims, len(weights), "weights")
+        self.tree = tree
+        self.weights = tuple(float(w) for w in weights)
+        self.excluded = excluded if excluded is not None else set()
+        self.stats = stats
+        # Heap items: (-score, is_point, child_id, level, point_or_None).
+        # Branches (is_point=0) pop before equal-score points (is_point=1),
+        # equal-score points pop in increasing object id.
+        root = tree.read_root()
+        self._heap: list = []
+        for entry in root.entries:
+            self._push(entry, root.level)
+
+    def _push(self, entry, node_level: int) -> None:
+        score = entry.mbr.upper_score(self.weights)
+        if node_level == 0:
+            item = (-score, 1, entry.child, 0, entry.mbr.low)
+        else:
+            item = (-score, 0, entry.child, node_level, None)
+        heapq.heappush(self._heap, item)
+        if self.stats is not None:
+            self.stats.heap_pushes += 1
+            self.stats.score_evaluations += 1
+
+    def next(self) -> Optional[RankedHit]:
+        """The next object in descending score order, or ``None``."""
+        while self._heap:
+            neg_score, is_point, child, level, point = heapq.heappop(self._heap)
+            if self.stats is not None:
+                self.stats.heap_pops += 1
+            if is_point:
+                if child in self.excluded:
+                    continue
+                return child, point, -neg_score
+            node = self.tree.read_node(child)
+            for entry in node.entries:
+                self._push(entry, node.level)
+        return None
+
+    def __iter__(self) -> Iterator[RankedHit]:
+        while True:
+            hit = self.next()
+            if hit is None:
+                return
+            yield hit
+
+
+def top1(tree: RTree, weights: Sequence[float],
+         excluded: Optional[Set[int]] = None,
+         stats: Optional[SearchStats] = None) -> Optional[RankedHit]:
+    """The single best object for ``weights`` (or ``None`` if empty)."""
+    return RankedSearch(tree, weights, excluded=excluded, stats=stats).next()
+
+
+def topk(tree: RTree, weights: Sequence[float], k: int,
+         excluded: Optional[Set[int]] = None,
+         stats: Optional[SearchStats] = None) -> list:
+    """The ``k`` best objects in descending score order."""
+    search = RankedSearch(tree, weights, excluded=excluded, stats=stats)
+    results = []
+    for hit in search:
+        results.append(hit)
+        if len(results) == k:
+            break
+    return results

@@ -1,0 +1,492 @@
+"""The R-tree proper: insertion (R* heuristics), deletion with tree
+condensation, range search, and STR bulk loading.
+
+One implementation serves both storage backends (disk pages or plain
+memory) through the :class:`~repro.rtree.store.NodeStore` interface.
+``level`` counts from the leaves (leaf = 0); entries of a node at level
+``l`` reference children at level ``l - 1`` (or objects, at the leaves).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import DimensionalityError, EntryNotFoundError, RTreeError
+from ..geometry import MBR
+from .entry import Entry
+from .node import RTreeNode
+from .split import quadratic_split, rstar_split
+from .store import MemoryNodeStore, NodeStore
+
+SplitFn = Callable[[Sequence[Entry], int], Tuple[List[Entry], List[Entry]]]
+
+
+class TreeStats:
+    """Structural snapshot returned by :meth:`RTree.stats`."""
+
+    __slots__ = (
+        "height", "num_objects", "num_nodes", "nodes_per_level",
+        "avg_fill_per_level",
+    )
+
+    def __init__(self, height: int, num_objects: int, num_nodes: int,
+                 nodes_per_level: dict, avg_fill_per_level: dict) -> None:
+        self.height = height
+        self.num_objects = num_objects
+        self.num_nodes = num_nodes
+        self.nodes_per_level = nodes_per_level
+        self.avg_fill_per_level = avg_fill_per_level
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TreeStats(height={self.height}, objects={self.num_objects}, "
+            f"nodes={self.num_nodes})"
+        )
+
+_SPLITTERS = {"rstar": rstar_split, "quadratic": quadratic_split}
+
+#: Minimum node fill as a fraction of capacity (the R*-tree's 40%).
+MIN_FILL_RATIO = 0.4
+
+
+class RTree:
+    """An R-tree over points in the unit hypercube.
+
+    Parameters
+    ----------
+    store:
+        Node persistence backend (disk pages or memory).
+    dims:
+        Dimensionality of the indexed points.
+    split:
+        ``"rstar"`` (default) or ``"quadratic"``.
+    """
+
+    def __init__(self, store: NodeStore, dims: int, split: str = "rstar",
+                 forced_reinsert: bool = False) -> None:
+        if dims < 1:
+            raise RTreeError(f"dims must be >= 1, got {dims}")
+        try:
+            self._split_fn: SplitFn = _SPLITTERS[split]
+        except KeyError:
+            raise RTreeError(
+                f"unknown split strategy {split!r}; "
+                f"expected one of {sorted(_SPLITTERS)}"
+            ) from None
+        self.store = store
+        self.dims = dims
+        #: R* forced reinsertion: on the first overflow at each level per
+        #: insertion, evict the ~30% of entries farthest from the node
+        #: center and reinsert them instead of splitting. Off by default
+        #: (it reshuffles I/O patterns; the ablation quantifies it).
+        self.forced_reinsert = forced_reinsert
+        root = RTreeNode(store.allocate(), level=0)
+        store.write(root)
+        self.root_id = root.node_id
+        self._height = 1
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Capacities
+    # ------------------------------------------------------------------
+    def capacity(self, level: int) -> int:
+        """Max entries of a node at ``level``."""
+        if level == 0:
+            return self.store.leaf_capacity
+        return self.store.branch_capacity
+
+    def min_fill(self, level: int) -> int:
+        """Underflow threshold of a node at ``level``."""
+        return max(2, int(self.capacity(level) * MIN_FILL_RATIO))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a single leaf root)."""
+        return self._height
+
+    @property
+    def num_objects(self) -> int:
+        """Number of indexed objects."""
+        return self._count
+
+    def read_node(self, node_id: int) -> RTreeNode:
+        """Fetch a node (through the store, so disk reads are counted)."""
+        return self.store.read(node_id)
+
+    def stats(self) -> "TreeStats":
+        """Structural statistics (full traversal; for inspection/tests)."""
+        nodes_per_level: dict = {}
+        entries_per_level: dict = {}
+        stack = [self.root_id]
+        while stack:
+            node = self.store.read(stack.pop())
+            nodes_per_level[node.level] = nodes_per_level.get(node.level, 0) + 1
+            entries_per_level[node.level] = (
+                entries_per_level.get(node.level, 0) + len(node.entries)
+            )
+            if not node.is_leaf:
+                for entry in node.entries:
+                    stack.append(entry.child)
+        fill = {}
+        for level, count in nodes_per_level.items():
+            capacity = self.capacity(level) * count
+            fill[level] = entries_per_level[level] / capacity if capacity else 0.0
+        return TreeStats(
+            height=self._height,
+            num_objects=self._count,
+            num_nodes=sum(nodes_per_level.values()),
+            nodes_per_level=dict(sorted(nodes_per_level.items())),
+            avg_fill_per_level=dict(sorted(fill.items())),
+        )
+
+    def read_root(self) -> RTreeNode:
+        return self.store.read(self.root_id)
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, object_id: int, point: Sequence[float]) -> None:
+        """Insert one object located at ``point``."""
+        if len(point) != self.dims:
+            raise DimensionalityError(self.dims, len(point), "point")
+        reinserted = set() if self.forced_reinsert else None
+        self._insert_entry(Entry.for_object(object_id, point), 0,
+                           reinserted_levels=reinserted)
+        self._count += 1
+
+    def _insert_entry(self, entry: Entry, target_level: int,
+                      reinserted_levels: Optional[set] = None) -> None:
+        """Place ``entry`` in some node at ``target_level``."""
+        root = self.read_root()
+        if target_level > root.level:
+            # The entry's subtree is taller than the current tree (possible
+            # only during condensation of a shrunken tree): dissolve the
+            # subtree root and reinsert its children instead.
+            child = self.store.read(entry.child)
+            self.store.free(entry.child)
+            for sub_entry in child.entries:
+                self._insert_entry(sub_entry, child.level)
+            return
+        path = self._choose_path(root, entry.mbr, target_level)
+        path[-1].entries.append(entry)
+        deferred = self._write_path(path, reinserted_levels)
+        for victim, level in deferred:
+            self._insert_entry(victim, level, reinserted_levels)
+
+    def _choose_path(self, root: RTreeNode, mbr: MBR,
+                     target_level: int) -> List[RTreeNode]:
+        """Descend from the root to a node at ``target_level``."""
+        node = root
+        path = [node]
+        while node.level > target_level:
+            index = self._choose_subtree(node, mbr)
+            node = self.store.read(node.entries[index].child)
+            path.append(node)
+        return path
+
+    def _choose_subtree(self, node: RTreeNode, mbr: MBR) -> int:
+        """R* ChooseSubtree: overlap-optimal above leaves, area-optimal higher."""
+        entries = node.entries
+        if node.level == 1:
+            # Children are leaves: minimize overlap enlargement.
+            best_index = 0
+            best_key = (float("inf"), float("inf"), float("inf"))
+            for i, entry in enumerate(entries):
+                union = entry.mbr.union(mbr)
+                overlap_delta = 0.0
+                for j, other in enumerate(entries):
+                    if j == i:
+                        continue
+                    overlap_delta += union.overlap_area(other.mbr)
+                    overlap_delta -= entry.mbr.overlap_area(other.mbr)
+                key = (
+                    overlap_delta,
+                    union.area() - entry.mbr.area(),
+                    entry.mbr.area(),
+                )
+                if key < best_key:
+                    best_key = key
+                    best_index = i
+            return best_index
+        best_index = 0
+        best_pair = (float("inf"), float("inf"))
+        for i, entry in enumerate(entries):
+            key = (entry.mbr.enlargement(mbr), entry.mbr.area())
+            if key < best_pair:
+                best_pair = key
+                best_index = i
+        return best_index
+
+    def _write_path(self, path: List[RTreeNode],
+                    reinserted_levels: Optional[set] = None,
+                    ) -> List[Tuple[Entry, int]]:
+        """Persist a root-to-node path bottom-up, splitting overflows and
+        tightening parent MBRs along the way.
+
+        With forced reinsertion enabled, the first overflow at each level
+        (per top-level insertion) evicts distant entries instead of
+        splitting; they are returned for the caller to reinsert after the
+        path is consistent on disk.
+        """
+        deferred: List[Tuple[Entry, int]] = []
+        for depth in range(len(path) - 1, -1, -1):
+            node = path[depth]
+            if (
+                len(node.entries) > self.capacity(node.level)
+                and reinserted_levels is not None
+                and depth != 0
+                and node.level not in reinserted_levels
+            ):
+                reinserted_levels.add(node.level)
+                deferred.extend(
+                    (victim, node.level)
+                    for victim in self._evict_distant_entries(node)
+                )
+            if len(node.entries) > self.capacity(node.level):
+                group1, group2 = self._split_fn(
+                    node.entries, self.min_fill(node.level)
+                )
+                node.entries = group1
+                sibling = RTreeNode(self.store.allocate(), node.level, group2)
+                self.store.write(node)
+                self.store.write(sibling)
+                if depth == 0:
+                    new_root = RTreeNode(
+                        self.store.allocate(),
+                        node.level + 1,
+                        [
+                            Entry(node.mbr(), node.node_id),
+                            Entry(sibling.mbr(), sibling.node_id),
+                        ],
+                    )
+                    self.store.write(new_root)
+                    self.root_id = new_root.node_id
+                    self._height += 1
+                else:
+                    parent = path[depth - 1]
+                    index = parent.find_child_index(node.node_id)
+                    parent.entries[index] = Entry(node.mbr(), node.node_id)
+                    parent.entries.append(Entry(sibling.mbr(), sibling.node_id))
+            else:
+                self.store.write(node)
+                if depth > 0:
+                    parent = path[depth - 1]
+                    index = parent.find_child_index(node.node_id)
+                    new_mbr = node.mbr()
+                    if parent.entries[index].mbr != new_mbr:
+                        parent.entries[index] = Entry(new_mbr, node.node_id)
+        return deferred
+
+    def _evict_distant_entries(self, node: RTreeNode) -> List[Entry]:
+        """R* forced reinsertion: drop the ~30% of entries whose centers
+        lie farthest from the node's center, farthest first removed,
+        returned in increasing distance ("close reinsert") order."""
+        center = node.mbr().center()
+
+        def distance_squared(entry: Entry) -> float:
+            entry_center = entry.mbr.center()
+            return sum((a - b) ** 2 for a, b in zip(entry_center, center))
+
+        count = max(1, (len(node.entries) * 3) // 10)
+        ordered = sorted(
+            node.entries,
+            key=lambda e: (-distance_squared(e), e.child),
+        )
+        victims = ordered[:count]
+        node.entries = ordered[count:]
+        victims.reverse()  # reinsert closest-of-the-evicted first
+        return victims
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, object_id: int, point: Sequence[float]) -> None:
+        """Remove one object; condenses underfull nodes (Guttman)."""
+        if len(point) != self.dims:
+            raise DimensionalityError(self.dims, len(point), "point")
+        path = self._find_leaf_path(self.read_root(), object_id, point)
+        if path is None:
+            raise EntryNotFoundError(object_id)
+        leaf = path[-1]
+        index = leaf.find_child_index(object_id)
+        leaf.entries.pop(index)
+        self._condense(path)
+        self._count -= 1
+
+    def _find_leaf_path(self, node: RTreeNode, object_id: int,
+                        point: Sequence[float]) -> Optional[List[RTreeNode]]:
+        """Root-to-leaf path to the leaf holding ``object_id`` (DFS)."""
+        if node.is_leaf:
+            if node.find_child_index(object_id) >= 0:
+                return [node]
+            return None
+        for entry in node.entries:
+            if not entry.mbr.contains_point(point):
+                continue
+            child = self.store.read(entry.child)
+            sub_path = self._find_leaf_path(child, object_id, point)
+            if sub_path is not None:
+                return [node] + sub_path
+        return None
+
+    def _condense(self, path: List[RTreeNode]) -> None:
+        """Propagate a removal upward, eliminating underfull nodes."""
+        orphans: List[Tuple[Entry, int]] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            index = parent.find_child_index(node.node_id)
+            if len(node.entries) < self.min_fill(node.level):
+                parent.entries.pop(index)
+                for entry in node.entries:
+                    orphans.append((entry, node.level))
+                self.store.free(node.node_id)
+            else:
+                self.store.write(node)
+                parent.entries[index] = Entry(node.mbr(), node.node_id)
+
+        root = path[0]
+        self.store.write(root)
+
+        # Shrink the root while it is a branch with a single child.
+        while root.level > 0 and len(root.entries) == 1:
+            child_id = root.entries[0].child
+            self.store.free(root.node_id)
+            self.root_id = child_id
+            self._height -= 1
+            root = self.store.read(child_id)
+
+        # A branch root left with no entries means the whole tree content
+        # now lives in the orphan list: restart from an empty leaf.
+        if root.level > 0 and not root.entries:
+            self.store.free(root.node_id)
+            new_root = RTreeNode(self.store.allocate(), level=0)
+            self.store.write(new_root)
+            self.root_id = new_root.node_id
+            self._height = 1
+
+        # Reinsert orphans, higher (taller) subtrees first so the tree is
+        # as tall as possible when the shorter ones are placed.
+        orphans.sort(key=lambda pair: -pair[1])
+        for entry, level in orphans:
+            self._insert_entry(entry, level)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_search(self, query: MBR) -> List[Tuple[int, Tuple[float, ...]]]:
+        """All ``(object_id, point)`` with the point inside ``query``."""
+        results: List[Tuple[int, Tuple[float, ...]]] = []
+        stack = [self.root_id]
+        while stack:
+            node = self.store.read(stack.pop())
+            if node.is_leaf:
+                for entry in node.entries:
+                    if query.contains_point(entry.point):
+                        results.append((entry.child, entry.mbr.low))
+            else:
+                for entry in node.entries:
+                    if query.intersects(entry.mbr):
+                        stack.append(entry.child)
+        return results
+
+    def iter_objects(self) -> Iterator[Tuple[int, Tuple[float, ...]]]:
+        """Scan every stored object (debug/tests; costs a full traversal)."""
+        stack = [self.root_id]
+        while stack:
+            node = self.store.read(stack.pop())
+            if node.is_leaf:
+                for entry in node.entries:
+                    yield entry.child, entry.mbr.low
+            else:
+                for entry in node.entries:
+                    stack.append(entry.child)
+
+    # ------------------------------------------------------------------
+    # Bulk loading (Sort-Tile-Recursive)
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(cls, store: NodeStore, dims: int,
+                  objects: Iterable[Tuple[int, Sequence[float]]],
+                  fill: float = 0.9, split: str = "rstar") -> "RTree":
+        """Build a packed tree from ``(object_id, point)`` pairs with STR.
+
+        ``fill`` is the target node occupancy; packing below 100% leaves
+        room for the individual deletions performed by the Brute Force and
+        Chain matchers without immediate underflows.
+        """
+        if not 0.1 <= fill <= 1.0:
+            raise RTreeError(f"fill factor must be in [0.1, 1], got {fill}")
+        tree = cls(store, dims, split=split)
+        items = [
+            Entry.for_object(object_id, point) for object_id, point in objects
+        ]
+        for entry in items:
+            if entry.mbr.dims != dims:
+                raise DimensionalityError(dims, entry.mbr.dims, "point")
+        if not items:
+            return tree
+        # The constructor made an empty leaf root; replace it wholesale.
+        store.free(tree.root_id)
+
+        leaf_cap = max(2, int(store.leaf_capacity * fill))
+        branch_cap = max(2, int(store.branch_capacity * fill))
+
+        level = 0
+        node_ids: List[int] = []
+        node_mbrs: List[MBR] = []
+        for group in _str_partition(items, leaf_cap, dims,
+                                    key=lambda e: e.mbr.center()):
+            node = RTreeNode(store.allocate(), 0, group)
+            store.write(node)
+            node_ids.append(node.node_id)
+            node_mbrs.append(node.mbr())
+
+        while len(node_ids) > 1:
+            level += 1
+            upper_entries = [
+                Entry(mbr, node_id) for node_id, mbr in zip(node_ids, node_mbrs)
+            ]
+            node_ids = []
+            node_mbrs = []
+            for group in _str_partition(upper_entries, branch_cap, dims,
+                                        key=lambda e: e.mbr.center()):
+                node = RTreeNode(store.allocate(), level, group)
+                store.write(node)
+                node_ids.append(node.node_id)
+                node_mbrs.append(node.mbr())
+
+        tree.root_id = node_ids[0]
+        tree._height = level + 1
+        tree._count = len(items)
+        return tree
+
+
+def _str_partition(items: List[Entry], capacity: int, dims: int,
+                   key: Callable[[Entry], Sequence[float]],
+                   axis: int = 0) -> Iterator[List[Entry]]:
+    """Recursively tile ``items`` into groups of at most ``capacity``."""
+    if len(items) <= capacity:
+        yield items
+        return
+    ordered = sorted(items, key=lambda e: (key(e)[axis], e.child))
+    if axis == dims - 1:
+        for start in range(0, len(ordered), capacity):
+            yield ordered[start:start + capacity]
+        return
+    num_groups = math.ceil(len(ordered) / capacity)
+    num_slabs = math.ceil(num_groups ** (1.0 / (dims - axis)))
+    slab_size = math.ceil(len(ordered) / num_slabs)
+    for start in range(0, len(ordered), slab_size):
+        slab = ordered[start:start + slab_size]
+        yield from _str_partition(slab, capacity, dims, key, axis + 1)
+
+
+def make_memory_rtree(dims: int, fanout: int = 32,
+                      split: str = "rstar") -> RTree:
+    """A main-memory R-tree (Chain's function index)."""
+    return RTree(MemoryNodeStore(fanout), dims, split=split)

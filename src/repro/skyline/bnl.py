@@ -1,0 +1,74 @@
+"""Memory-resident skyline algorithms: BNL and SFS.
+
+These are the classic algorithms of Börzsönyi et al. (ICDE 2001, BNL) and
+Chomicki et al. (SFS). The library's hot path is BBS over the R-tree
+(:mod:`repro.skyline.bbs`); BNL/SFS serve as independent oracles in tests
+and as the skyline tool for callers who have a plain point list rather
+than a tree.
+
+Both compute the *canonical* skyline (see :mod:`repro.skyline.dominance`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..storage.stats import SearchStats
+from .dominance import Point, dominates, weakly_dominates
+
+
+def bnl_skyline(items: Sequence[Tuple[int, Point]],
+                stats: SearchStats = None) -> List[Tuple[int, Point]]:
+    """Block-nested-loops skyline; output sorted by object id.
+
+    Points are streamed in ascending id order against a window of current
+    skyline candidates: a point weakly dominated by a window member is
+    dropped (duplicates keep the earlier id); a point strictly dominating
+    window members evicts them.
+    """
+    window: List[Tuple[int, Point]] = []
+    for object_id, point in sorted(items, key=lambda pair: pair[0]):
+        point = tuple(point)
+        dominated = False
+        survivors: List[Tuple[int, Point]] = []
+        for member_id, member in window:
+            if stats is not None:
+                stats.dominance_checks += 1
+            if weakly_dominates(member, point):
+                dominated = True
+                survivors = window  # no eviction possible: keep as-is
+                break
+            if not dominates(point, member):
+                survivors.append((member_id, member))
+        if not dominated:
+            window = survivors
+            window.append((object_id, point))
+    window.sort(key=lambda pair: pair[0])
+    return window
+
+
+def sfs_skyline(items: Sequence[Tuple[int, Point]],
+                stats: SearchStats = None) -> List[Tuple[int, Point]]:
+    """Sort-filter-skyline; output sorted by object id.
+
+    Points are visited in decreasing coordinate-sum order (ties by id), so
+    a point's dominators always precede it: a single weak-dominance pass
+    against the accumulated window suffices, with no evictions.
+    """
+    ordered = sorted(
+        items, key=lambda pair: (-sum(pair[1]), pair[0])
+    )
+    window: List[Tuple[int, Point]] = []
+    for object_id, point in ordered:
+        point = tuple(point)
+        dominated = False
+        for _, member in window:
+            if stats is not None:
+                stats.dominance_checks += 1
+            if weakly_dominates(member, point):
+                dominated = True
+                break
+        if not dominated:
+            window.append((object_id, point))
+    window.sort(key=lambda pair: pair[0])
+    return window

@@ -1,0 +1,102 @@
+"""Constrained skyline: the skyline within an axis-aligned region.
+
+One of the BBS variants of Papadias et al. [5]: return the skyline of
+only those objects falling inside a constraint box (e.g. "hotels between
+100 and 200 EUR"). The traversal prunes entries disjoint from the region
+and applies dominance only among in-region objects; like plain BBS it is
+progressive and reads only undominated, region-intersecting subtrees.
+
+The returned state carries plists (of region-intersecting entries), so
+constrained skylines support incremental maintenance too — but through
+:func:`constrained_update_after_removal`, which keeps filtering by the
+region while it expands orphaned subtrees (the generic maintenance of
+:mod:`repro.skyline.maintenance` would happily admit out-of-region
+points).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Optional
+
+from ..geometry import MBR
+from ..rtree.tree import RTree
+from ..storage.stats import SearchStats
+from .bbs import HeapItem, _admit_point, push_entry
+from .state import PrunedItem, SkylineState
+
+
+def _constrained_loop(tree: RTree, region: MBR, heap: List[HeapItem],
+                      state: SkylineState,
+                      stats: Optional[SearchStats] = None) -> List[int]:
+    """BBS drain restricted to ``region``; returns admitted ids."""
+    admitted: List[int] = []
+    while heap:
+        _key, is_point, child, level, entry = heapq.heappop(heap)
+        if stats is not None:
+            stats.heap_pops += 1
+            stats.dominance_checks += 1
+        if is_point and not region.contains_point(entry.mbr.low):
+            continue
+        owner = state.first_dominator(entry.mbr.high)
+        if owner is not None:
+            state.park(owner, (entry, level))
+            continue
+        if is_point:
+            _admit_point(state, child, entry)
+            admitted.append(child)
+            continue
+        node = tree.read_node(child)
+        for sub_entry in node.entries:
+            if not region.intersects(sub_entry.mbr):
+                continue
+            if stats is not None:
+                stats.dominance_checks += 1
+            owner = state.first_dominator(sub_entry.mbr.high)
+            if owner is not None:
+                state.park(owner, (sub_entry, node.level))
+            else:
+                push_entry(heap, sub_entry, node.level, stats)
+    return [object_id for object_id in admitted if object_id in state]
+
+
+def constrained_skyline(tree: RTree, region: MBR,
+                        stats: Optional[SearchStats] = None) -> SkylineState:
+    """The canonical skyline of the objects inside ``region``."""
+    if region.dims != tree.dims:
+        raise ValueError(
+            f"region dims {region.dims} != tree dims {tree.dims}"
+        )
+    state = SkylineState(tree.dims)
+    heap: List[HeapItem] = []
+    root = tree.read_root()
+    for entry in root.entries:
+        if region.intersects(entry.mbr):
+            push_entry(heap, entry, root.level, stats)
+    _constrained_loop(tree, region, heap, state, stats)
+    return state
+
+
+def constrained_update_after_removal(
+    tree: RTree, region: MBR, state: SkylineState,
+    orphaned: Iterable[PrunedItem],
+    stats: Optional[SearchStats] = None,
+) -> List[int]:
+    """Region-aware ``UpdateSkyline`` for constrained skyline states.
+
+    Same plist mechanics as the unconstrained maintenance, but orphaned
+    subtrees are expanded under the region filter so out-of-region
+    points can neither join the skyline nor shadow in-region candidates.
+    """
+    heap: List[HeapItem] = []
+    for entry, level in orphaned:
+        if not region.intersects(entry.mbr):
+            continue
+        if stats is not None:
+            stats.dominance_checks += 1
+        owner = state.first_dominator(entry.mbr.high)
+        if owner is not None:
+            state.park(owner, (entry, level))
+        else:
+            push_entry(heap, entry, level, stats)
+    return _constrained_loop(tree, region, heap, state, stats)

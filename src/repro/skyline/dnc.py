@@ -1,0 +1,84 @@
+"""Divide-and-conquer skyline (Börzsönyi et al., ICDE 2001).
+
+The third classic memory-resident skyline algorithm, complementing BNL
+and SFS as an independent oracle. The point set is partitioned by a
+pivot *value* on one dimension — strictly-greater points on one side —
+so no point of the low part can ever dominate a point of the high part;
+after the recursive calls only low-against-high filtering is needed.
+
+Matches the library's canonical-skyline semantics (duplicates keep the
+lowest id).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .dominance import Point, weakly_dominates
+
+#: Below this size, fall back to the quadratic scan.
+_BASE_CASE = 16
+
+
+def dnc_skyline(items: Sequence[Tuple[int, Point]]) -> List[Tuple[int, Point]]:
+    """Canonical skyline by divide and conquer; output sorted by id."""
+    normalized = [(object_id, tuple(point)) for object_id, point in items]
+    result = _dnc(normalized, 0)
+    result.sort(key=lambda pair: pair[0])
+    return result
+
+
+def _dnc(items: List[Tuple[int, Point]], axis: int) -> List[Tuple[int, Point]]:
+    if len(items) <= _BASE_CASE:
+        return _base_skyline(items)
+    dims = len(items[0][1])
+
+    # Find an axis with at least two distinct values; identical points
+    # cannot be split and go straight to the base case.
+    pivot = None
+    for _ in range(dims):
+        values = sorted({point[axis] for _, point in items})
+        if len(values) >= 2:
+            pivot = values[(len(values) - 1) // 2]
+            break
+        axis = (axis + 1) % dims
+    if pivot is None:
+        return _base_skyline(items)
+
+    high = [pair for pair in items if pair[1][axis] > pivot]
+    low = [pair for pair in items if pair[1][axis] <= pivot]
+    next_axis = (axis + 1) % dims
+    high_skyline = _dnc(high, next_axis)
+    low_skyline = _dnc(low, next_axis)
+
+    # A low point has a strictly smaller value on `axis` than every high
+    # point, so it can never dominate one; filter low against high only.
+    survivors = list(high_skyline)
+    for object_id, point in low_skyline:
+        dominated = False
+        for other_id, other in high_skyline:
+            if weakly_dominates(other, point) and (
+                other != point or other_id < object_id
+            ):
+                dominated = True
+                break
+        if not dominated:
+            survivors.append((object_id, point))
+    return survivors
+
+
+def _base_skyline(items: List[Tuple[int, Point]]) -> List[Tuple[int, Point]]:
+    result = []
+    for object_id, point in items:
+        keep = True
+        for other_id, other in items:
+            if other_id == object_id:
+                continue
+            if weakly_dominates(other, point) and (
+                other != point or other_id < object_id
+            ):
+                keep = False
+                break
+        if keep:
+            result.append((object_id, point))
+    return result

@@ -1,0 +1,81 @@
+"""Dominance relations (maximization convention).
+
+The paper's skyline definition is "no *equal or better* object exists":
+``a`` *weakly dominates* ``b`` iff ``a_i >= b_i`` in every dimension, and
+*strictly dominates* it if additionally some dimension is strictly larger.
+
+To keep duplicate-coordinate objects well-defined, the library uses the
+**canonical skyline**: of each group of coordinate-identical objects only
+the one with the lowest id is in the skyline; the others are parked in its
+pruned list and resurface when it is removed (so the matching never loses
+an object).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import DimensionalityError
+
+Point = Sequence[float]
+
+
+def weakly_dominates(a: Point, b: Point) -> bool:
+    """``a_i >= b_i`` for every dimension (the paper's "equal or better")."""
+    if len(a) != len(b):
+        raise DimensionalityError(len(a), len(b), "point")
+    return all(x >= y for x, y in zip(a, b))
+
+
+def dominates(a: Point, b: Point) -> bool:
+    """Strict dominance: weakly dominates and better somewhere."""
+    if len(a) != len(b):
+        raise DimensionalityError(len(a), len(b), "point")
+    strictly_better = False
+    for x, y in zip(a, b):
+        if x < y:
+            return False
+        if x > y:
+            strictly_better = True
+    return strictly_better
+
+
+def canonical_skyline_naive(
+    items: Sequence[Tuple[int, Point]],
+) -> List[Tuple[int, Point]]:
+    """O(n^2) reference skyline used to validate the real algorithms.
+
+    An object is kept iff no other object strictly dominates it and no
+    coordinate-duplicate with a smaller id exists. Output is sorted by id.
+    """
+    result: List[Tuple[int, Point]] = []
+    for object_id, point in items:
+        keep = True
+        for other_id, other in items:
+            if other_id == object_id:
+                continue
+            if dominates(other, point):
+                keep = False
+                break
+            if tuple(other) == tuple(point) and other_id < object_id:
+                keep = False
+                break
+        if keep:
+            result.append((object_id, tuple(point)))
+    result.sort(key=lambda pair: pair[0])
+    return result
+
+
+def is_skyline_member(point: Point, others: Sequence[Point]) -> bool:
+    """Whether ``point`` is undominated among ``others`` (strict dominance)."""
+    return not any(dominates(other, point) for other in others)
+
+
+def dominance_counts(items: Sequence[Tuple[int, Point]]) -> Dict[int, int]:
+    """For each object id, how many objects strictly dominate it."""
+    counts: Dict[int, int] = {object_id: 0 for object_id, _ in items}
+    for object_id, point in items:
+        for other_id, other in items:
+            if other_id != object_id and dominates(other, point):
+                counts[object_id] += 1
+    return counts

@@ -1,0 +1,97 @@
+"""Incremental skyline maintenance after member removal (Section IV-B).
+
+When the matcher assigns a skyline object and removes it, the skyline must
+be refreshed over the *remaining* objects. Re-running BBS from the root
+would repeat work; instead, every entry ever pruned is parked in the plist
+of exactly one dominating member, so on removal only the removed members'
+plists need re-examination:
+
+* an orphaned entry dominated by a surviving member moves to that member's
+  plist (no I/O);
+* otherwise it joins the candidate heap, ordered by distance to the best
+  corner, and the standard BBS loop resumes from there — reading only the
+  nodes that were exclusively shadowed by the removed members.
+
+:func:`recompute_with_pruning` is the baseline this optimization is
+measured against in the maintenance ablation: the straightforward
+suggestion of Papadias et al. to re-traverse the tree each time, pruning
+with the current skyline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from ..rtree.tree import RTree
+from ..storage.stats import SearchStats
+from .bbs import HeapItem, bbs_loop, push_entry
+from .state import PrunedItem, SkylineState
+
+
+def update_after_removal(tree: RTree, state: SkylineState,
+                         orphaned: Iterable[PrunedItem],
+                         stats: Optional[SearchStats] = None) -> List[int]:
+    """The paper's ``UpdateSkyline``: reinstate coverage of orphaned entries.
+
+    ``orphaned`` is the concatenation of the plists of the members removed
+    in this round (one or several — Section IV-C removes multiple members
+    per loop). Returns the newly admitted member ids.
+    """
+    heap: List[HeapItem] = []
+    for entry, level in orphaned:
+        if stats is not None:
+            stats.dominance_checks += 1
+        owner = state.first_dominator(entry.mbr.high)
+        if owner is not None:
+            state.park(owner, (entry, level))
+        else:
+            push_entry(heap, entry, level, stats)
+    return bbs_loop(tree, heap, state, stats)
+
+
+def recompute_with_pruning(tree: RTree, state: SkylineState,
+                           excluded: Set[int],
+                           stats: Optional[SearchStats] = None) -> List[int]:
+    """Ablation baseline: refresh the skyline by a full pruned re-traversal.
+
+    Runs BBS from the root against the members already in ``state``,
+    skipping objects in ``excluded`` (already assigned). Entries dominated
+    by current members are simply discarded — without plists there is
+    nothing to park them under. Newly found members are added to ``state``
+    and returned.
+    """
+    import heapq
+
+    heap: List[HeapItem] = []
+    root = tree.read_root()
+    for entry in root.entries:
+        push_entry(heap, entry, root.level, stats)
+
+    admitted: List[int] = []
+    while heap:
+        _key, is_point, child, level, entry = heapq.heappop(heap)
+        if stats is not None:
+            stats.heap_pops += 1
+            stats.dominance_checks += 1
+        if is_point and child in excluded:
+            continue
+        if state.first_dominator(entry.mbr.high) is not None:
+            continue
+        if is_point:
+            # Drop members this point dominates (float key-tie corner
+            # case; see bbs._admit_point). Without plists they are simply
+            # rediscovered by the next re-traversal.
+            for victim in state.dominated_members(entry.mbr.low):
+                state.remove(victim)
+            state.add(child, entry.mbr.low)
+            admitted.append(child)
+            continue
+        node = tree.read_node(child)
+        for sub_entry in node.entries:
+            if stats is not None:
+                stats.dominance_checks += 1
+            if node.level == 0 and sub_entry.child in excluded:
+                continue
+            if state.first_dominator(sub_entry.mbr.high) is None:
+                push_entry(heap, sub_entry, node.level, stats)
+    return admitted

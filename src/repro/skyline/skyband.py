@@ -1,0 +1,155 @@
+"""K-skyband computation over the R-tree.
+
+The *k-skyband* (Papadias et al. [5]) contains every object dominated by
+fewer than ``k`` other objects; the skyline is the 1-skyband. Its role in
+this library: the top-1 objects of all monotone functions lie in the
+skyline, and more generally the top-``k`` answers of any monotone
+function lie in the k-skyband — so it is the natural candidate set when
+each object can absorb up to ``k`` assignments (capacitated matching) or
+when users ask for ``k`` alternatives.
+
+The BBS-style traversal keeps a counter of *weak dominators seen so far*
+per popped entry; because entries pop in mindist order, all of a point's
+dominators pop before it, so the counts are exact. Subtrees are pruned
+only when their best corner is already dominated ``k`` times.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..rtree.tree import RTree
+from ..storage.stats import SearchStats
+from .dominance import Point, dominates
+
+
+def kskyband_naive(items: Sequence[Tuple[int, Point]],
+                   k: int) -> List[Tuple[int, Point]]:
+    """O(n^2) reference: objects strictly dominated by < k others.
+
+    Coordinate duplicates count toward each other's dominator budget via
+    the id rule (lower id weakly dominates the higher), matching the
+    canonical-skyline convention at k = 1.
+    """
+    if k < 1:
+        raise ReproError(f"k must be >= 1, got {k}")
+    result = []
+    for object_id, point in items:
+        dominators = 0
+        for other_id, other in items:
+            if other_id == object_id:
+                continue
+            if dominates(other, point) or (
+                tuple(other) == tuple(point) and other_id < object_id
+            ):
+                dominators += 1
+        if dominators < k:
+            result.append((object_id, tuple(point)))
+    result.sort(key=lambda pair: pair[0])
+    return result
+
+
+def compute_kskyband(tree: RTree, k: int,
+                     stats: Optional[SearchStats] = None,
+                     ) -> Dict[int, Tuple[float, ...]]:
+    """The k-skyband of the tree's objects: ``{object_id: point}``.
+
+    Reads only subtrees whose best corner has fewer than ``k`` weak
+    dominators among already-admitted members (BBS pruning generalized).
+    """
+    if k < 1:
+        raise ReproError(f"k must be >= 1, got {k}")
+    dims = tree.dims
+    members: Dict[int, Tuple[float, ...]] = {}
+    member_counts: Dict[int, int] = {}
+    matrix = np.empty((0, dims))
+    member_ids: List[int] = []
+
+    def dominator_count(corner, point=None, object_id=None) -> int:
+        """Members weakly dominating ``corner`` (id rule for duplicates)."""
+        if not member_ids:
+            return 0
+        probe = np.asarray(corner)
+        mask = (matrix >= probe).all(axis=1)
+        if point is None:
+            return int(mask.sum())
+        count = 0
+        for row_index in np.nonzero(mask)[0]:
+            other_id = member_ids[row_index]
+            other = members[other_id]
+            if other != point or other_id < object_id:
+                count += 1
+        return count
+
+    heap = []
+    counter = 0
+    root = tree.read_root()
+    for entry in root.entries:
+        heapq.heappush(heap, (
+            entry.mbr.mindist_to_best(),
+            1 if root.level == 0 else 0,
+            entry.child, root.level, entry,
+        ))
+        if stats is not None:
+            stats.heap_pushes += 1
+
+    while heap:
+        _key, is_point, child, level, entry = heapq.heappop(heap)
+        if stats is not None:
+            stats.heap_pops += 1
+            stats.dominance_checks += 1
+        if is_point:
+            point = entry.mbr.low
+            count = dominator_count(point, point, child)
+            if count >= k:
+                continue
+            members[child] = point
+            member_counts[child] = count
+            member_ids.append(child)
+            matrix = np.vstack([matrix, np.asarray(point).reshape(1, dims)])
+            # Float-safety net (cf. bbs._admit_point): a strict dominator
+            # whose mindist key rounded equal may pop *after* its victims;
+            # credit it to earlier members now and evict any that no
+            # longer qualify.
+            dominated_mask = (matrix <= np.asarray(point)).all(axis=1)
+            evicted = []
+            for row_index in np.nonzero(dominated_mask)[0]:
+                other_id = member_ids[row_index]
+                other = members[other_id]
+                if other_id == child:
+                    continue
+                if dominates(point, other) or (
+                    other == point and child < other_id
+                ):
+                    member_counts[other_id] += 1
+                    if member_counts[other_id] >= k:
+                        evicted.append(other_id)
+            if evicted:
+                for other_id in evicted:
+                    del members[other_id]
+                    del member_counts[other_id]
+                member_ids = list(members)
+                matrix = np.asarray(
+                    [members[m] for m in member_ids]
+                ).reshape(len(member_ids), dims)
+            continue
+        if dominator_count(entry.mbr.high) >= k:
+            continue
+        node = tree.read_node(child)
+        for sub_entry in node.entries:
+            if stats is not None:
+                stats.dominance_checks += 1
+            if dominator_count(sub_entry.mbr.high) >= k:
+                continue
+            heapq.heappush(heap, (
+                sub_entry.mbr.mindist_to_best(),
+                1 if node.level == 0 else 0,
+                sub_entry.child, node.level, sub_entry,
+            ))
+            if stats is not None:
+                stats.heap_pushes += 1
+    return members

@@ -1,0 +1,25 @@
+"""Simulated storage stack: pages, disk manager, LRU buffer pool, counters.
+
+This package provides the cost model under the paper's "I/O accesses"
+metric. See :mod:`repro.storage.disk` for the physical layer and
+:mod:`repro.storage.buffer` for the paper's 2%-of-tree LRU buffer.
+"""
+
+from .buffer import BufferPool
+from .clock import ClockBufferPool, make_buffer
+from .disk import DiskManager
+from .page import DEFAULT_PAGE_SIZE, INVALID_PAGE_ID, Page
+from .stats import IOSnapshot, IOStats, SearchStats
+
+__all__ = [
+    "BufferPool",
+    "ClockBufferPool",
+    "make_buffer",
+    "DiskManager",
+    "DEFAULT_PAGE_SIZE",
+    "INVALID_PAGE_ID",
+    "Page",
+    "IOSnapshot",
+    "IOStats",
+    "SearchStats",
+]

@@ -1,0 +1,149 @@
+"""LRU buffer pool over the simulated disk.
+
+The paper's experimental setup: *"We use an LRU memory buffer with default
+size 2% of the tree size."* :class:`BufferPool` implements exactly that
+policy: a fixed number of page frames managed least-recently-used, with
+write-back of dirty frames on eviction. A page request that hits the pool
+costs nothing; a miss costs one physical read (plus one physical write if
+the victim frame is dirty).
+
+The pool capacity can be given directly (``capacity`` frames) or derived
+from the current disk occupancy (``fraction`` of allocated pages), matching
+the paper's "2% of the tree size" once the tree has been built.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..errors import StorageError
+from .disk import DiskManager
+from .page import Page
+
+
+class BufferPool:
+    """A write-back LRU cache of disk pages.
+
+    Parameters
+    ----------
+    disk:
+        The underlying :class:`~repro.storage.disk.DiskManager`.
+    capacity:
+        Number of page frames. Must be >= 1.
+    """
+
+    def __init__(self, disk: DiskManager, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise StorageError(f"buffer capacity must be >= 1, got {capacity}")
+        self.disk = disk
+        self.capacity = capacity
+        # page_id -> (Page, dirty); ordered oldest-first.
+        self._frames: "OrderedDict[int, list]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def fraction_of_disk(cls, disk: DiskManager, fraction: float = 0.02,
+                         minimum: int = 4) -> "BufferPool":
+        """Create a pool sized as ``fraction`` of the allocated pages.
+
+        This is how the paper sizes its buffer ("2% of the tree size");
+        call it *after* bulk-loading the R-tree so ``disk.num_pages``
+        reflects the tree.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise StorageError(f"fraction must be in (0, 1], got {fraction}")
+        capacity = max(minimum, int(disk.num_pages * fraction))
+        return cls(disk, capacity)
+
+    # ------------------------------------------------------------------
+    # Page access
+    # ------------------------------------------------------------------
+    def get_page(self, page_id: int) -> Page:
+        """Fetch a page, through the cache.
+
+        The returned :class:`Page` object is the cached frame; callers must
+        not mutate it without calling :meth:`put_page` (which marks it
+        dirty).
+        """
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self._frames.move_to_end(page_id)
+            self.disk.stats.buffer_hits += 1
+            return frame[0]
+        page = self.disk.read_page(page_id)
+        self._admit(page, dirty=False)
+        return page
+
+    def put_page(self, page: Page) -> None:
+        """Install an updated page in the pool and mark it dirty.
+
+        The write reaches disk lazily: on eviction or :meth:`flush`. This is
+        the classic write-back policy; it is what makes repeated updates to
+        a hot node (e.g. the R-tree root during bulk insertion) cost one
+        physical write instead of many.
+        """
+        frame = self._frames.get(page.page_id)
+        if frame is not None:
+            frame[0] = page
+            frame[1] = True
+            self._frames.move_to_end(page.page_id)
+            self.disk.stats.buffer_hits += 1
+            return
+        self._admit(page, dirty=True)
+
+    def discard(self, page_id: int) -> None:
+        """Drop a page from the pool without writing it back.
+
+        Used when the page is being freed on disk (a deleted R-tree node);
+        writing back a dead page would both be wrong and inflate I/O.
+        """
+        self._frames.pop(page_id, None)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write every dirty frame back to disk (frames stay resident)."""
+        for frame in self._frames.values():
+            if frame[1]:
+                self.disk.write_page(frame[0])
+                frame[1] = False
+
+    def clear(self) -> None:
+        """Flush and empty the pool (used between benchmark phases)."""
+        self.flush()
+        self._frames.clear()
+
+    def resize(self, capacity: int) -> None:
+        """Change the frame count, evicting LRU frames if shrinking."""
+        if capacity < 1:
+            raise StorageError(f"buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        while len(self._frames) > self.capacity:
+            self._evict_lru()
+
+    @property
+    def num_resident(self) -> int:
+        """Number of pages currently cached."""
+        return len(self._frames)
+
+    def is_resident(self, page_id: int) -> bool:
+        """Whether ``page_id`` is cached (does not touch LRU order)."""
+        return page_id in self._frames
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _admit(self, page: Page, dirty: bool) -> None:
+        while len(self._frames) >= self.capacity:
+            self._evict_lru()
+        self._frames[page.page_id] = [page, dirty]
+
+    def _evict_lru(self) -> None:
+        page_id, frame = self._frames.popitem(last=False)
+        if frame[1]:
+            self.disk.write_page(frame[0])
+        self.disk.stats.buffer_evictions += 1

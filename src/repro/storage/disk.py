@@ -1,0 +1,100 @@
+"""Simulated disk with page allocation and physical I/O counting.
+
+:class:`DiskManager` is the bottom of the storage stack. It owns the page
+space (allocation / free list) and counts every physical page transfer in
+an :class:`~repro.storage.stats.IOStats`. Nothing above it (buffer pool,
+R-tree) touches page bytes directly.
+
+The disk is in-memory — the point is not persistence but a *faithful cost
+model*: a page read or write here corresponds to one "I/O access" in the
+paper's Figures 2(a,b) and 3(a).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import PageNotFoundError, PageSizeError
+from .page import DEFAULT_PAGE_SIZE, Page
+from .stats import IOStats
+
+
+class DiskManager:
+    """Page-granular storage with allocation and I/O accounting.
+
+    Parameters
+    ----------
+    page_size:
+        Capacity of every page, in bytes (default 4 KiB as in the paper).
+    stats:
+        Counter object to update; a fresh one is created when omitted.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE,
+                 stats: Optional[IOStats] = None) -> None:
+        if page_size <= 0:
+            raise PageSizeError(f"page size must be positive, got {page_size}")
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IOStats()
+        self._pages: Dict[int, bytes] = {}
+        self._free: List[int] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self) -> int:
+        """Reserve a page id (reusing freed ids first) and return it.
+
+        Allocation itself is free of I/O; the page is materialized on the
+        first :meth:`write_page`.
+        """
+        if self._free:
+            page_id = self._free.pop()
+        else:
+            page_id = self._next_id
+            self._next_id += 1
+        self._pages[page_id] = b""
+        self.stats.pages_allocated += 1
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Return ``page_id`` to the free list."""
+        if page_id not in self._pages:
+            raise PageNotFoundError(page_id)
+        del self._pages[page_id]
+        self._free.append(page_id)
+        self.stats.pages_freed += 1
+
+    def exists(self, page_id: int) -> bool:
+        """Whether ``page_id`` is currently allocated."""
+        return page_id in self._pages
+
+    @property
+    def num_pages(self) -> int:
+        """Number of currently allocated pages (the "tree size" for buffers)."""
+        return len(self._pages)
+
+    # ------------------------------------------------------------------
+    # Physical I/O (each call counts)
+    # ------------------------------------------------------------------
+    def read_page(self, page_id: int) -> Page:
+        """Read one page from disk. Counts one physical read."""
+        try:
+            data = self._pages[page_id]
+        except KeyError:
+            raise PageNotFoundError(page_id) from None
+        self.stats.page_reads += 1
+        return Page(page_id, self.page_size, data)
+
+    def write_page(self, page: Page) -> None:
+        """Write one page to disk. Counts one physical write."""
+        if page.page_id not in self._pages:
+            raise PageNotFoundError(page.page_id)
+        if page.size != self.page_size:
+            raise PageSizeError(
+                f"page sized {page.size} written to disk with page size "
+                f"{self.page_size}"
+            )
+        self._pages[page.page_id] = page.data
+        self.stats.page_writes += 1

@@ -1,0 +1,125 @@
+"""Counters for the simulated I/O subsystem.
+
+The paper's primary cost metric is "I/O accesses": the number of disk page
+reads and writes that are *not* absorbed by the LRU buffer. :class:`IOStats`
+tracks both the raw disk traffic and the buffer behaviour so benchmarks can
+report either view. Counters are plain integers updated by the disk manager
+and buffer pool; they can be snapshotted, diffed and reset, which is how the
+benchmark harness isolates the cost of one algorithm phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable I/O counters shared by a disk manager and its buffer pool.
+
+    Attributes
+    ----------
+    page_reads:
+        Pages physically read from the simulated disk (buffer misses).
+    page_writes:
+        Pages physically written to the simulated disk (dirty evictions
+        and explicit flushes).
+    buffer_hits:
+        Page requests served from the buffer pool without disk traffic.
+    buffer_evictions:
+        Pages evicted from the buffer pool (dirty or clean).
+    pages_allocated:
+        Pages ever allocated on the disk (monotone).
+    pages_freed:
+        Pages returned to the free list.
+    """
+
+    page_reads: int = 0
+    page_writes: int = 0
+    buffer_hits: int = 0
+    buffer_evictions: int = 0
+    pages_allocated: int = 0
+    pages_freed: int = 0
+
+    @property
+    def io_accesses(self) -> int:
+        """Total physical I/O, the metric plotted in Figures 2(a,b)/3(a)."""
+        return self.page_reads + self.page_writes
+
+    def snapshot(self) -> "IOSnapshot":
+        """Return an immutable copy of the current counter values."""
+        return IOSnapshot(
+            page_reads=self.page_reads,
+            page_writes=self.page_writes,
+            buffer_hits=self.buffer_hits,
+            buffer_evictions=self.buffer_evictions,
+            pages_allocated=self.pages_allocated,
+            pages_freed=self.pages_freed,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter (allocation counters included)."""
+        self.page_reads = 0
+        self.page_writes = 0
+        self.buffer_hits = 0
+        self.buffer_evictions = 0
+        self.pages_allocated = 0
+        self.pages_freed = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IOStats(reads={self.page_reads}, writes={self.page_writes}, "
+            f"hits={self.buffer_hits}, io={self.io_accesses})"
+        )
+
+
+@dataclass(frozen=True)
+class IOSnapshot:
+    """Immutable view of :class:`IOStats` at a point in time."""
+
+    page_reads: int
+    page_writes: int
+    buffer_hits: int
+    buffer_evictions: int
+    pages_allocated: int
+    pages_freed: int
+
+    @property
+    def io_accesses(self) -> int:
+        return self.page_reads + self.page_writes
+
+    def delta(self, earlier: "IOSnapshot") -> "IOSnapshot":
+        """Counters accumulated since ``earlier`` (``self - earlier``)."""
+        return IOSnapshot(
+            page_reads=self.page_reads - earlier.page_reads,
+            page_writes=self.page_writes - earlier.page_writes,
+            buffer_hits=self.buffer_hits - earlier.buffer_hits,
+            buffer_evictions=self.buffer_evictions - earlier.buffer_evictions,
+            pages_allocated=self.pages_allocated - earlier.pages_allocated,
+            pages_freed=self.pages_freed - earlier.pages_freed,
+        )
+
+
+@dataclass
+class SearchStats:
+    """CPU-side operation counters (no I/O), used by tests and ablations.
+
+    These count logical work: dominance checks in skyline code, score
+    evaluations in the threshold algorithm, heap operations in ranked
+    search. They make unit tests of the "efficiency" claims deterministic
+    (e.g. the tight threshold must evaluate *fewer* functions than the
+    naive one), independent of wall-clock noise.
+    """
+
+    dominance_checks: int = 0
+    score_evaluations: int = 0
+    heap_pushes: int = 0
+    heap_pops: int = 0
+    comparisons: int = 0
+
+    def reset(self) -> None:
+        self.dominance_checks = 0
+        self.score_evaluations = 0
+        self.heap_pushes = 0
+        self.heap_pops = 0
+        self.comparisons = 0

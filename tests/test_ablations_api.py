@@ -1,0 +1,59 @@
+"""Programmatic ablation API (repro.bench.ablations)."""
+
+import pytest
+
+from repro.bench import SB_VARIANTS, format_ablation_table, run_sb_ablations
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_sb_ablations(scale=0.004, seed=5)
+
+
+def test_all_variants_present(results):
+    for label, _ in SB_VARIANTS:
+        assert label in results
+    assert "Brute Force" in results
+    assert "Chain (restart, paper)" in results
+    assert "Chain (retained stack)" in results
+
+
+def test_design_choices_only_reduce_cost(results):
+    base = results["SB as published"]
+    assert base["rounds"] <= results["single pair per loop"]["rounds"]
+    assert base["io"] <= results["re-traversal maintenance"]["io"]
+    assert base["score_evals"] <= results["naive TA threshold"]["score_evals"]
+    assert (
+        base["reverse_top1"] <= results["no fbest caching"]["reverse_top1"]
+    )
+
+
+def test_sb_beats_baselines_in_io(results):
+    sb_io = results["SB as published"]["io"]
+    assert sb_io < results["Brute Force"]["io"]
+    assert sb_io < results["Chain (restart, paper)"]["io"]
+
+
+def test_retained_stack_no_worse_than_restart(results):
+    assert (
+        results["Chain (retained stack)"]["top1_searches"]
+        <= results["Chain (restart, paper)"]["top1_searches"]
+    )
+
+
+def test_table_rendering(results):
+    text = format_ablation_table(results)
+    assert "SB as published" in text
+    assert "variant" in text
+    # Missing metrics render as dashes.
+    assert " - " in text or "-" in text.split()[-1] or "-" in text
+
+
+def test_cli_ablations(capsys):
+    from repro.bench.cli import main
+
+    code = main(["--figure", "ablations", "--scale", "0.004", "--seed", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Ablations" in out
+    assert "re-traversal maintenance" in out

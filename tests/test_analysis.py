@@ -1,0 +1,110 @@
+"""Matching quality analysis (ranks, regrets, reports)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MatchingProblem,
+    Matching,
+    MatchPair,
+    SkylineMatcher,
+    assignment_ranks,
+    greedy_reference_matching,
+    score_regrets,
+    summarize,
+)
+from repro.data import Dataset, generate_independent
+from repro.errors import MatchingError
+from repro.prefs import LinearPreference, generate_preferences
+
+
+def solved_problem(n=300, nf=20, seed=200):
+    objects = generate_independent(n, 3, seed=seed)
+    functions = generate_preferences(nf, 3, seed=seed + 1)
+    problem = MatchingProblem.build(objects, functions)
+    return objects, functions, SkylineMatcher(problem).run()
+
+
+def test_rank_zero_means_top1():
+    objects = Dataset([[0.9, 0.9], [0.1, 0.1]])
+    functions = [LinearPreference(0, (0.5, 0.5))]
+    matching = greedy_reference_matching(objects, functions)
+    ranks = assignment_ranks(matching, objects, functions)
+    assert ranks == {0: 0}
+    regrets = score_regrets(matching, objects, functions)
+    assert regrets[0] == pytest.approx(0.0)
+
+
+def test_first_emitted_pair_always_has_rank_zero():
+    objects, functions, matching = solved_problem()
+    ranks = assignment_ranks(matching, objects, functions)
+    first = matching.pairs[0]
+    assert ranks[first.function_id] == 0
+
+
+def test_ranks_against_naive_recomputation():
+    objects, functions, matching = solved_problem(n=120, nf=10)
+    ranks = assignment_ranks(matching, objects, functions)
+    matrix = objects.matrix
+    for pair in matching.pairs:
+        function = next(f for f in functions if f.fid == pair.function_id)
+        scores = matrix @ np.asarray(function.weights)
+        naive = int((scores > pair.score + 1e-12).sum())
+        assert ranks[pair.function_id] == naive
+
+
+def test_regret_is_nonnegative_and_consistent_with_rank():
+    objects, functions, matching = solved_problem()
+    ranks = assignment_ranks(matching, objects, functions)
+    regrets = score_regrets(matching, objects, functions)
+    for fid in ranks:
+        assert regrets[fid] >= 0.0
+        if ranks[fid] == 0:
+            assert regrets[fid] == pytest.approx(0.0, abs=1e-12)
+        if regrets[fid] > 1e-9:
+            assert ranks[fid] > 0
+
+
+def test_unknown_matched_function_rejected():
+    objects = Dataset([[0.5, 0.5]])
+    functions = [LinearPreference(0, (0.5, 0.5))]
+    rogue = Matching([MatchPair(9, 0, 0.5)])
+    with pytest.raises(MatchingError):
+        assignment_ranks(rogue, objects, functions)
+    with pytest.raises(MatchingError):
+        score_regrets(rogue, objects, functions)
+
+
+def test_summarize_report_fields():
+    objects, functions, matching = solved_problem(nf=30)
+    report = summarize(matching, objects, functions)
+    assert report.pairs == 30
+    assert report.unmatched_functions == 0
+    assert report.rounds == matching.num_rounds
+    assert sum(report.pairs_per_round) == 30
+    assert 0.0 <= report.top1_fraction <= 1.0
+    assert report.mean_rank >= 0.0
+    assert report.max_rank >= report.mean_rank or report.pairs <= 1
+    assert report.min_score <= report.mean_score
+    assert report.total_score == pytest.approx(matching.total_score)
+
+
+def test_summarize_empty_matching():
+    objects = Dataset([[0.5, 0.5]])
+    report = summarize(Matching([]), objects, [])
+    assert report.pairs == 0
+    assert report.mean_score == 0.0
+    assert report.top1_fraction == 0.0
+
+
+def test_contention_increases_mean_rank():
+    # More users competing for the same catalog => worse average ranks.
+    objects = generate_independent(150, 3, seed=201)
+    small = generate_preferences(5, 3, seed=202)
+    large = generate_preferences(60, 3, seed=202)
+    reports = []
+    for functions in (small, large):
+        problem = MatchingProblem.build(objects, functions)
+        matching = SkylineMatcher(problem).run()
+        reports.append(summarize(matching, objects, functions))
+    assert reports[0].mean_rank < reports[1].mean_rank

@@ -1,0 +1,117 @@
+"""BBS over the R-tree: correctness, plist coverage, I/O behaviour."""
+
+import pytest
+
+from repro.data import (
+    generate_anticorrelated,
+    generate_correlated,
+    generate_independent,
+    generate_zillow,
+)
+from repro.rtree import DiskNodeStore, MemoryNodeStore, RTree
+from repro.skyline import canonical_skyline_naive, compute_skyline
+from repro.storage import SearchStats
+
+
+def build_tree(dataset, disk=True):
+    store = DiskNodeStore(dataset.dims) if disk else MemoryNodeStore(16)
+    return RTree.bulk_load(store, dataset.dims, dataset.items()), store
+
+
+@pytest.mark.parametrize("generator,n,dims", [
+    (generate_independent, 600, 2),
+    (generate_independent, 600, 5),
+    (generate_anticorrelated, 600, 3),
+    (generate_correlated, 600, 4),
+])
+def test_bbs_matches_naive_oracle(generator, n, dims):
+    dataset = generator(n, dims, seed=36)
+    tree, _ = build_tree(dataset, disk=False)
+    state = compute_skyline(tree)
+    want = [oid for oid, _ in canonical_skyline_naive(list(dataset.items()))]
+    assert sorted(state.ids()) == want
+
+
+def test_bbs_on_zillow():
+    dataset = generate_zillow(500, seed=37)
+    tree, _ = build_tree(dataset, disk=False)
+    state = compute_skyline(tree)
+    want = [oid for oid, _ in canonical_skyline_naive(list(dataset.items()))]
+    assert sorted(state.ids()) == want
+
+
+def test_bbs_empty_tree():
+    tree = RTree(MemoryNodeStore(8), dims=2)
+    state = compute_skyline(tree)
+    assert len(state) == 0
+
+
+def test_every_object_is_member_or_parked_exactly_once():
+    """The plist partition invariant of Section IV-B.
+
+    After BBS, each object is either a skyline member or covered by
+    exactly one parked entry (directly, or transitively inside a parked
+    subtree). No object may be lost or double-owned — otherwise skyline
+    maintenance would resurrect the wrong candidates.
+    """
+    dataset = generate_independent(800, 3, seed=38)
+    tree, _ = build_tree(dataset, disk=False)
+    state = compute_skyline(tree)
+
+    covered = list(state.ids())
+    for owner in state.ids():
+        for entry, level in state.plist(owner):
+            if level == 0:
+                covered.append(entry.child)
+            else:
+                stack = [entry.child]
+                while stack:
+                    node = tree.read_node(stack.pop())
+                    for sub in node.entries:
+                        if node.is_leaf:
+                            covered.append(sub.child)
+                        else:
+                            stack.append(sub.child)
+    assert sorted(covered) == dataset.ids
+
+
+def test_parked_entries_are_dominated_by_their_owner():
+    dataset = generate_anticorrelated(500, 3, seed=39)
+    tree, _ = build_tree(dataset, disk=False)
+    state = compute_skyline(tree)
+    for owner in state.ids():
+        owner_point = state.point(owner)
+        for entry, _level in state.plist(owner):
+            assert entry.mbr.dominated_by_point(owner_point)
+
+
+def test_bbs_reads_only_undominated_subtrees():
+    # On correlated data the skyline is tiny and BBS must touch a small
+    # fraction of the tree.
+    dataset = generate_correlated(5000, 3, seed=40, spread=0.05)
+    tree, store = build_tree(dataset)
+    store.buffer.resize(4)
+    store.buffer.clear()
+    store.disk.stats.reset()
+    state = compute_skyline(tree)
+    assert len(state) < 100
+    assert store.disk.stats.page_reads < store.disk.num_pages / 3
+
+
+def test_bbs_progressiveness_stats():
+    dataset = generate_independent(400, 3, seed=41)
+    tree, _ = build_tree(dataset, disk=False)
+    stats = SearchStats()
+    compute_skyline(tree, stats=stats)
+    assert stats.heap_pops <= stats.heap_pushes
+    assert stats.dominance_checks > 0
+
+
+def test_duplicate_points_one_member_rest_parked():
+    tree = RTree(MemoryNodeStore(8), dims=2)
+    for i in range(5):
+        tree.insert(i, (0.7, 0.7))
+    state = compute_skyline(tree)
+    assert state.ids() == [0]
+    parked = [entry.child for entry, level in state.plist(0) if level == 0]
+    assert sorted(parked) == [1, 2, 3, 4]

@@ -1,0 +1,79 @@
+"""BNL and SFS against the naive oracle."""
+
+import pytest
+
+from repro.data import (
+    generate_anticorrelated,
+    generate_clustered,
+    generate_correlated,
+    generate_independent,
+)
+from repro.skyline import bnl_skyline, canonical_skyline_naive, sfs_skyline
+from repro.storage import SearchStats
+
+
+@pytest.mark.parametrize("generator,n,dims", [
+    (generate_independent, 300, 2),
+    (generate_independent, 300, 4),
+    (generate_anticorrelated, 300, 3),
+    (generate_correlated, 300, 3),
+    (generate_clustered, 300, 3),
+])
+def test_matches_naive_oracle(generator, n, dims):
+    items = list(generator(n, dims, seed=31).items())
+    want = canonical_skyline_naive(items)
+    assert bnl_skyline(items) == want
+    assert sfs_skyline(items) == want
+
+
+def test_empty_and_singleton():
+    assert bnl_skyline([]) == []
+    assert sfs_skyline([]) == []
+    assert bnl_skyline([(4, (0.3, 0.3))]) == [(4, (0.3, 0.3))]
+
+
+def test_all_duplicates_keep_lowest_id():
+    items = [(i, (0.5, 0.5)) for i in (5, 3, 8, 1)]
+    assert bnl_skyline(items) == [(1, (0.5, 0.5))]
+    assert sfs_skyline(items) == [(1, (0.5, 0.5))]
+
+
+def test_total_order_chain_keeps_only_maximum():
+    items = [(i, (i / 10, i / 10)) for i in range(10)]
+    assert bnl_skyline(items) == [(9, (0.9, 0.9))]
+
+
+def test_antichain_keeps_everything():
+    items = [(i, (i / 10, (9 - i) / 10)) for i in range(10)]
+    assert bnl_skyline(items) == sorted(items)
+    assert sfs_skyline(items) == sorted(items)
+
+
+def test_input_order_does_not_matter():
+    items = list(generate_independent(200, 3, seed=32).items())
+    want = bnl_skyline(items)
+    assert bnl_skyline(list(reversed(items))) == want
+
+
+def test_sfs_does_fewer_checks_than_bnl_on_correlated_data():
+    # On correlated data most points are dominated by the few top ones;
+    # SFS visits those first and drops everything fast.
+    items = list(generate_correlated(600, 3, seed=33, spread=0.05).items())
+    bnl_stats, sfs_stats = SearchStats(), SearchStats()
+    bnl_skyline(items, stats=bnl_stats)
+    sfs_skyline(items, stats=sfs_stats)
+    assert sfs_stats.dominance_checks <= bnl_stats.dominance_checks
+
+
+def test_mixed_duplicates_and_dominance():
+    items = [
+        (0, (0.5, 0.5)),
+        (1, (0.5, 0.5)),
+        (2, (0.5, 0.6)),   # strictly dominates the duplicates
+        (3, (0.6, 0.5)),
+        (4, (0.1, 0.95)),
+    ]
+    want = canonical_skyline_naive(items)
+    assert [oid for oid, _ in want] == [2, 3, 4]
+    assert bnl_skyline(items) == want
+    assert sfs_skyline(items) == want

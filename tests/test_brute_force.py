@@ -1,0 +1,103 @@
+"""Brute Force matcher (Section III-A)."""
+
+import pytest
+
+from repro.core import BruteForceMatcher, MatchingProblem, greedy_reference_matching
+from repro.data import generate_anticorrelated, generate_independent
+from repro.errors import MatchingError
+from repro.prefs import generate_preferences
+
+
+def make_problem(n=400, dims=3, nf=25, generator=generate_independent,
+                 seed=110):
+    objects = generator(n, dims, seed=seed)
+    functions = generate_preferences(nf, dims, seed=seed + 1)
+    return MatchingProblem.build(objects, functions)
+
+
+def test_matches_greedy_reference():
+    problem = make_problem()
+    matching = BruteForceMatcher(problem).run()
+    reference = greedy_reference_matching(problem.objects, problem.functions)
+    assert matching.as_set() == reference.as_set()
+    assert [p.score for p in matching.pairs] == [
+        p.score for p in reference.pairs
+    ]
+
+
+def test_pairs_emitted_in_descending_canonical_order():
+    problem = make_problem(generator=generate_anticorrelated, seed=111)
+    pairs = list(BruteForceMatcher(problem).pairs())
+    keys = [(-p.score, p.function_id, p.object_id) for p in pairs]
+    assert keys == sorted(keys)
+
+
+def test_progressive_emission():
+    # pairs() must be a generator: the first pair arrives without
+    # completing the whole matching.
+    problem = make_problem()
+    stream = BruteForceMatcher(problem).pairs()
+    first = next(stream)
+    reference = greedy_reference_matching(problem.objects, problem.functions)
+    assert first.function_id == reference.pairs[0].function_id
+    assert first.object_id == reference.pairs[0].object_id
+
+
+def test_deletion_removes_objects_from_tree():
+    problem = make_problem(n=300, nf=20)
+    BruteForceMatcher(problem, deletion_mode="delete").run()
+    assert problem.tree.num_objects == 280
+
+
+def test_filter_mode_same_matching_no_tree_mutation():
+    problem_a = make_problem(seed=112)
+    problem_b = make_problem(seed=112)
+    matched_a = BruteForceMatcher(problem_a, deletion_mode="delete").run()
+    matched_b = BruteForceMatcher(problem_b, deletion_mode="filter").run()
+    assert matched_a.as_set() == matched_b.as_set()
+    assert problem_b.tree.num_objects == 400  # untouched
+
+
+def test_invalid_deletion_mode():
+    problem = make_problem(n=20, nf=2)
+    with pytest.raises(MatchingError):
+        BruteForceMatcher(problem, deletion_mode="purge")
+
+
+def test_more_functions_than_objects():
+    objects = generate_independent(10, 2, seed=113)
+    functions = generate_preferences(25, 2, seed=114)
+    problem = MatchingProblem.build(objects, functions)
+    matching = BruteForceMatcher(problem).run()
+    assert len(matching) == 10
+    assert len(matching.unmatched_functions) == 15
+    reference = greedy_reference_matching(objects, functions)
+    assert matching.as_set() == reference.as_set()
+    assert sorted(matching.unmatched_functions) == sorted(
+        reference.unmatched_functions
+    )
+
+
+def test_no_functions():
+    problem = MatchingProblem.build(
+        generate_independent(10, 2, seed=115), []
+    )
+    matching = BruteForceMatcher(problem).run()
+    assert len(matching) == 0
+
+
+def test_no_objects():
+    problem = MatchingProblem.build(
+        generate_independent(0, 2, seed=116),
+        generate_preferences(5, 2, seed=117),
+    )
+    matching = BruteForceMatcher(problem).run()
+    assert len(matching) == 0
+    assert len(matching.unmatched_functions) == 5
+
+
+def test_top1_search_count_at_least_one_per_function():
+    problem = make_problem(n=300, nf=30)
+    matcher = BruteForceMatcher(problem)
+    matcher.run()
+    assert matcher.top1_searches >= 30  # |F| initial searches minimum

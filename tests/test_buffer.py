@@ -1,0 +1,135 @@
+"""Unit tests for the LRU buffer pool (the paper's 2% write-back buffer)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import BufferPool, DiskManager, Page
+
+
+def make_disk_with_pages(n, page_size=32):
+    disk = DiskManager(page_size=page_size)
+    ids = []
+    for i in range(n):
+        page_id = disk.allocate()
+        disk.write_page(Page(page_id, page_size, bytes([i]) * 4))
+        ids.append(page_id)
+    disk.stats.reset()
+    return disk, ids
+
+
+def test_miss_then_hit():
+    disk, ids = make_disk_with_pages(3)
+    pool = BufferPool(disk, capacity=2)
+    pool.get_page(ids[0])
+    assert disk.stats.page_reads == 1
+    pool.get_page(ids[0])
+    assert disk.stats.page_reads == 1  # second access is a hit
+    assert disk.stats.buffer_hits == 1
+
+
+def test_lru_eviction_order():
+    disk, ids = make_disk_with_pages(3)
+    pool = BufferPool(disk, capacity=2)
+    pool.get_page(ids[0])
+    pool.get_page(ids[1])
+    pool.get_page(ids[0])          # refresh 0: now 1 is LRU
+    pool.get_page(ids[2])          # evicts 1
+    assert pool.is_resident(ids[0])
+    assert not pool.is_resident(ids[1])
+    assert pool.is_resident(ids[2])
+    assert disk.stats.buffer_evictions == 1
+
+
+def test_clean_eviction_does_not_write():
+    disk, ids = make_disk_with_pages(3)
+    pool = BufferPool(disk, capacity=1)
+    pool.get_page(ids[0])
+    pool.get_page(ids[1])
+    assert disk.stats.page_writes == 0
+
+
+def test_dirty_eviction_writes_back():
+    disk, ids = make_disk_with_pages(2)
+    pool = BufferPool(disk, capacity=1)
+    pool.put_page(Page(ids[0], 32, b"dirty"))
+    assert disk.stats.page_writes == 0  # write-back is lazy
+    pool.get_page(ids[1])               # evicts the dirty frame
+    assert disk.stats.page_writes == 1
+    assert disk.read_page(ids[0]).data == b"dirty"
+
+
+def test_put_page_hit_updates_in_place():
+    disk, ids = make_disk_with_pages(2)
+    pool = BufferPool(disk, capacity=2)
+    pool.get_page(ids[0])
+    pool.put_page(Page(ids[0], 32, b"v2"))
+    assert pool.get_page(ids[0]).data == b"v2"
+    assert disk.stats.page_writes == 0  # still only in the pool
+
+
+def test_flush_writes_dirty_frames_once():
+    disk, ids = make_disk_with_pages(2)
+    pool = BufferPool(disk, capacity=2)
+    pool.put_page(Page(ids[0], 32, b"a"))
+    pool.put_page(Page(ids[1], 32, b"b"))
+    pool.flush()
+    assert disk.stats.page_writes == 2
+    pool.flush()  # nothing dirty anymore
+    assert disk.stats.page_writes == 2
+
+
+def test_repeated_updates_cost_one_physical_write():
+    # The point of write-back: a hot page updated many times hits disk once.
+    disk, ids = make_disk_with_pages(1)
+    pool = BufferPool(disk, capacity=1)
+    for i in range(50):
+        pool.put_page(Page(ids[0], 32, bytes([i])))
+    pool.flush()
+    assert disk.stats.page_writes == 1
+
+
+def test_discard_drops_without_writeback():
+    disk, ids = make_disk_with_pages(1)
+    pool = BufferPool(disk, capacity=1)
+    pool.put_page(Page(ids[0], 32, b"doomed"))
+    pool.discard(ids[0])
+    pool.flush()
+    assert disk.stats.page_writes == 0
+
+
+def test_clear_flushes_and_empties():
+    disk, ids = make_disk_with_pages(2)
+    pool = BufferPool(disk, capacity=2)
+    pool.put_page(Page(ids[0], 32, b"z"))
+    pool.clear()
+    assert pool.num_resident == 0
+    assert disk.read_page(ids[0]).data == b"z"
+
+
+def test_resize_shrink_evicts_lru():
+    disk, ids = make_disk_with_pages(3)
+    pool = BufferPool(disk, capacity=3)
+    for page_id in ids:
+        pool.get_page(page_id)
+    pool.resize(1)
+    assert pool.num_resident == 1
+    assert pool.is_resident(ids[2])  # the most recently used survives
+
+
+def test_fraction_of_disk_sizing():
+    disk, _ = make_disk_with_pages(200)
+    pool = BufferPool.fraction_of_disk(disk, fraction=0.02)
+    assert pool.capacity == 4  # 2% of 200
+    small = BufferPool.fraction_of_disk(disk, fraction=0.001, minimum=4)
+    assert small.capacity == 4  # floor applies
+
+
+def test_invalid_capacity_and_fraction():
+    disk, _ = make_disk_with_pages(1)
+    with pytest.raises(StorageError):
+        BufferPool(disk, capacity=0)
+    with pytest.raises(StorageError):
+        BufferPool.fraction_of_disk(disk, fraction=0.0)
+    pool = BufferPool(disk, capacity=1)
+    with pytest.raises(StorageError):
+        pool.resize(0)

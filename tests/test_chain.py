@@ -1,0 +1,110 @@
+"""Chain matcher (the Wong et al. adaptation of Section V)."""
+
+import pytest
+
+from repro.core import ChainMatcher, MatchingProblem, greedy_reference_matching
+from repro.data import generate_anticorrelated, generate_independent, generate_zillow
+from repro.errors import MatchingError
+from repro.prefs import generate_preferences
+
+
+def make_problem(n=400, dims=3, nf=25, generator=generate_independent,
+                 seed=120):
+    objects = generator(n, dims, seed=seed)
+    functions = generate_preferences(nf, dims, seed=seed + 1)
+    return MatchingProblem.build(objects, functions)
+
+
+@pytest.mark.parametrize("generator", [
+    generate_independent, generate_anticorrelated,
+])
+def test_matches_greedy_reference(generator):
+    problem = make_problem(generator=generator)
+    matching = ChainMatcher(problem).run()
+    reference = greedy_reference_matching(problem.objects, problem.functions)
+    assert matching.as_set() == reference.as_set()
+
+
+def test_zillow_workload():
+    objects = generate_zillow(400, seed=121)
+    functions = generate_preferences(20, 5, seed=122)
+    problem = MatchingProblem.build(objects, functions)
+    matching = ChainMatcher(problem).run()
+    reference = greedy_reference_matching(objects, functions)
+    assert matching.as_set() == reference.as_set()
+
+
+def test_restart_and_stack_variants_same_matching():
+    problem_a = make_problem(seed=123)
+    problem_b = make_problem(seed=123)
+    restart = ChainMatcher(problem_a, restart=True).run()
+    retained = ChainMatcher(problem_b, restart=False).run()
+    assert restart.as_set() == retained.as_set()
+
+
+def test_stack_retention_needs_fewer_searches():
+    problem_a = make_problem(n=600, nf=60, seed=124)
+    problem_b = make_problem(n=600, nf=60, seed=124)
+    restart = ChainMatcher(problem_a, restart=True)
+    retained = ChainMatcher(problem_b, restart=False)
+    restart.run()
+    retained.run()
+    assert retained.top1_searches <= restart.top1_searches
+
+
+def test_chain_scores_equal_both_directions():
+    # The emitted score must be the same whether the mutual pair closed on
+    # the object side or the function side (canonical arithmetic).
+    problem = make_problem(seed=125)
+    for pair in ChainMatcher(problem).pairs():
+        function = next(
+            f for f in problem.functions if f.fid == pair.function_id
+        )
+        expected = function.score(problem.objects.vector(pair.object_id))
+        assert pair.score == expected  # bitwise
+
+
+def test_filter_mode_equivalent():
+    problem_a = make_problem(seed=126)
+    problem_b = make_problem(seed=126)
+    a = ChainMatcher(problem_a, deletion_mode="delete").run()
+    b = ChainMatcher(problem_b, deletion_mode="filter").run()
+    assert a.as_set() == b.as_set()
+    assert problem_b.tree.num_objects == 400
+
+
+def test_more_functions_than_objects():
+    objects = generate_independent(8, 2, seed=127)
+    functions = generate_preferences(20, 2, seed=128)
+    problem = MatchingProblem.build(objects, functions)
+    matching = ChainMatcher(problem).run()
+    assert len(matching) == 8
+    assert len(matching.unmatched_functions) == 12
+    reference = greedy_reference_matching(objects, functions)
+    assert matching.as_set() == reference.as_set()
+
+
+def test_empty_sides():
+    problem = MatchingProblem.build(generate_independent(5, 2, seed=129), [])
+    assert len(ChainMatcher(problem).run()) == 0
+    problem = MatchingProblem.build(
+        generate_independent(0, 2, seed=130),
+        generate_preferences(3, 2, seed=131),
+    )
+    assert len(ChainMatcher(problem).run()) == 0
+
+
+def test_invalid_deletion_mode():
+    problem = make_problem(n=10, nf=2)
+    with pytest.raises(MatchingError):
+        ChainMatcher(problem, deletion_mode="wipe")
+
+
+def test_function_fanout_variants_agree():
+    results = []
+    for fanout in (4, 64):
+        problem = make_problem(seed=132)
+        results.append(
+            ChainMatcher(problem, function_fanout=fanout).run().as_set()
+        )
+    assert results[0] == results[1]

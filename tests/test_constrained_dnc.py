@@ -1,0 +1,145 @@
+"""Constrained skyline and divide-and-conquer skyline."""
+
+import pytest
+
+from repro.data import generate_anticorrelated, generate_independent
+from repro.geometry import MBR
+from repro.rtree import DiskNodeStore, MemoryNodeStore, RTree
+from repro.skyline import (
+    canonical_skyline_naive,
+    constrained_skyline,
+    dnc_skyline,
+    update_after_removal,
+)
+
+
+def build(dataset, disk=False):
+    store = DiskNodeStore(dataset.dims) if disk else MemoryNodeStore(8)
+    return RTree.bulk_load(store, dataset.dims, dataset.items()), store
+
+
+# ----------------------------------------------------------------------
+# D&C skyline
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("generator,dims", [
+    (generate_independent, 2),
+    (generate_independent, 4),
+    (generate_anticorrelated, 3),
+])
+def test_dnc_matches_naive(generator, dims):
+    items = list(generator(500, dims, seed=250).items())
+    assert dnc_skyline(items) == canonical_skyline_naive(items)
+
+
+def test_dnc_edge_cases():
+    assert dnc_skyline([]) == []
+    assert dnc_skyline([(3, (0.1, 0.9))]) == [(3, (0.1, 0.9))]
+    duplicates = [(i, (0.5, 0.5)) for i in (7, 2, 9)]
+    assert dnc_skyline(duplicates) == [(2, (0.5, 0.5))]
+
+
+def test_dnc_identical_points_bigger_than_base_case():
+    items = [(i, (0.4, 0.6, 0.2)) for i in range(40)]
+    assert dnc_skyline(items) == [(0, (0.4, 0.6, 0.2))]
+
+
+def test_dnc_boundary_ties_on_split_axis():
+    # Points sharing the split-axis value where one dominates the other:
+    # the regression case for value-based partitioning.
+    items = [(0, (0.5, 0.1)), (1, (0.5, 0.9)), (2, (0.2, 0.3))] + [
+        (3 + i, (0.5, 0.05 + i / 100)) for i in range(20)
+    ]
+    assert dnc_skyline(items) == canonical_skyline_naive(items)
+
+
+def test_dnc_with_coarse_grid_ties():
+    import itertools
+
+    items = [
+        (i, (x / 3, y / 3))
+        for i, (x, y) in enumerate(
+            itertools.product(range(4), repeat=2)
+        )
+    ] * 1
+    items = items + [(100 + i, p) for i, (_, p) in enumerate(items[:5])]
+    assert dnc_skyline(items) == canonical_skyline_naive(items)
+
+
+# ----------------------------------------------------------------------
+# Constrained skyline
+# ----------------------------------------------------------------------
+def constrained_oracle(items, region):
+    inside = [
+        (oid, p) for oid, p in items if region.contains_point(p)
+    ]
+    return canonical_skyline_naive(inside)
+
+
+@pytest.mark.parametrize("low,high", [
+    ((0.0, 0.0), (1.0, 1.0)),      # unconstrained
+    ((0.2, 0.3), (0.7, 0.9)),      # interior window
+    ((0.0, 0.0), (0.3, 0.3)),      # low corner
+    ((0.9, 0.9), (1.0, 1.0)),      # possibly empty
+])
+def test_constrained_matches_oracle(low, high):
+    dataset = generate_independent(600, 2, seed=251)
+    tree, _ = build(dataset)
+    region = MBR(low, high)
+    state = constrained_skyline(tree, region)
+    want = [oid for oid, _ in constrained_oracle(list(dataset.items()), region)]
+    assert sorted(state.ids()) == want
+
+
+def test_constrained_higher_dims():
+    dataset = generate_anticorrelated(500, 3, seed=252)
+    tree, _ = build(dataset)
+    region = MBR((0.1, 0.1, 0.1), (0.8, 0.8, 0.8))
+    state = constrained_skyline(tree, region)
+    want = [oid for oid, _ in constrained_oracle(list(dataset.items()), region)]
+    assert sorted(state.ids()) == want
+
+
+def test_constrained_dims_mismatch():
+    dataset = generate_independent(20, 2, seed=253)
+    tree, _ = build(dataset)
+    with pytest.raises(ValueError):
+        constrained_skyline(tree, MBR((0.0,), (1.0,)))
+
+
+def test_constrained_supports_incremental_maintenance():
+    from repro.skyline import constrained_update_after_removal
+
+    dataset = generate_independent(400, 2, seed=254)
+    tree, _ = build(dataset)
+    region = MBR((0.1, 0.1), (0.9, 0.9))
+    state = constrained_skyline(tree, region)
+    remaining = {
+        oid: p for oid, p in dataset.items() if region.contains_point(p)
+    }
+    for _ in range(15):
+        victim = state.ids()[0]
+        del remaining[victim]
+        constrained_update_after_removal(
+            tree, region, state, state.remove(victim)
+        )
+        want = [oid for oid, _ in canonical_skyline_naive(
+            list(remaining.items())
+        )]
+        assert sorted(state.ids()) == want
+
+
+def test_constrained_skyline_reads_less_than_full_bbs():
+    dataset = generate_independent(5000, 3, seed=255)
+    tree, store = build(dataset, disk=True)
+    store.buffer.resize(4)
+    store.buffer.clear()
+    store.disk.stats.reset()
+    constrained_skyline(tree, MBR((0.4, 0.4, 0.4), (0.6, 0.6, 0.6)))
+    constrained_reads = store.disk.stats.page_reads
+    store.buffer.clear()
+    store.disk.stats.reset()
+    from repro.skyline import compute_skyline
+
+    compute_skyline(tree)
+    full_reads = store.disk.stats.page_reads
+    assert constrained_reads <= full_reads

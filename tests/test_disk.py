@@ -1,0 +1,92 @@
+"""Unit tests for the simulated disk manager."""
+
+import pytest
+
+from repro.errors import PageNotFoundError, PageSizeError
+from repro.storage import DiskManager, Page
+
+
+def test_allocate_returns_distinct_ids():
+    disk = DiskManager()
+    ids = [disk.allocate() for _ in range(10)]
+    assert len(set(ids)) == 10
+    assert disk.num_pages == 10
+
+
+def test_allocation_is_free_of_io():
+    disk = DiskManager()
+    disk.allocate()
+    assert disk.stats.io_accesses == 0
+    assert disk.stats.pages_allocated == 1
+
+
+def test_read_write_roundtrip_counts_io():
+    disk = DiskManager(page_size=64)
+    page_id = disk.allocate()
+    disk.write_page(Page(page_id, 64, b"payload"))
+    page = disk.read_page(page_id)
+    assert page.data == b"payload"
+    assert disk.stats.page_writes == 1
+    assert disk.stats.page_reads == 1
+    assert disk.stats.io_accesses == 2
+
+
+def test_read_unallocated_page_fails():
+    disk = DiskManager()
+    with pytest.raises(PageNotFoundError) as excinfo:
+        disk.read_page(99)
+    assert excinfo.value.page_id == 99
+
+
+def test_write_unallocated_page_fails():
+    disk = DiskManager(page_size=32)
+    with pytest.raises(PageNotFoundError):
+        disk.write_page(Page(5, 32, b"x"))
+
+
+def test_write_wrong_page_size_fails():
+    disk = DiskManager(page_size=32)
+    page_id = disk.allocate()
+    with pytest.raises(PageSizeError):
+        disk.write_page(Page(page_id, 64, b"x"))
+
+
+def test_free_releases_and_reuses_ids():
+    disk = DiskManager()
+    first = disk.allocate()
+    disk.free(first)
+    assert not disk.exists(first)
+    assert disk.num_pages == 0
+    again = disk.allocate()
+    assert again == first  # freed ids are recycled
+    assert disk.stats.pages_freed == 1
+    assert disk.stats.pages_allocated == 2
+
+
+def test_free_unallocated_fails():
+    disk = DiskManager()
+    with pytest.raises(PageNotFoundError):
+        disk.free(1)
+
+
+def test_read_after_free_fails():
+    disk = DiskManager()
+    page_id = disk.allocate()
+    disk.free(page_id)
+    with pytest.raises(PageNotFoundError):
+        disk.read_page(page_id)
+
+
+def test_invalid_page_size():
+    with pytest.raises(PageSizeError):
+        DiskManager(page_size=0)
+
+
+def test_shared_stats_object():
+    from repro.storage import IOStats
+
+    stats = IOStats()
+    disk = DiskManager(stats=stats)
+    page_id = disk.allocate()
+    disk.read_page(page_id)
+    assert stats.page_reads == 1

@@ -1,0 +1,76 @@
+"""Dominance relation unit tests."""
+
+import pytest
+
+from repro.errors import DimensionalityError
+from repro.skyline import (
+    canonical_skyline_naive,
+    dominance_counts,
+    dominates,
+    is_skyline_member,
+    weakly_dominates,
+)
+
+
+def test_strict_dominance():
+    assert dominates((0.5, 0.5), (0.4, 0.5))
+    assert dominates((0.5, 0.6), (0.4, 0.5))
+    assert not dominates((0.5, 0.5), (0.5, 0.5))  # equality is not strict
+    assert not dominates((0.6, 0.4), (0.4, 0.6))  # incomparable
+    assert not dominates((0.4, 0.5), (0.5, 0.5))
+
+
+def test_weak_dominance():
+    assert weakly_dominates((0.5, 0.5), (0.5, 0.5))
+    assert weakly_dominates((0.6, 0.5), (0.5, 0.5))
+    assert not weakly_dominates((0.6, 0.4), (0.5, 0.5))
+
+
+def test_dominance_is_transitive_on_example():
+    a, b, c = (0.9, 0.9), (0.5, 0.5), (0.1, 0.1)
+    assert dominates(a, b) and dominates(b, c) and dominates(a, c)
+
+
+def test_dominance_dimension_mismatch():
+    with pytest.raises(DimensionalityError):
+        dominates((0.1, 0.2), (0.1, 0.2, 0.3))
+    with pytest.raises(DimensionalityError):
+        weakly_dominates((0.1,), (0.1, 0.2))
+
+
+def test_naive_skyline_simple():
+    items = [
+        (0, (0.9, 0.1)),
+        (1, (0.1, 0.9)),
+        (2, (0.5, 0.5)),
+        (3, (0.4, 0.4)),  # dominated by 2
+        (4, (0.9, 0.05)),  # dominated by 0
+    ]
+    skyline = canonical_skyline_naive(items)
+    assert [oid for oid, _ in skyline] == [0, 1, 2]
+
+
+def test_naive_skyline_duplicates_keep_lowest_id():
+    items = [(3, (0.5, 0.5)), (1, (0.5, 0.5)), (2, (0.9, 0.9))]
+    skyline = canonical_skyline_naive(items)
+    assert [oid for oid, _ in skyline] == [2]
+    # Without the dominating point, the lower duplicate id survives.
+    skyline = canonical_skyline_naive(items[:2])
+    assert [oid for oid, _ in skyline] == [1]
+
+
+def test_single_point_is_skyline():
+    assert canonical_skyline_naive([(7, (0.2, 0.3))]) == [(7, (0.2, 0.3))]
+    assert canonical_skyline_naive([]) == []
+
+
+def test_is_skyline_member():
+    others = [(0.9, 0.1), (0.1, 0.9)]
+    assert is_skyline_member((0.5, 0.5), others)
+    assert not is_skyline_member((0.05, 0.5), others)
+
+
+def test_dominance_counts():
+    items = [(0, (0.9, 0.9)), (1, (0.5, 0.5)), (2, (0.1, 0.1))]
+    counts = dominance_counts(items)
+    assert counts == {0: 0, 1: 1, 2: 2}

@@ -1,0 +1,68 @@
+"""Exception hierarchy: every library error derives from ReproError and
+carries useful context."""
+
+import pytest
+
+from repro.errors import (
+    DatasetError,
+    DimensionalityError,
+    EntryNotFoundError,
+    MatchingError,
+    PageNotFoundError,
+    PageSizeError,
+    PreferenceError,
+    ReproError,
+    RTreeError,
+    SerializationError,
+    StorageError,
+)
+
+
+def test_hierarchy():
+    assert issubclass(StorageError, ReproError)
+    assert issubclass(PageNotFoundError, StorageError)
+    assert issubclass(PageSizeError, StorageError)
+    assert issubclass(RTreeError, ReproError)
+    assert issubclass(EntryNotFoundError, RTreeError)
+    assert issubclass(SerializationError, RTreeError)
+    assert issubclass(PreferenceError, ReproError)
+    assert issubclass(DimensionalityError, ReproError)
+    assert issubclass(MatchingError, ReproError)
+    assert issubclass(DatasetError, ReproError)
+
+
+def test_page_not_found_carries_page_id():
+    error = PageNotFoundError(42)
+    assert error.page_id == 42
+    assert "42" in str(error)
+
+
+def test_entry_not_found_carries_object_id():
+    error = EntryNotFoundError(7)
+    assert error.object_id == 7
+    assert "7" in str(error)
+
+
+def test_dimensionality_error_message():
+    error = DimensionalityError(3, 5, "weights")
+    assert error.expected == 3
+    assert error.got == 5
+    assert "weights" in str(error)
+
+
+def test_one_except_catches_everything():
+    from repro.data import Dataset
+    from repro.prefs import LinearPreference
+    from repro.storage import DiskManager
+
+    failures = 0
+    for action in (
+        lambda: Dataset([[2.0]]),
+        lambda: LinearPreference(0, (0.2, 0.2)),
+        lambda: DiskManager().read_page(1),
+    ):
+        try:
+            action()
+        except ReproError:
+            failures += 1
+    assert failures == 3

@@ -1,0 +1,75 @@
+"""Every example must run end-to-end (at reduced scale)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    module = load_example("quickstart")
+    module.main(n_rooms=800, n_users=30)
+    out = capsys.readouterr().out
+    assert "stability verified" in out
+    assert "I/O accesses (SB)" in out
+
+
+def test_hotel_booking_runs(capsys):
+    module = load_example("hotel_booking")
+    module.main(n_rooms=600, per_segment=10)
+    out = capsys.readouterr().out
+    assert "matched 30 users" in out
+    for segment in ("budget", "family", "business"):
+        assert segment in out
+
+
+def test_real_estate_market_runs(capsys):
+    module = load_example("real_estate_market")
+    module.main(n_homes=800, n_buyers=40)
+    out = capsys.readouterr().out
+    assert "identical stable matching" in out
+    assert "bathrooms" in out
+
+
+def test_room_types_capacity_runs(capsys):
+    module = load_example("room_types_capacity")
+    module.main(n_guests=6)
+    out = capsys.readouterr().out
+    assert "Capacitated matching" in out
+    assert "suite" in out
+    assert "MinPreference" in out
+
+
+def test_figure1_walkthrough_runs(capsys):
+    module = load_example("figure1_walkthrough")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Osky = {a, e}" in out
+    assert "(f1, e)" in out and "(f2, d)" in out
+
+
+def test_task_assignment_runs(capsys):
+    module = load_example("task_assignment")
+    module.main(n_workers=1000, n_jobs=40)
+    out = capsys.readouterr().out
+    assert "skyline" in out
+    assert "re-traversal maintenance" in out
+
+
+def test_examples_have_docstrings_and_main_guard():
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        source = path.read_text()
+        assert source.lstrip().startswith('"""'), path.name
+        assert 'if __name__ == "__main__":' in source, path.name

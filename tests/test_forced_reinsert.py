@@ -1,0 +1,91 @@
+"""R* forced reinsertion."""
+
+import random
+
+import pytest
+
+from tests.conftest import check_rtree_invariants
+from repro.data import generate_clustered, generate_independent
+from repro.rtree import DiskNodeStore, MemoryNodeStore, RTree, top1
+
+
+def grow(tree, dataset):
+    for object_id, point in dataset.items():
+        tree.insert(object_id, point)
+    return tree
+
+
+def test_content_identical_with_and_without_reinsertion():
+    dataset = generate_independent(600, 3, seed=300)
+    with_reinsert = grow(
+        RTree(MemoryNodeStore(6), dims=3, forced_reinsert=True), dataset
+    )
+    without = grow(RTree(MemoryNodeStore(6), dims=3), dataset)
+    assert sorted(with_reinsert.iter_objects()) == sorted(without.iter_objects())
+    check_rtree_invariants(with_reinsert)
+
+
+def test_queries_agree():
+    dataset = generate_independent(500, 2, seed=301)
+    tree = grow(
+        RTree(MemoryNodeStore(6), dims=2, forced_reinsert=True), dataset
+    )
+    plain = grow(RTree(MemoryNodeStore(6), dims=2), dataset)
+    for weights in [(0.5, 0.5), (0.9, 0.1), (0.2, 0.8)]:
+        assert top1(tree, weights)[0] == top1(plain, weights)[0]
+
+
+def test_survives_delete_insert_churn():
+    dataset = generate_independent(400, 3, seed=302)
+    points = dict(dataset.items())
+    tree = grow(
+        RTree(MemoryNodeStore(5), dims=3, forced_reinsert=True), dataset
+    )
+    rng = random.Random(1)
+    alive = set(dataset.ids)
+    for _ in range(400):
+        if alive and rng.random() < 0.5:
+            victim = rng.choice(sorted(alive))
+            tree.delete(victim, points[victim])
+            alive.remove(victim)
+        else:
+            candidates = sorted(set(points) - alive)
+            if not candidates:
+                continue
+            newcomer = rng.choice(candidates)
+            tree.insert(newcomer, points[newcomer])
+            alive.add(newcomer)
+    assert {oid for oid, _ in tree.iter_objects()} == alive
+    check_rtree_invariants(tree)
+
+
+def test_reinsertion_tends_to_pack_clustered_data_tighter():
+    # On clustered data, redistributing distant entries should not
+    # produce a *larger* tree than plain splitting.
+    dataset = generate_clustered(1500, 3, clusters=6, seed=303)
+    with_reinsert = grow(
+        RTree(DiskNodeStore(3), dims=3, forced_reinsert=True), dataset
+    )
+    without = grow(RTree(DiskNodeStore(3), dims=3), dataset)
+    assert with_reinsert.stats().num_nodes <= without.stats().num_nodes * 1.1
+
+
+def test_matching_unchanged_by_reinsertion():
+    from repro.core import MatchingProblem, SkylineMatcher, greedy_reference_matching
+    from repro.prefs import generate_preferences
+    from repro.storage import DiskManager, BufferPool
+    from repro.rtree import DiskNodeStore
+
+    objects = generate_independent(500, 3, seed=304)
+    functions = generate_preferences(20, 3, seed=305)
+    disk = DiskManager()
+    buffer = BufferPool(disk, capacity=256)
+    store = DiskNodeStore(3, disk=disk, buffer=buffer)
+    tree = RTree(store, dims=3, forced_reinsert=True)
+    for object_id, point in objects.items():
+        tree.insert(object_id, point)
+    problem = MatchingProblem(objects, functions, tree, disk, buffer)
+    matching = SkylineMatcher(problem).run()
+    assert matching.as_set() == greedy_reference_matching(
+        objects, functions
+    ).as_set()

@@ -1,0 +1,77 @@
+"""Gale-Shapley deferred acceptance and the greedy reference."""
+
+from repro.core import gale_shapley, greedy_reference_matching
+from repro.data import Dataset
+from repro.prefs import LinearPreference
+
+
+def test_classic_textbook_instance():
+    # A classic 3x3 instance with distinct stable matchings for the two
+    # proposal directions; proposer-optimality must hold.
+    men = {
+        0: [0, 1, 2],
+        1: [1, 0, 2],
+        2: [0, 1, 2],
+    }
+    women = {
+        0: [1, 0, 2],
+        1: [0, 1, 2],
+        2: [0, 1, 2],
+    }
+    result = gale_shapley(men, women)
+    # Man 0 proposes w0; man 1 proposes w1; both rejected later? Verify
+    # no blocking pair under the explicit lists instead of a hard-coded
+    # answer:
+    assert sorted(result) == [0, 1, 2]
+    assert sorted(result.values()) == [0, 1, 2]
+    _assert_no_blocking(men, women, result)
+
+
+def _assert_no_blocking(proposer_prefs, acceptor_prefs, matching):
+    acceptor_of = matching
+    proposer_of = {a: p for p, a in matching.items()}
+    for p, prefs in proposer_prefs.items():
+        current_rank = (
+            prefs.index(acceptor_of[p]) if p in acceptor_of else len(prefs)
+        )
+        for better in prefs[:current_rank]:
+            # p prefers `better`; does `better` prefer p back?
+            a_prefs = acceptor_prefs[better]
+            current_partner = proposer_of.get(better)
+            if current_partner is None:
+                raise AssertionError(f"blocking pair ({p}, {better})")
+            if a_prefs.index(p) < a_prefs.index(current_partner):
+                raise AssertionError(f"blocking pair ({p}, {better})")
+
+
+def test_unbalanced_sides():
+    proposers = {0: [0], 1: [0]}
+    acceptors = {0: [1, 0]}
+    result = gale_shapley(proposers, acceptors)
+    assert result == {1: 0}  # acceptor 0 prefers proposer 1
+
+
+def test_unranked_partners_never_matched():
+    proposers = {0: [1]}       # proposer 0 only accepts acceptor 1
+    acceptors = {0: [0]}       # acceptor 0 exists but is not ranked by 0
+    assert gale_shapley(proposers, acceptors) == {}
+
+
+def test_greedy_reference_tie_breaks():
+    # Two functions with identical weights and two duplicate objects:
+    # ties resolve by (fid, oid).
+    objects = Dataset([[0.5, 0.5], [0.5, 0.5]])
+    functions = [
+        LinearPreference(0, (0.5, 0.5)),
+        LinearPreference(1, (0.5, 0.5)),
+    ]
+    matching = greedy_reference_matching(objects, functions)
+    assert matching.as_dict() == {0: 0, 1: 1}
+
+
+def test_greedy_reference_rank_round_metadata():
+    objects = Dataset([[0.9, 0.9], [0.1, 0.1]])
+    functions = [LinearPreference(0, (0.5, 0.5)), LinearPreference(1, (0.5, 0.5))]
+    matching = greedy_reference_matching(objects, functions)
+    assert [p.rank for p in matching.pairs] == [0, 1]
+    assert matching.pairs[0].score > matching.pairs[1].score

@@ -1,0 +1,109 @@
+"""Hilbert curve index and Hilbert bulk loading."""
+
+import itertools
+
+import pytest
+
+from tests.conftest import check_rtree_invariants
+from repro.data import generate_independent, generate_zillow
+from repro.errors import RTreeError
+from repro.rtree import (
+    DiskNodeStore,
+    MemoryNodeStore,
+    RTree,
+    hilbert_bulk_load,
+    hilbert_index,
+    hilbert_key_for_point,
+    top1,
+)
+
+
+def test_hilbert_is_a_bijection_2d():
+    order = 3
+    seen = {}
+    for x, y in itertools.product(range(1 << order), repeat=2):
+        seen[hilbert_index((x, y), order)] = (x, y)
+    assert len(seen) == (1 << order) ** 2
+    assert set(seen) == set(range((1 << order) ** 2))
+
+
+def test_hilbert_is_a_bijection_3d():
+    order = 2
+    indices = {
+        hilbert_index(coords, order)
+        for coords in itertools.product(range(1 << order), repeat=3)
+    }
+    assert indices == set(range((1 << order) ** 3))
+
+
+def test_hilbert_consecutive_cells_are_adjacent():
+    # The defining locality property: consecutive curve positions are
+    # lattice neighbors (L1 distance exactly 1).
+    order = 4
+    by_index = {}
+    for x, y in itertools.product(range(1 << order), repeat=2):
+        by_index[hilbert_index((x, y), order)] = (x, y)
+    for i in range(len(by_index) - 1):
+        ax, ay = by_index[i]
+        bx, by = by_index[i + 1]
+        assert abs(ax - bx) + abs(ay - by) == 1, i
+
+
+def test_hilbert_validation():
+    with pytest.raises(RTreeError):
+        hilbert_index((), 4)
+    with pytest.raises(RTreeError):
+        hilbert_index((16,), 4)  # out of range for order 4
+    with pytest.raises(RTreeError):
+        hilbert_index((-1, 0), 4)
+
+
+def test_key_for_point_clamps_and_discretizes():
+    assert hilbert_key_for_point((0.0, 0.0)) == hilbert_key_for_point(
+        (-0.5, -0.5)
+    )
+    assert hilbert_key_for_point((1.0, 1.0)) == hilbert_key_for_point(
+        (2.0, 2.0)
+    )
+    # Distinct points get distinct keys at default precision.
+    assert hilbert_key_for_point((0.1, 0.2)) != hilbert_key_for_point(
+        (0.2, 0.1)
+    )
+
+
+def test_hilbert_bulk_load_contains_everything():
+    dataset = generate_independent(1200, 3, seed=240)
+    tree = hilbert_bulk_load(DiskNodeStore(3), 3, dataset.items())
+    assert tree.num_objects == 1200
+    assert sorted(oid for oid, _ in tree.iter_objects()) == dataset.ids
+    check_rtree_invariants(tree)
+
+
+def test_hilbert_bulk_load_empty_and_validation():
+    tree = hilbert_bulk_load(MemoryNodeStore(8), 2, [])
+    assert tree.num_objects == 0
+    with pytest.raises(RTreeError):
+        hilbert_bulk_load(MemoryNodeStore(8), 2, [(0, (0.1, 0.2))], fill=0.0)
+
+
+def test_hilbert_tree_supports_queries_and_updates():
+    dataset = generate_independent(800, 3, seed=241)
+    tree = hilbert_bulk_load(MemoryNodeStore(16), 3, dataset.items())
+    weights = (0.5, 0.3, 0.2)
+    str_tree = RTree.bulk_load(MemoryNodeStore(16), 3, dataset.items())
+    assert top1(tree, weights)[0] == top1(str_tree, weights)[0]
+    points = dict(dataset.items())
+    for object_id in dataset.ids[:50]:
+        tree.delete(object_id, points[object_id])
+    assert tree.num_objects == 750
+    check_rtree_invariants(tree)
+
+
+def test_hilbert_and_str_have_comparable_size():
+    dataset = generate_zillow(3000, seed=242)
+    str_store = DiskNodeStore(5)
+    RTree.bulk_load(str_store, 5, dataset.items())
+    hilbert_store = DiskNodeStore(5)
+    hilbert_bulk_load(hilbert_store, 5, dataset.items())
+    ratio = hilbert_store.disk.num_pages / str_store.disk.num_pages
+    assert 0.8 <= ratio <= 1.25

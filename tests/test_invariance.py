@@ -1,0 +1,117 @@
+"""Invariance: the matching must never depend on storage configuration.
+
+The stable matching is a pure function of the objects, the functions and
+the tie discipline. Page size, bulk-load fill factor, packing strategy,
+buffer capacity and buffer policy change *costs* only. Any leak of
+storage layout into results would indicate an arithmetic- or
+order-dependency bug, so these tests pin the result across the whole
+configuration space.
+"""
+
+import pytest
+
+from repro.core import (
+    BruteForceMatcher,
+    ChainMatcher,
+    MatchingProblem,
+    SkylineMatcher,
+    greedy_reference_matching,
+)
+from repro.data import generate_anticorrelated, generate_zillow
+from repro.prefs import generate_preferences
+from repro.rtree import DiskNodeStore, RTree, hilbert_bulk_load
+from repro.storage import DiskManager, make_buffer
+
+
+@pytest.fixture(scope="module")
+def workload():
+    objects = generate_anticorrelated(700, 3, seed=280)
+    functions = generate_preferences(40, 3, seed=281)
+    reference = greedy_reference_matching(objects, functions)
+    return objects, functions, reference.as_set()
+
+
+@pytest.mark.parametrize("page_size", [1024, 2048, 4096, 16384])
+def test_page_size_does_not_change_the_matching(workload, page_size):
+    objects, functions, want = workload
+    problem = MatchingProblem.build(objects, functions, page_size=page_size)
+    assert SkylineMatcher(problem).run().as_set() == want
+
+
+@pytest.mark.parametrize("fill", [0.5, 0.7, 1.0])
+def test_fill_factor_does_not_change_the_matching(workload, fill):
+    objects, functions, want = workload
+    problem = MatchingProblem.build(objects, functions, fill=fill)
+    assert BruteForceMatcher(problem).run().as_set() == want
+
+
+@pytest.mark.parametrize("capacity", [1, 4, 64, 4096])
+def test_buffer_capacity_does_not_change_the_matching(workload, capacity):
+    objects, functions, want = workload
+    problem = MatchingProblem.build(
+        objects, functions, buffer_capacity=capacity
+    )
+    assert ChainMatcher(problem).run().as_set() == want
+
+
+@pytest.mark.parametrize("policy", ["lru", "clock"])
+def test_buffer_policy_does_not_change_the_matching(workload, policy):
+    objects, functions, want = workload
+    disk = DiskManager()
+    staging = make_buffer(disk, 256, policy)
+    store = DiskNodeStore(objects.dims, disk=disk, buffer=staging)
+    tree = RTree.bulk_load(store, objects.dims, objects.items())
+    staging.flush()
+    store.buffer = make_buffer(disk, 4, policy)
+    problem = MatchingProblem(objects, functions, tree, disk, store.buffer)
+    assert SkylineMatcher(problem).run().as_set() == want
+
+
+def test_packing_strategy_does_not_change_the_matching(workload):
+    objects, functions, want = workload
+    disk = DiskManager()
+    staging = make_buffer(disk, 256, "lru")
+    store = DiskNodeStore(objects.dims, disk=disk, buffer=staging)
+    tree = hilbert_bulk_load(store, objects.dims, objects.items())
+    staging.flush()
+    problem = MatchingProblem(objects, functions, tree, disk, staging)
+    assert SkylineMatcher(problem).run().as_set() == want
+    problem_b = problem.rebuild()  # rebuild uses STR
+    assert SkylineMatcher(problem_b).run().as_set() == want
+
+
+def test_incremental_vs_bulk_tree_same_matching(workload):
+    objects, functions, want = workload
+    disk = DiskManager()
+    staging = make_buffer(disk, 512, "lru")
+    store = DiskNodeStore(objects.dims, disk=disk, buffer=staging)
+    tree = RTree(store, objects.dims)
+    for object_id, point in objects.items():
+        tree.insert(object_id, point)
+    problem = MatchingProblem(objects, functions, tree, disk, staging)
+    assert SkylineMatcher(problem).run().as_set() == want
+
+
+def test_split_strategy_does_not_change_the_matching(workload):
+    objects, functions, want = workload
+    disk = DiskManager()
+    staging = make_buffer(disk, 512, "lru")
+    store = DiskNodeStore(objects.dims, disk=disk, buffer=staging)
+    tree = RTree(store, objects.dims, split="quadratic")
+    for object_id, point in objects.items():
+        tree.insert(object_id, point)
+    problem = MatchingProblem(objects, functions, tree, disk, staging)
+    assert BruteForceMatcher(problem).run().as_set() == want
+
+
+def test_zillow_same_matching_across_all_matchers_and_layouts():
+    objects = generate_zillow(600, seed=282)
+    functions = generate_preferences(30, 5, seed=283)
+    results = set()
+    for matcher_cls in (SkylineMatcher, BruteForceMatcher, ChainMatcher):
+        for page_size in (2048, 8192):
+            problem = MatchingProblem.build(
+                objects, functions, page_size=page_size
+            )
+            results.add(frozenset(matcher_cls(problem).run().as_set()))
+    assert len(results) == 1

@@ -1,0 +1,69 @@
+"""CSV dataset round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, generate_independent, load_dataset_csv, save_dataset_csv
+from repro.errors import DatasetError
+
+
+def test_roundtrip_exact(tmp_path):
+    ds = generate_independent(50, 3, seed=90)
+    path = tmp_path / "objects.csv"
+    save_dataset_csv(ds, path)
+    loaded = load_dataset_csv(path)
+    assert loaded.ids == ds.ids
+    assert np.array_equal(loaded.matrix, ds.matrix)  # repr() is lossless
+
+
+def test_roundtrip_custom_ids_and_columns(tmp_path):
+    ds = Dataset([[0.25, 0.75]], ids=[99], name="one")
+    path = tmp_path / "one.csv"
+    save_dataset_csv(ds, path, column_names=["speed", "comfort"])
+    text = path.read_text()
+    assert text.splitlines()[0] == "id,speed,comfort"
+    loaded = load_dataset_csv(path)
+    assert loaded.ids == [99]
+
+
+def test_column_name_mismatch(tmp_path):
+    ds = Dataset([[0.5, 0.5]])
+    with pytest.raises(DatasetError):
+        save_dataset_csv(ds, tmp_path / "x.csv", column_names=["only-one"])
+
+
+def test_load_with_normalization(tmp_path):
+    path = tmp_path / "raw.csv"
+    path.write_text("id,size,price\n0,10,100\n1,30,300\n")
+    loaded = load_dataset_csv(
+        path, normalize=True, larger_is_better=[True, False]
+    )
+    assert loaded.vector(0) == (0.0, 1.0)
+    assert loaded.vector(1) == (1.0, 0.0)
+
+
+def test_load_rejects_bad_header(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("oid,a\n1,0.5\n")
+    with pytest.raises(DatasetError):
+        load_dataset_csv(path)
+
+
+def test_load_rejects_ragged_rows(tmp_path):
+    path = tmp_path / "ragged.csv"
+    path.write_text("id,a,b\n0,0.1,0.2\n1,0.3\n")
+    with pytest.raises(DatasetError):
+        load_dataset_csv(path)
+
+
+def test_load_skips_blank_lines(tmp_path):
+    path = tmp_path / "blank.csv"
+    path.write_text("id,a\n0,0.5\n\n1,0.6\n")
+    loaded = load_dataset_csv(path)
+    assert len(loaded) == 2
+
+
+def test_default_name_from_stem(tmp_path):
+    path = tmp_path / "hotels.csv"
+    save_dataset_csv(Dataset([[0.1]]), path)
+    assert load_dataset_csv(path).name == "hotels"

@@ -1,0 +1,136 @@
+"""Incremental skyline maintenance (plists) and the re-traversal baseline."""
+
+import random
+
+import pytest
+
+from repro.data import generate_anticorrelated, generate_independent, generate_zillow
+from repro.rtree import DiskNodeStore, MemoryNodeStore, RTree
+from repro.skyline import (
+    canonical_skyline_naive,
+    compute_skyline,
+    recompute_with_pruning,
+    update_after_removal,
+)
+
+
+def build(dataset):
+    store = DiskNodeStore(dataset.dims)
+    tree = RTree.bulk_load(store, dataset.dims, dataset.items())
+    return tree, store
+
+
+def oracle_ids(remaining):
+    return [oid for oid, _ in canonical_skyline_naive(list(remaining.items()))]
+
+
+@pytest.mark.parametrize("generator,dims", [
+    (generate_independent, 3),
+    (generate_anticorrelated, 4),
+])
+def test_single_removals_match_oracle(generator, dims):
+    dataset = generator(500, dims, seed=43)
+    tree, _ = build(dataset)
+    state = compute_skyline(tree)
+    remaining = dict(dataset.items())
+    rng = random.Random(7)
+    for _ in range(40):
+        victim = rng.choice(state.ids())
+        del remaining[victim]
+        orphans = state.remove(victim)
+        admitted = update_after_removal(tree, state, orphans)
+        assert sorted(state.ids()) == oracle_ids(_as_items(remaining))
+        for object_id in admitted:
+            assert object_id in state
+
+
+def _as_items(remaining):
+    class _Shim:
+        def items(self):
+            return iter(sorted(remaining.items()))
+    return _Shim()
+
+
+def test_batch_removal_multiple_members_at_once():
+    # Section IV-C removes several skyline members per loop; their plists
+    # are concatenated and processed by one maintenance call.
+    dataset = generate_independent(600, 3, seed=44)
+    tree, _ = build(dataset)
+    state = compute_skyline(tree)
+    remaining = dict(dataset.items())
+    rng = random.Random(11)
+    for _ in range(8):
+        batch = rng.sample(state.ids(), k=min(3, len(state.ids())))
+        orphans = []
+        for victim in batch:
+            del remaining[victim]
+            orphans.extend(state.remove(victim))
+        update_after_removal(tree, state, orphans)
+        assert sorted(state.ids()) == oracle_ids(_as_items(remaining))
+
+
+def test_removal_to_exhaustion():
+    dataset = generate_independent(150, 2, seed=45)
+    tree, _ = build(dataset)
+    state = compute_skyline(tree)
+    removed = 0
+    while len(state):
+        victim = state.ids()[0]
+        orphans = state.remove(victim)
+        update_after_removal(tree, state, orphans)
+        removed += 1
+    assert removed == 150  # every object eventually surfaced in the skyline
+
+
+def test_retraversal_matches_plist_maintenance():
+    dataset = generate_anticorrelated(400, 3, seed=46)
+    tree_a, _ = build(dataset)
+    tree_b, _ = build(dataset)
+    state_a = compute_skyline(tree_a)
+    state_b = compute_skyline(tree_b)
+    excluded = set()
+    rng = random.Random(13)
+    for _ in range(25):
+        victim = rng.choice(state_a.ids())
+        excluded.add(victim)
+        orphans = state_a.remove(victim)
+        update_after_removal(tree_a, state_a, orphans)
+        state_b.remove(victim)
+        recompute_with_pruning(tree_b, state_b, excluded)
+        assert sorted(state_a.ids()) == sorted(state_b.ids())
+
+
+def test_plist_maintenance_cheaper_than_retraversal():
+    dataset = generate_zillow(3000, seed=47)
+    tree_a, store_a = build(dataset)
+    tree_b, store_b = build(dataset)
+    for store in (store_a, store_b):
+        store.buffer.resize(4)
+
+    state_a = compute_skyline(tree_a)
+    state_b = compute_skyline(tree_b)
+    store_a.disk.stats.reset()
+    store_b.disk.stats.reset()
+    excluded = set()
+    rng = random.Random(17)
+    for _ in range(20):
+        victim = rng.choice(state_a.ids())
+        excluded.add(victim)
+        update_after_removal(tree_a, state_a, state_a.remove(victim))
+        state_b.remove(victim)
+        recompute_with_pruning(tree_b, state_b, excluded)
+    assert (
+        store_a.disk.stats.io_accesses < store_b.disk.stats.io_accesses
+    ), "plists must avoid root re-traversals"
+
+
+def test_duplicates_resurface_after_owner_removed():
+    tree = RTree(MemoryNodeStore(8), dims=2)
+    for i in range(4):
+        tree.insert(i, (0.6, 0.6))
+    state = compute_skyline(tree)
+    assert state.ids() == [0]
+    update_after_removal(tree, state, state.remove(0))
+    assert state.ids() == [1]
+    update_after_removal(tree, state, state.remove(1))
+    assert state.ids() == [2]

@@ -1,0 +1,116 @@
+"""Unit tests for MBR geometry and score/dominance bounds."""
+
+import pytest
+
+from repro.errors import DimensionalityError
+from repro.geometry import MBR
+
+
+def box(lo, hi):
+    return MBR(lo, hi)
+
+
+def test_point_box():
+    point = MBR.from_point((0.2, 0.7))
+    assert point.is_point
+    assert point.low == point.high == (0.2, 0.7)
+    assert point.area() == 0.0
+
+
+def test_invalid_corners():
+    with pytest.raises(ValueError):
+        MBR((0.5, 0.5), (0.4, 0.6))
+    with pytest.raises(DimensionalityError):
+        MBR((0.1,), (0.2, 0.3))
+
+
+def test_area_margin_center():
+    b = box((0.0, 0.0), (0.5, 0.25))
+    assert b.area() == pytest.approx(0.125)
+    assert b.margin() == pytest.approx(0.75)
+    assert b.center() == (0.25, 0.125)
+
+
+def test_union_covers_both():
+    a = box((0.0, 0.2), (0.3, 0.5))
+    b = box((0.2, 0.0), (0.6, 0.3))
+    u = a.union(b)
+    assert u.low == (0.0, 0.0)
+    assert u.high == (0.6, 0.5)
+    assert u.contains(a) and u.contains(b)
+
+
+def test_union_all():
+    boxes = [MBR.from_point((x / 10, 1 - x / 10)) for x in range(11)]
+    u = MBR.union_all(boxes)
+    assert u.low == (0.0, 0.0)
+    assert u.high == (1.0, 1.0)
+    with pytest.raises(ValueError):
+        MBR.union_all([])
+
+
+def test_intersects_and_overlap_area():
+    a = box((0.0, 0.0), (0.5, 0.5))
+    b = box((0.4, 0.4), (0.9, 0.9))
+    c = box((0.6, 0.6), (0.8, 0.8))
+    assert a.intersects(b)
+    assert not a.intersects(c)
+    assert a.overlap_area(b) == pytest.approx(0.01)
+    assert a.overlap_area(c) == 0.0
+    # Touching boxes intersect but overlap zero area.
+    d = box((0.5, 0.0), (0.9, 0.5))
+    assert a.intersects(d)
+    assert a.overlap_area(d) == 0.0
+
+
+def test_contains_point():
+    b = box((0.1, 0.1), (0.4, 0.4))
+    assert b.contains_point((0.1, 0.4))
+    assert b.contains_point((0.25, 0.25))
+    assert not b.contains_point((0.05, 0.2))
+    with pytest.raises(DimensionalityError):
+        b.contains_point((0.1,))
+
+
+def test_enlargement():
+    a = box((0.0, 0.0), (0.5, 0.5))
+    inside = box((0.1, 0.1), (0.2, 0.2))
+    assert a.enlargement(inside) == pytest.approx(0.0)
+    outside = box((0.0, 0.0), (1.0, 0.5))
+    assert a.enlargement(outside) == pytest.approx(0.25)
+
+
+def test_upper_and_lower_score():
+    b = box((0.2, 0.4), (0.6, 0.8))
+    weights = (0.5, 0.5)
+    assert b.upper_score(weights) == pytest.approx(0.7)
+    assert b.lower_score(weights) == pytest.approx(0.3)
+    # Every contained point's score lies between the bounds.
+    for point in [(0.2, 0.4), (0.6, 0.8), (0.3, 0.7)]:
+        score = 0.5 * point[0] + 0.5 * point[1]
+        assert b.lower_score(weights) <= score <= b.upper_score(weights)
+
+
+def test_mindist_to_best_is_l1_to_ideal():
+    b = box((0.1, 0.1), (0.6, 0.9))
+    assert b.mindist_to_best() == pytest.approx((1 - 0.6) + (1 - 0.9))
+    ideal = MBR.from_point((1.0, 1.0))
+    assert ideal.mindist_to_best() == 0.0
+
+
+def test_dominated_by_point_prunes_whole_box():
+    b = box((0.1, 0.1), (0.5, 0.5))
+    assert b.dominated_by_point((0.5, 0.5))   # equality prunes (paper's
+    assert b.dominated_by_point((0.9, 0.6))   # "equal or better")
+    assert not b.dominated_by_point((0.4, 0.9))
+    with pytest.raises(DimensionalityError):
+        b.dominated_by_point((1.0,))
+
+
+def test_equality_and_hash():
+    a = box((0.0, 0.0), (1.0, 1.0))
+    b = box((0.0, 0.0), (1.0, 1.0))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != box((0.0, 0.0), (1.0, 0.9))
+    assert len({a, b}) == 1

@@ -1,0 +1,149 @@
+"""Monotone (non-linear) preference families and the generic SB matcher."""
+
+import pytest
+
+from repro.core import (
+    GenericSkylineMatcher,
+    MatchingProblem,
+    SkylineMatcher,
+    greedy_monotone_reference,
+    greedy_reference_matching,
+)
+from repro.data import Dataset, generate_anticorrelated, generate_independent
+from repro.errors import DimensionalityError, MatchingError, PreferenceError
+from repro.prefs import (
+    CobbDouglasPreference,
+    LinearPreference,
+    MinPreference,
+    MonotonePreference,
+    QuadraticPreference,
+    is_monotone_on_sample,
+)
+
+
+@pytest.mark.parametrize("cls", [
+    MinPreference, CobbDouglasPreference, QuadraticPreference,
+])
+def test_families_are_monotone(cls):
+    function = cls(0, (0.5, 1.2, 0.3))
+    assert is_monotone_on_sample(function, 3, samples=300, seed=1)
+    assert isinstance(function, MonotonePreference)
+
+
+@pytest.mark.parametrize("cls", [
+    MinPreference, CobbDouglasPreference, QuadraticPreference,
+])
+def test_family_validation(cls):
+    with pytest.raises(PreferenceError):
+        cls(0, ())
+    with pytest.raises(PreferenceError):
+        cls(0, (-0.1, 0.5))
+    with pytest.raises(PreferenceError):
+        cls(0, (0.0, 0.0))
+    function = cls(0, (0.5, 0.5))
+    with pytest.raises(DimensionalityError):
+        function.score((0.1, 0.2, 0.3))
+
+
+def test_min_preference_semantics():
+    f = MinPreference(0, (2.0, 1.0))
+    assert f.score((0.2, 0.9)) == pytest.approx(0.4)   # min(0.4, 0.9)
+    assert f.score((0.9, 0.1)) == pytest.approx(0.1)
+
+
+def test_quadratic_rewards_specialists():
+    f = QuadraticPreference(0, (0.5, 0.5))
+    balanced = f.score((0.5, 0.5))
+    specialist = f.score((1.0, 0.0))
+    assert specialist > balanced  # convexity
+
+
+def test_min_rewards_generalists():
+    f = MinPreference(0, (1.0, 1.0))
+    assert f.score((0.5, 0.5)) > f.score((1.0, 0.0))
+
+
+def test_cobb_douglas_eps_validation():
+    with pytest.raises(PreferenceError):
+        CobbDouglasPreference(0, (1.0,), eps=0.0)
+
+
+@pytest.mark.parametrize("cls", [
+    MinPreference, CobbDouglasPreference, QuadraticPreference,
+])
+def test_generic_matcher_equals_monotone_reference(cls):
+    objects = generate_independent(250, 3, seed=190)
+    functions = [
+        cls(fid, (0.3 + 0.1 * (fid % 5), 1.0, 0.5 + 0.05 * fid))
+        for fid in range(15)
+    ]
+    problem = MatchingProblem.build(objects, [])
+    matching = GenericSkylineMatcher(problem, functions).run()
+    reference = greedy_monotone_reference(objects, functions)
+    assert matching.as_set() == reference.as_set()
+    assert len(matching) == 15
+
+
+def test_generic_matcher_mixed_families():
+    objects = generate_anticorrelated(300, 3, seed=191)
+    functions = [
+        MinPreference(0, (1.0, 1.0, 1.0)),
+        QuadraticPreference(1, (0.2, 0.5, 0.3)),
+        CobbDouglasPreference(2, (0.4, 0.4, 0.2)),
+        MinPreference(3, (2.0, 0.5, 1.0)),
+    ]
+    problem = MatchingProblem.build(objects, [])
+    matching = GenericSkylineMatcher(problem, functions).run()
+    reference = greedy_monotone_reference(objects, functions)
+    assert matching.as_set() == reference.as_set()
+
+
+def test_generic_matcher_agrees_with_linear_sb_on_linear_functions():
+    objects = generate_independent(200, 3, seed=192)
+    from repro.prefs import generate_preferences
+
+    functions = generate_preferences(12, 3, seed=193)
+    problem_a = MatchingProblem.build(objects, functions)
+    linear = SkylineMatcher(problem_a).run()
+    problem_b = MatchingProblem.build(objects, [])
+    generic = GenericSkylineMatcher(problem_b, functions).run()
+    assert linear.as_set() == generic.as_set()
+    assert generic.as_set() == greedy_reference_matching(
+        objects, functions
+    ).as_set()
+
+
+def test_generic_matcher_single_pair_mode():
+    objects = generate_independent(100, 2, seed=194)
+    functions = [MinPreference(fid, (1.0, 1.0 + fid / 10)) for fid in range(6)]
+    problem = MatchingProblem.build(objects, [])
+    multi = GenericSkylineMatcher(problem, functions).run()
+    problem_b = MatchingProblem.build(objects, [])
+    single_matcher = GenericSkylineMatcher(
+        problem_b, functions, multi_pair=False
+    )
+    single = single_matcher.run()
+    assert multi.as_set() == single.as_set()
+    assert single_matcher.rounds == len(single)
+
+
+def test_generic_matcher_validation():
+    objects = generate_independent(20, 2, seed=195)
+    problem = MatchingProblem.build(objects, [])
+    with pytest.raises(DimensionalityError):
+        GenericSkylineMatcher(problem, [MinPreference(0, (1.0, 1.0, 1.0))])
+    with pytest.raises(MatchingError):
+        GenericSkylineMatcher(
+            problem,
+            [MinPreference(0, (1.0, 1.0)), MinPreference(0, (0.5, 1.0))],
+        )
+
+
+def test_min_preference_tie_storm():
+    # Many exact ties: every object scores identically under f.
+    objects = Dataset([[0.5, 0.9], [0.5, 0.8], [0.5, 0.7]])
+    functions = [MinPreference(fid, (1.0, 10.0)) for fid in range(2)]
+    problem = MatchingProblem.build(objects, [])
+    matching = GenericSkylineMatcher(problem, functions).run()
+    reference = greedy_monotone_reference(objects, functions)
+    assert matching.as_set() == reference.as_set()

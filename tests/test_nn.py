@@ -1,0 +1,97 @@
+"""Nearest-neighbor search over the R-tree."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import generate_independent
+from repro.errors import DimensionalityError
+from repro.geometry import MBR
+from repro.rtree import (
+    DiskNodeStore,
+    MemoryNodeStore,
+    NearestNeighborSearch,
+    RTree,
+    k_nearest,
+    mindist,
+    nearest,
+)
+
+
+def build(dataset, disk=False):
+    store = DiskNodeStore(dataset.dims) if disk else MemoryNodeStore(8)
+    return RTree.bulk_load(store, dataset.dims, dataset.items()), store
+
+
+def brute_neighbors(dataset, query):
+    rows = dataset.matrix
+    dists = np.sqrt(((rows - np.asarray(query)) ** 2).sum(axis=1))
+    order = sorted(zip(dists, dataset.ids))
+    return [oid for _, oid in order]
+
+
+def test_mindist_basics():
+    box = MBR((0.2, 0.2), (0.6, 0.6))
+    assert mindist(box, (0.3, 0.4)) == 0.0          # inside
+    assert mindist(box, (0.2, 0.2)) == 0.0          # on the corner
+    assert mindist(box, (0.0, 0.4)) == pytest.approx(0.2)
+    assert mindist(box, (0.8, 0.8)) == pytest.approx(math.sqrt(0.08))
+    with pytest.raises(DimensionalityError):
+        mindist(box, (0.1,))
+
+
+def test_nn_order_matches_brute_force():
+    dataset = generate_independent(400, 3, seed=230)
+    tree, _ = build(dataset)
+    query = (0.3, 0.7, 0.5)
+    got = [oid for oid, _, _ in NearestNeighborSearch(tree, query)]
+    assert got[:50] == brute_neighbors(dataset, query)[:50]
+
+
+def test_nearest_and_k_nearest():
+    dataset = generate_independent(200, 2, seed=231)
+    tree, _ = build(dataset)
+    query = (0.5, 0.5)
+    want = brute_neighbors(dataset, query)
+    assert nearest(tree, query)[0] == want[0]
+    assert [oid for oid, _, _ in k_nearest(tree, query, 7)] == want[:7]
+
+
+def test_distances_are_nondecreasing():
+    dataset = generate_independent(300, 3, seed=232)
+    tree, _ = build(dataset)
+    dists = [d for _, _, d in k_nearest(tree, (0.1, 0.9, 0.4), 60)]
+    assert dists == sorted(dists)
+
+
+def test_excluded_ids_skipped():
+    dataset = generate_independent(100, 2, seed=233)
+    tree, _ = build(dataset)
+    query = (0.2, 0.2)
+    first, second = brute_neighbors(dataset, query)[:2]
+    assert nearest(tree, query, excluded={first})[0] == second
+
+
+def test_empty_tree():
+    tree = RTree(MemoryNodeStore(8), dims=2)
+    assert nearest(tree, (0.5, 0.5)) is None
+    assert k_nearest(tree, (0.5, 0.5), 3) == []
+
+
+def test_equal_distance_ties_by_object_id():
+    tree = RTree(MemoryNodeStore(8), dims=2)
+    tree.insert(9, (0.4, 0.5))
+    tree.insert(2, (0.6, 0.5))  # same distance from (0.5, 0.5)
+    order = [oid for oid, _, _ in k_nearest(tree, (0.5, 0.5), 2)]
+    assert order == [2, 9]
+
+
+def test_nn_on_disk_tree_is_partial_read():
+    dataset = generate_independent(5000, 3, seed=234)
+    tree, store = build(dataset, disk=True)
+    store.buffer.resize(4)
+    store.buffer.clear()
+    store.disk.stats.reset()
+    nearest(tree, (0.5, 0.5, 0.5))
+    assert store.disk.stats.page_reads < store.disk.num_pages / 4

@@ -1,0 +1,69 @@
+"""Unit tests for fixed-size pages."""
+
+import pytest
+
+from repro.errors import PageSizeError
+from repro.storage import DEFAULT_PAGE_SIZE, Page
+
+
+def test_default_page_size_is_4k():
+    # The paper's setup: "an R-tree with 4Kbytes page size".
+    assert DEFAULT_PAGE_SIZE == 4096
+
+
+def test_empty_page():
+    page = Page(3)
+    assert page.page_id == 3
+    assert page.data == b""
+    assert len(page) == 0
+    assert page.size == DEFAULT_PAGE_SIZE
+
+
+def test_write_and_read_back():
+    page = Page(0, size=16)
+    page.write(b"hello")
+    assert page.data == b"hello"
+    assert len(page) == 5
+
+
+def test_overwrite_replaces_payload():
+    page = Page(0, size=16, data=b"first")
+    page.write(b"second")
+    assert page.data == b"second"
+
+
+def test_payload_at_exact_capacity():
+    page = Page(0, size=8)
+    page.write(b"12345678")
+    assert len(page) == 8
+
+
+def test_oversized_payload_rejected():
+    page = Page(0, size=8)
+    with pytest.raises(PageSizeError):
+        page.write(b"123456789")
+
+
+def test_oversized_initial_payload_rejected():
+    with pytest.raises(PageSizeError):
+        Page(0, size=4, data=b"12345")
+
+
+def test_nonpositive_size_rejected():
+    with pytest.raises(PageSizeError):
+        Page(0, size=0)
+    with pytest.raises(PageSizeError):
+        Page(0, size=-1)
+
+
+def test_copy_is_independent():
+    page = Page(7, size=16, data=b"abc")
+    clone = page.copy()
+    clone.write(b"xyz")
+    assert page.data == b"abc"
+    assert clone.page_id == 7
+
+
+def test_data_is_immutable_bytes():
+    page = Page(0, size=16, data=bytearray(b"abc"))
+    assert isinstance(page.data, bytes)

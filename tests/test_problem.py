@@ -1,0 +1,76 @@
+"""MatchingProblem construction and storage wiring."""
+
+import pytest
+
+from repro.core import MatchingProblem
+from repro.data import generate_independent
+from repro.errors import DimensionalityError, MatchingError
+from repro.prefs import LinearPreference, generate_preferences
+
+
+def test_build_wires_tree_disk_buffer():
+    objects = generate_independent(2000, 3, seed=100)
+    functions = generate_preferences(50, 3, seed=101)
+    problem = MatchingProblem.build(objects, functions)
+    assert problem.dims == 3
+    assert problem.tree.num_objects == 2000
+    assert problem.disk.num_pages > 10
+    # 2% buffer, floored at 4 frames.
+    assert problem.buffer.capacity == max(4, int(problem.disk.num_pages * 0.02))
+    # Build cost is recorded but excluded from the live counters.
+    assert problem.build_io.io_accesses > 0
+    assert problem.io_stats.io_accesses == 0
+
+
+def test_build_with_absolute_buffer_capacity():
+    objects = generate_independent(500, 3, seed=102)
+    problem = MatchingProblem.build(objects, [], buffer_capacity=7)
+    assert problem.buffer.capacity == 7
+
+
+def test_dimensionality_mismatch_rejected():
+    objects = generate_independent(10, 3, seed=103)
+    with pytest.raises(DimensionalityError):
+        MatchingProblem.build(objects, [LinearPreference(0, (0.5, 0.5))])
+
+
+def test_duplicate_function_ids_rejected():
+    objects = generate_independent(10, 2, seed=104)
+    functions = [
+        LinearPreference(1, (0.5, 0.5)),
+        LinearPreference(1, (0.4, 0.6)),
+    ]
+    with pytest.raises(MatchingError):
+        MatchingProblem.build(objects, functions)
+
+
+def test_reset_io_gives_cold_start():
+    objects = generate_independent(1500, 3, seed=105)
+    problem = MatchingProblem.build(objects, [])
+    from repro.skyline import compute_skyline
+
+    compute_skyline(problem.tree)
+    assert problem.io_stats.page_reads > 0
+    problem.reset_io()
+    assert problem.io_stats.io_accesses == 0
+    assert problem.buffer.num_resident == 0
+
+
+def test_rebuild_is_equivalent_but_fresh():
+    objects = generate_independent(800, 3, seed=106)
+    functions = generate_preferences(20, 3, seed=107)
+    problem = MatchingProblem.build(objects, functions)
+    points = dict(objects.items())
+    problem.tree.delete(objects.ids[0], points[objects.ids[0]])
+    rebuilt = problem.rebuild()
+    assert rebuilt.tree.num_objects == 800          # mutation not carried over
+    assert rebuilt.disk is not problem.disk
+    assert rebuilt.buffer.capacity == problem.buffer.capacity
+    assert problem.tree.num_objects == 799
+
+
+def test_page_size_controls_tree_pages():
+    objects = generate_independent(3000, 3, seed=108)
+    small = MatchingProblem.build(objects, [], page_size=1024)
+    large = MatchingProblem.build(objects, [], page_size=8192)
+    assert small.disk.num_pages > large.disk.num_pages

@@ -1,0 +1,80 @@
+"""Property-based tests for dominance relations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skyline import canonical_skyline_naive, dominates, weakly_dominates
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def points(dims, min_size=0, max_size=30):
+    return st.lists(
+        st.tuples(*([unit] * dims)), min_size=min_size, max_size=max_size
+    )
+
+
+@given(st.tuples(unit, unit, unit))
+def test_strict_dominance_is_irreflexive(p):
+    assert not dominates(p, p)
+
+
+@given(st.tuples(unit, unit, unit))
+def test_weak_dominance_is_reflexive(p):
+    assert weakly_dominates(p, p)
+
+
+@given(st.tuples(unit, unit), st.tuples(unit, unit))
+def test_strict_dominance_is_antisymmetric(a, b):
+    assert not (dominates(a, b) and dominates(b, a))
+
+
+@given(st.tuples(unit, unit), st.tuples(unit, unit))
+def test_strict_implies_weak(a, b):
+    if dominates(a, b):
+        assert weakly_dominates(a, b)
+
+
+@given(st.tuples(unit, unit, unit), st.tuples(unit, unit, unit),
+       st.tuples(unit, unit, unit))
+def test_weak_dominance_is_transitive(a, b, c):
+    if weakly_dominates(a, b) and weakly_dominates(b, c):
+        assert weakly_dominates(a, c)
+
+
+@given(st.tuples(unit, unit), st.tuples(unit, unit))
+def test_weak_equals_strict_or_equal(a, b):
+    assert weakly_dominates(a, b) == (dominates(a, b) or a == b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points(3))
+def test_skyline_members_are_mutually_incomparable(items):
+    indexed = list(enumerate(items))
+    skyline = canonical_skyline_naive(indexed)
+    for i, (_, a) in enumerate(skyline):
+        for _, b in skyline[i + 1:]:
+            assert not dominates(a, b)
+            assert not dominates(b, a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points(3))
+def test_every_non_member_is_weakly_dominated_by_a_member(items):
+    indexed = list(enumerate(items))
+    skyline = canonical_skyline_naive(indexed)
+    member_ids = {oid for oid, _ in skyline}
+    member_points = [p for _, p in skyline]
+    for oid, point in indexed:
+        if oid in member_ids:
+            continue
+        assert any(weakly_dominates(m, point) for m in member_points)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points(2))
+def test_skyline_is_independent_of_input_order(items):
+    indexed = list(enumerate(items))
+    forward = canonical_skyline_naive(indexed)
+    backward = canonical_skyline_naive(list(reversed(indexed)))
+    assert forward == backward

@@ -1,0 +1,88 @@
+"""Property-based tests of the MBR score/dominance bounds.
+
+These bounds are load-bearing: ranked search and BBS are only correct if
+a box's bound covers every point inside it, bitwise, under the canonical
+arithmetic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import MBR
+from repro.prefs import canonical_score
+from repro.skyline import weakly_dominates
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def boxes_with_inner_point(draw, dims=3):
+    a = draw(st.tuples(*([unit] * dims)))
+    b = draw(st.tuples(*([unit] * dims)))
+    low = tuple(min(x, y) for x, y in zip(a, b))
+    high = tuple(max(x, y) for x, y in zip(a, b))
+    fractions = draw(st.tuples(*([unit] * dims)))
+    inner = tuple(
+        lo + t * (hi - lo) for lo, hi, t in zip(low, high, fractions)
+    )
+    # Clamp: float interpolation can overshoot by an ulp.
+    inner = tuple(min(hi, max(lo, v)) for lo, hi, v in zip(low, high, inner))
+    return MBR(low, high), inner
+
+
+@settings(max_examples=100, deadline=None)
+@given(boxes_with_inner_point(), st.tuples(unit, unit, unit))
+def test_upper_score_covers_every_inner_point(box_and_point, raw_weights):
+    box, inner = box_and_point
+    total = sum(raw_weights)
+    weights = (
+        tuple(w / total for w in raw_weights) if total > 0
+        else (1 / 3, 1 / 3, 1 / 3)
+    )
+    assert canonical_score(weights, inner) <= box.upper_score(weights)
+    assert box.lower_score(weights) <= canonical_score(weights, inner) or (
+        # lower bound may exceed by strictly less than an ulp-level
+        # amount only if the point sits on the low corner; allow exactness
+        inner == box.low
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(boxes_with_inner_point())
+def test_mindist_to_best_lower_bounds_inner_points(box_and_point):
+    box, inner = box_and_point
+    assert box.mindist_to_best() <= MBR.from_point(inner).mindist_to_best()
+
+
+@settings(max_examples=100, deadline=None)
+@given(boxes_with_inner_point(), st.tuples(unit, unit, unit))
+def test_dominated_box_means_every_inner_point_dominated(box_and_point, p):
+    box, inner = box_and_point
+    if box.dominated_by_point(p):
+        assert weakly_dominates(p, inner)
+    # Conversely: dominating the high corner is exactly the criterion.
+    assert box.dominated_by_point(p) == weakly_dominates(p, box.high)
+
+
+@settings(max_examples=100, deadline=None)
+@given(boxes_with_inner_point(), boxes_with_inner_point())
+def test_union_bounds_dominate_parts(a_pair, b_pair):
+    a, _ = a_pair
+    b, _ = b_pair
+    u = a.union(b)
+    weights = (0.2, 0.5, 0.3)
+    assert u.upper_score(weights) >= a.upper_score(weights)
+    assert u.upper_score(weights) >= b.upper_score(weights)
+    assert u.mindist_to_best() <= a.mindist_to_best()
+    assert u.mindist_to_best() <= b.mindist_to_best()
+    assert u.contains(a) and u.contains(b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(boxes_with_inner_point())
+def test_area_margin_nonnegative_and_consistent(box_and_point):
+    box, _ = box_and_point
+    assert box.area() >= 0.0
+    assert box.margin() >= 0.0
+    assert box.overlap_area(box) <= box.area() + 1e-15
+    assert box.enlargement(box) == 0.0

@@ -1,0 +1,82 @@
+"""Property-based end-to-end test: every matcher computes the unique
+stable matching on arbitrary small instances (ties, duplicates and all)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BruteForceMatcher,
+    ChainMatcher,
+    MatchingProblem,
+    SkylineMatcher,
+    greedy_reference_matching,
+)
+from repro.data import Dataset
+from repro.prefs import LinearPreference, canonical_score
+
+# Coarse grids maximize exact score ties.
+coarse = st.integers(min_value=0, max_value=3).map(lambda v: v / 3)
+positive = st.floats(min_value=1e-6, max_value=1.0, allow_nan=False)
+
+instances = st.tuples(
+    st.lists(st.tuples(coarse, coarse), min_size=1, max_size=18),
+    st.lists(st.tuples(positive, positive), min_size=1, max_size=8),
+)
+
+
+def exact_blocking_pairs(matching, objects, functions):
+    """Naive blocking-pair scan in the canonical arithmetic."""
+    score_of_function = {
+        pair.function_id: pair.score for pair in matching.pairs
+    }
+    score_of_object = {pair.object_id: pair.score for pair in matching.pairs}
+    blocking = []
+    for function in functions:
+        current_f = score_of_function.get(function.fid, float("-inf"))
+        for object_id, point in objects.items():
+            score = canonical_score(function.weights, point)
+            current_o = score_of_object.get(object_id, float("-inf"))
+            if score > current_f and score > current_o:
+                blocking.append((function.fid, object_id))
+    return blocking
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances)
+def test_all_matchers_agree_and_are_exactly_stable(instance):
+    raw_points, raw_weights = instance
+    objects = Dataset(raw_points)
+    functions = [
+        LinearPreference.normalized(fid, row)
+        for fid, row in enumerate(raw_weights)
+    ]
+    reference = greedy_reference_matching(objects, functions)
+    assert exact_blocking_pairs(reference, objects, functions) == []
+
+    for matcher_cls in (SkylineMatcher, BruteForceMatcher, ChainMatcher):
+        problem = MatchingProblem.build(objects, functions)
+        matching = matcher_cls(problem).run()
+        assert matching.as_set() == reference.as_set(), matcher_cls.__name__
+        assert len(matching) == min(len(objects), len(functions))
+        assert exact_blocking_pairs(matching, objects, functions) == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances)
+def test_sb_variants_agree(instance):
+    raw_points, raw_weights = instance
+    objects = Dataset(raw_points)
+    functions = [
+        LinearPreference.normalized(fid, row)
+        for fid, row in enumerate(raw_weights)
+    ]
+    reference = greedy_reference_matching(objects, functions)
+    for kwargs in (
+        {"multi_pair": False},
+        {"maintenance": "retraversal"},
+        {"threshold": "naive"},
+        {"cache_best": False},
+    ):
+        problem = MatchingProblem.build(objects, functions)
+        matching = SkylineMatcher(problem, **kwargs).run()
+        assert matching.as_set() == reference.as_set(), kwargs

@@ -1,0 +1,89 @@
+"""Property-based tests of the R-tree as a stateful container."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import check_rtree_invariants
+from repro.geometry import MBR
+from repro.rtree import MemoryNodeStore, RankedSearch, RTree
+from repro.prefs import canonical_score
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+coarse = st.integers(min_value=0, max_value=8).map(lambda v: v / 8)
+
+#: An operation: (insert?, object slot, point) — deletes target the slot.
+ops = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=15),
+              st.tuples(coarse, coarse)),
+    max_size=60,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops)
+def test_random_op_sequences_preserve_membership(operations):
+    tree = RTree(MemoryNodeStore(4), dims=2)
+    alive = {}
+    for is_insert, slot, point in operations:
+        if is_insert and slot not in alive:
+            tree.insert(slot, point)
+            alive[slot] = point
+        elif not is_insert and slot in alive:
+            tree.delete(slot, alive.pop(slot))
+    assert dict(tree.iter_objects()) == alive
+    assert tree.num_objects == len(alive)
+    check_rtree_invariants(tree)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(unit, unit, unit), min_size=1, max_size=50),
+    st.tuples(unit, unit, unit),
+)
+def test_ranked_search_is_a_sort(points, raw_weights):
+    total = sum(raw_weights)
+    weights = (
+        tuple(w / total for w in raw_weights) if total > 0
+        else (1 / 3, 1 / 3, 1 / 3)
+    )
+    items = list(enumerate(points))
+    tree = RTree(MemoryNodeStore(4), dims=3)
+    for object_id, point in items:
+        tree.insert(object_id, point)
+    got = [(oid, score) for oid, _, score in RankedSearch(tree, weights)]
+    want = sorted(
+        ((oid, canonical_score(weights, p)) for oid, p in items),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+    assert [oid for oid, _ in got] == [oid for oid, _ in want]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(coarse, coarse), max_size=40),
+    st.tuples(coarse, coarse), st.tuples(coarse, coarse),
+)
+def test_range_search_equals_filter(points, corner_a, corner_b):
+    low = tuple(min(a, b) for a, b in zip(corner_a, corner_b))
+    high = tuple(max(a, b) for a, b in zip(corner_a, corner_b))
+    query = MBR(low, high)
+    tree = RTree(MemoryNodeStore(4), dims=2)
+    for object_id, point in enumerate(points):
+        tree.insert(object_id, point)
+    got = sorted(tree.range_search(query))
+    want = sorted(
+        (oid, p) for oid, p in enumerate(points) if query.contains_point(p)
+    )
+    assert got == want
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(unit, unit), min_size=1, max_size=40))
+def test_bulk_load_equals_incremental_content(points):
+    items = list(enumerate(points))
+    bulk = RTree.bulk_load(MemoryNodeStore(4), 2, items)
+    incremental = RTree(MemoryNodeStore(4), dims=2)
+    for object_id, point in items:
+        incremental.insert(object_id, point)
+    assert sorted(bulk.iter_objects()) == sorted(incremental.iter_objects())
+    check_rtree_invariants(bulk)

@@ -1,0 +1,67 @@
+"""Property-based round-trip of node serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import MBR
+from repro.rtree import Entry, RTreeNode
+from repro.rtree.serial import deserialize_node, serialize_node
+
+finite = st.floats(
+    min_value=-1e12, max_value=1e12,
+    allow_nan=False, allow_infinity=False,
+)
+object_ids = st.integers(min_value=0, max_value=2 ** 62)
+
+
+@st.composite
+def leaf_nodes(draw, dims=3, max_entries=12):
+    points = draw(st.lists(
+        st.tuples(*([finite] * dims)), max_size=max_entries
+    ))
+    entries = [
+        Entry.for_object(draw(object_ids), point) for point in points
+    ]
+    return RTreeNode(draw(st.integers(0, 1000)), 0, entries)
+
+
+@st.composite
+def branch_nodes(draw, dims=2, max_entries=10):
+    entries = []
+    for _ in range(draw(st.integers(0, max_entries))):
+        a = draw(st.tuples(*([finite] * dims)))
+        b = draw(st.tuples(*([finite] * dims)))
+        low = tuple(min(x, y) for x, y in zip(a, b))
+        high = tuple(max(x, y) for x, y in zip(a, b))
+        entries.append(Entry(MBR(low, high), draw(object_ids)))
+    return RTreeNode(draw(st.integers(0, 1000)),
+                     draw(st.integers(1, 7)), entries)
+
+
+@settings(max_examples=100, deadline=None)
+@given(leaf_nodes())
+def test_leaf_roundtrip_is_bitwise_exact(node):
+    data = serialize_node(node, 3, 4096)
+    restored, dims = deserialize_node(node.node_id, data)
+    assert dims == 3
+    assert restored.level == 0
+    assert restored.entries == node.entries  # MBR equality is bitwise
+
+
+@settings(max_examples=100, deadline=None)
+@given(branch_nodes())
+def test_branch_roundtrip_is_bitwise_exact(node):
+    data = serialize_node(node, 2, 4096)
+    restored, dims = deserialize_node(node.node_id, data)
+    assert dims == 2
+    assert restored.level == node.level
+    assert restored.entries == node.entries
+
+
+@settings(max_examples=50, deadline=None)
+@given(leaf_nodes(), st.integers(0, 40))
+def test_serialized_size_is_deterministic(node, _noise):
+    first = serialize_node(node, 3, 4096)
+    second = serialize_node(node, 3, 4096)
+    assert first == second
+    assert len(first) == 8 + len(node.entries) * (8 + 3 * 8)

@@ -1,0 +1,79 @@
+"""Property-based equivalence of every skyline implementation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree import MemoryNodeStore, RTree
+from repro.skyline import (
+    bnl_skyline,
+    canonical_skyline_naive,
+    compute_skyline,
+    sfs_skyline,
+    update_after_removal,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+# Coarse coordinates force plenty of exact ties and duplicates.
+coarse = st.integers(min_value=0, max_value=4).map(lambda v: v / 4)
+
+
+def point_lists(coordinate, dims=3, max_size=40):
+    return st.lists(
+        st.tuples(*([coordinate] * dims)), min_size=0, max_size=max_size
+    )
+
+
+def build_tree(items, dims=3, fanout=4):
+    tree = RTree(MemoryNodeStore(fanout), dims=dims)
+    for object_id, point in items:
+        tree.insert(object_id, point)
+    return tree
+
+
+@settings(max_examples=60, deadline=None)
+@given(point_lists(unit))
+def test_bnl_sfs_naive_agree_on_smooth_data(points):
+    items = list(enumerate(points))
+    want = canonical_skyline_naive(items)
+    assert bnl_skyline(items) == want
+    assert sfs_skyline(items) == want
+
+
+@settings(max_examples=60, deadline=None)
+@given(point_lists(coarse))
+def test_bnl_sfs_naive_agree_with_heavy_ties(points):
+    items = list(enumerate(points))
+    want = canonical_skyline_naive(items)
+    assert bnl_skyline(items) == want
+    assert sfs_skyline(items) == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(point_lists(coarse, max_size=30))
+def test_bbs_agrees_with_naive_under_ties(points):
+    items = list(enumerate(points))
+    tree = build_tree(items)
+    state = compute_skyline(tree)
+    assert sorted(state.ids()) == [
+        oid for oid, _ in canonical_skyline_naive(items)
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(point_lists(coarse, max_size=25),
+       st.lists(st.integers(min_value=0, max_value=10 ** 6), max_size=8))
+def test_incremental_maintenance_matches_recomputation(points, removal_seed):
+    items = list(enumerate(points))
+    tree = build_tree(items)
+    state = compute_skyline(tree)
+    remaining = dict(items)
+    for raw in removal_seed:
+        if not state.ids():
+            break
+        victim = state.ids()[raw % len(state.ids())]
+        del remaining[victim]
+        orphans = state.remove(victim)
+        update_after_removal(tree, state, orphans)
+        want = canonical_skyline_naive(list(remaining.items()))
+        assert sorted(state.ids()) == [oid for oid, _ in want]

@@ -1,0 +1,88 @@
+"""Property-based tests of the threshold algorithm and its tight bound."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prefs import (
+    FunctionIndex,
+    LinearPreference,
+    canonical_score,
+    tight_threshold,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+positive = st.floats(min_value=1e-6, max_value=1.0, allow_nan=False)
+
+
+def function_sets(dims, max_size=12):
+    raw = st.lists(
+        st.tuples(*([positive] * dims)), min_size=1, max_size=max_size
+    )
+    return raw.map(
+        lambda rows: [
+            LinearPreference.normalized(fid, row)
+            for fid, row in enumerate(rows)
+        ]
+    )
+
+
+def oracle(functions, point):
+    best = max(
+        (canonical_score(f.weights, point), -f.fid) for f in functions
+    )
+    return (-best[1], best[0])
+
+
+@settings(max_examples=80, deadline=None)
+@given(function_sets(3), st.tuples(unit, unit, unit))
+def test_reverse_top1_equals_oracle(functions, point):
+    index = FunctionIndex(functions)
+    assert index.reverse_top1(point) == oracle(functions, point)
+
+
+@settings(max_examples=50, deadline=None)
+@given(function_sets(2, max_size=10), st.tuples(unit, unit),
+       st.lists(st.integers(min_value=0, max_value=100), max_size=6))
+def test_reverse_top1_with_removals(functions, point, removals):
+    index = FunctionIndex(functions)
+    alive = {f.fid: f for f in functions}
+    for raw in removals:
+        if len(alive) <= 1:
+            break
+        victim = sorted(alive)[raw % len(alive)]
+        index.remove(victim)
+        del alive[victim]
+        assert index.reverse_top1(point) == oracle(alive.values(), point)
+
+
+@settings(max_examples=80, deadline=None)
+@given(function_sets(4), st.tuples(unit, unit, unit, unit))
+def test_naive_and_tight_thresholds_agree(functions, point):
+    tight = FunctionIndex(functions, threshold="tight")
+    naive = FunctionIndex(functions, threshold="naive")
+    assert tight.reverse_top1(point) == naive.reverse_top1(point)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.tuples(unit, unit, unit),
+    st.tuples(positive, positive, positive),
+    st.tuples(positive, positive, positive),
+)
+def test_tight_threshold_admissible_for_capped_functions(point, caps, raw):
+    """Any normalized function whose coefficients respect the caps scores
+    at most the tight threshold (up to arithmetic noise)."""
+    function = LinearPreference.normalized(0, raw)
+    if not all(w <= c for w, c in zip(function.weights, caps)):
+        return  # the function does not respect the caps: bound says nothing
+    bound = tight_threshold(point, caps)
+    assert canonical_score(function.weights, point) <= bound + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.tuples(unit, unit, unit), st.tuples(positive, positive, positive))
+def test_tight_threshold_never_looser_than_naive_when_feasible(point, caps):
+    if sum(caps) < 1.0:
+        return  # infeasible regime: the tight bound pads, naive may be lower
+    naive = sum(c * p for c, p in zip(caps, point))
+    assert tight_threshold(point, caps) <= naive + 1e-12

@@ -1,0 +1,85 @@
+"""Reverse top-k queries against the TA index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PreferenceError
+from repro.prefs import FunctionIndex, canonical_score, generate_preferences
+from repro.storage import SearchStats
+
+
+def oracle_topk(functions, point, k):
+    scored = sorted(
+        ((canonical_score(f.weights, point), f.fid) for f in functions),
+        key=lambda pair: (-pair[0], pair[1]),
+    )
+    return [(fid, score) for score, fid in scored[:k]]
+
+
+def test_matches_oracle_various_k():
+    prefs = generate_preferences(150, 3, seed=260)
+    index = FunctionIndex(prefs)
+    rng = np.random.default_rng(0)
+    for _ in range(40):
+        point = tuple(rng.random(3))
+        for k in (1, 3, 10):
+            assert index.reverse_topk(point, k) == oracle_topk(prefs, point, k)
+
+
+def test_topk_consistent_with_top1():
+    prefs = generate_preferences(80, 4, seed=261)
+    index = FunctionIndex(prefs)
+    rng = np.random.default_rng(1)
+    for _ in range(30):
+        point = tuple(rng.random(4))
+        assert index.reverse_topk(point, 1)[0] == index.reverse_top1(point)
+
+
+def test_k_larger_than_index_returns_all():
+    prefs = generate_preferences(7, 2, seed=262)
+    index = FunctionIndex(prefs)
+    hits = index.reverse_topk((0.4, 0.6), 50)
+    assert len(hits) == 7
+    scores = [score for _, score in hits]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_empty_index_and_bad_k():
+    index = FunctionIndex([])
+    assert index.reverse_topk((), 3) == []
+    index = FunctionIndex(generate_preferences(5, 2, seed=263))
+    with pytest.raises(PreferenceError):
+        index.reverse_topk((0.5, 0.5), 0)
+
+
+def test_respects_removals():
+    prefs = generate_preferences(60, 3, seed=264)
+    index = FunctionIndex(prefs)
+    point = (0.3, 0.5, 0.7)
+    alive = {f.fid: f for f in prefs}
+    for _ in range(20):
+        top = index.reverse_topk(point, 5)
+        assert top == oracle_topk(alive.values(), point, 5)
+        index.remove(top[0][0])
+        del alive[top[0][0]]
+
+
+def test_topk_early_termination_scans_less_than_everything():
+    prefs = generate_preferences(1000, 4, seed=265)
+    index = FunctionIndex(prefs)
+    stats = SearchStats()
+    index.reverse_topk((0.9, 0.1, 0.3, 0.6), 5, stats=stats)
+    assert stats.score_evaluations < len(prefs)
+
+
+def test_tie_breaks_by_fid():
+    from repro.prefs import LinearPreference
+
+    prefs = [
+        LinearPreference(8, (0.5, 0.5)),
+        LinearPreference(1, (0.5, 0.5)),
+        LinearPreference(4, (0.5, 0.5)),
+    ]
+    index = FunctionIndex(prefs)
+    hits = index.reverse_topk((0.4, 0.4), 2)
+    assert [fid for fid, _ in hits] == [1, 4]

@@ -1,0 +1,85 @@
+"""STR bulk loading."""
+
+import pytest
+
+from tests.conftest import check_rtree_invariants
+from repro.data import generate_anticorrelated, generate_independent
+from repro.errors import RTreeError
+from repro.rtree import DiskNodeStore, MemoryNodeStore, RTree
+
+
+def test_bulk_load_contains_everything():
+    dataset = generate_independent(1000, 4, seed=8)
+    tree = RTree.bulk_load(DiskNodeStore(4), 4, dataset.items())
+    assert tree.num_objects == 1000
+    assert sorted(oid for oid, _ in tree.iter_objects()) == dataset.ids
+    check_rtree_invariants(tree)
+
+
+def test_bulk_load_empty():
+    tree = RTree.bulk_load(MemoryNodeStore(8), 3, [])
+    assert tree.num_objects == 0
+    assert tree.height == 1
+
+
+def test_bulk_load_single_object():
+    tree = RTree.bulk_load(MemoryNodeStore(8), 2, [(5, (0.1, 0.9))])
+    assert tree.num_objects == 1
+    assert list(tree.iter_objects()) == [(5, (0.1, 0.9))]
+
+
+def test_bulk_load_is_packed():
+    # STR should use far fewer pages than one-at-a-time insertion.
+    dataset = generate_independent(2000, 3, seed=9)
+    store_bulk = DiskNodeStore(3)
+    RTree.bulk_load(store_bulk, 3, dataset.items(), fill=0.9)
+    store_inc = DiskNodeStore(3)
+    tree = RTree(store_inc, dims=3)
+    for object_id, point in dataset.items():
+        tree.insert(object_id, point)
+    assert store_bulk.disk.num_pages < store_inc.disk.num_pages
+
+
+def test_fill_factor_controls_page_count():
+    dataset = generate_independent(3000, 3, seed=10)
+    pages = {}
+    for fill in (0.5, 1.0):
+        store = DiskNodeStore(3)
+        RTree.bulk_load(store, 3, dataset.items(), fill=fill)
+        pages[fill] = store.disk.num_pages
+    assert pages[0.5] > pages[1.0]
+
+
+def test_invalid_fill_rejected():
+    with pytest.raises(RTreeError):
+        RTree.bulk_load(MemoryNodeStore(8), 2, [(0, (0.1, 0.2))], fill=0.01)
+
+
+def test_bulk_load_height_is_logarithmic():
+    dataset = generate_independent(5000, 3, seed=11)
+    store = DiskNodeStore(3)
+    tree = RTree.bulk_load(store, 3, dataset.items())
+    # leaf capacity at D=3 is ~127; 5000 objects need height 2.
+    assert tree.height == 2
+
+
+def test_bulk_load_then_update():
+    dataset = generate_anticorrelated(600, 3, seed=12)
+    tree = RTree.bulk_load(MemoryNodeStore(16), 3, dataset.items())
+    points = dict(dataset.items())
+    for object_id in dataset.ids[:50]:
+        tree.delete(object_id, points[object_id])
+    for object_id in dataset.ids[:50]:
+        tree.insert(object_id, points[object_id])
+    assert sorted(oid for oid, _ in tree.iter_objects()) == dataset.ids
+    check_rtree_invariants(tree)
+
+
+def test_bulk_load_deterministic():
+    dataset = generate_independent(500, 3, seed=13)
+    trees = []
+    for _ in range(2):
+        store = DiskNodeStore(3)
+        tree = RTree.bulk_load(store, 3, dataset.items())
+        trees.append(sorted(tree.iter_objects()))
+    assert trees[0] == trees[1]

@@ -1,0 +1,107 @@
+"""R-tree deletion: condensation, root shrinking, reinsertion."""
+
+import random
+
+import pytest
+
+from tests.conftest import check_rtree_invariants
+from repro.data import generate_independent
+from repro.errors import EntryNotFoundError
+from repro.rtree import DiskNodeStore, MemoryNodeStore, RTree
+
+
+def build_memory_tree(n=300, dims=3, seed=5, fanout=8):
+    dataset = generate_independent(n, dims, seed=seed)
+    tree = RTree(MemoryNodeStore(fanout), dims=dims)
+    for object_id, point in dataset.items():
+        tree.insert(object_id, point)
+    return tree, dict(dataset.items())
+
+
+def test_delete_single_object():
+    tree, points = build_memory_tree(n=10)
+    tree.delete(3, points[3])
+    assert tree.num_objects == 9
+    assert 3 not in {oid for oid, _ in tree.iter_objects()}
+    check_rtree_invariants(tree)
+
+
+def test_delete_missing_object_raises():
+    tree, points = build_memory_tree(n=10)
+    with pytest.raises(EntryNotFoundError) as excinfo:
+        tree.delete(999, (0.5, 0.5, 0.5))
+    assert excinfo.value.object_id == 999
+    assert tree.num_objects == 10
+
+
+def test_delete_same_object_twice_raises():
+    tree, points = build_memory_tree(n=10)
+    tree.delete(0, points[0])
+    with pytest.raises(EntryNotFoundError):
+        tree.delete(0, points[0])
+
+
+def test_delete_all_objects_empties_tree():
+    tree, points = build_memory_tree(n=120)
+    for object_id, point in points.items():
+        tree.delete(object_id, point)
+    assert tree.num_objects == 0
+    assert tree.height == 1
+    assert list(tree.iter_objects()) == []
+
+
+def test_delete_shrinks_height():
+    tree, points = build_memory_tree(n=400, fanout=6)
+    tall = tree.height
+    assert tall >= 3
+    ids = list(points)
+    for object_id in ids[:390]:
+        tree.delete(object_id, points[object_id])
+    assert tree.height < tall
+    check_rtree_invariants(tree)
+
+
+def test_random_interleaved_inserts_and_deletes():
+    rng = random.Random(9)
+    dataset = generate_independent(500, 3, seed=6)
+    points = dict(dataset.items())
+    tree = RTree(MemoryNodeStore(8), dims=3)
+    alive = set()
+    for object_id in list(points)[:250]:
+        tree.insert(object_id, points[object_id])
+        alive.add(object_id)
+    for _ in range(600):
+        if alive and (rng.random() < 0.5 or len(alive) == len(points)):
+            victim = rng.choice(sorted(alive))
+            tree.delete(victim, points[victim])
+            alive.remove(victim)
+        else:
+            candidates = sorted(set(points) - alive)
+            newcomer = rng.choice(candidates)
+            tree.insert(newcomer, points[newcomer])
+            alive.add(newcomer)
+    assert {oid for oid, _ in tree.iter_objects()} == alive
+    check_rtree_invariants(tree)
+
+
+def test_delete_on_disk_tree_costs_io_and_preserves_structure():
+    dataset = generate_independent(800, 4, seed=7)
+    store = DiskNodeStore(4)
+    tree = RTree.bulk_load(store, 4, dataset.items())
+    points = dict(dataset.items())
+    store.buffer.resize(4)  # tiny buffer so deletes must touch disk
+    store.disk.stats.reset()
+    for object_id in dataset.ids[:100]:
+        tree.delete(object_id, points[object_id])
+    assert store.disk.stats.io_accesses > 0
+    assert tree.num_objects == 700
+    check_rtree_invariants(tree)
+
+
+def test_duplicate_coordinates_delete_right_id():
+    tree = RTree(MemoryNodeStore(4), dims=2)
+    for i in range(6):
+        tree.insert(i, (0.4, 0.6))
+    tree.delete(3, (0.4, 0.6))
+    remaining = sorted(oid for oid, _ in tree.iter_objects())
+    assert remaining == [0, 1, 2, 4, 5]

@@ -1,0 +1,102 @@
+"""R-tree insertion: growth, splits, and structural invariants."""
+
+import pytest
+
+from tests.conftest import check_rtree_invariants
+from repro.data import generate_independent
+from repro.errors import DimensionalityError, RTreeError
+from repro.geometry import MBR
+from repro.rtree import DiskNodeStore, MemoryNodeStore, RTree
+
+
+def test_empty_tree():
+    tree = RTree(MemoryNodeStore(8), dims=2)
+    assert tree.height == 1
+    assert tree.num_objects == 0
+    assert list(tree.iter_objects()) == []
+
+
+def test_single_insert_and_search():
+    tree = RTree(MemoryNodeStore(8), dims=2)
+    tree.insert(42, (0.3, 0.7))
+    assert tree.num_objects == 1
+    assert list(tree.iter_objects()) == [(42, (0.3, 0.7))]
+    hits = tree.range_search(MBR((0.0, 0.0), (1.0, 1.0)))
+    assert hits == [(42, (0.3, 0.7))]
+
+
+def test_insert_grows_height_on_overflow():
+    tree = RTree(MemoryNodeStore(4), dims=2)
+    for i in range(5):  # capacity 4: fifth insert splits the root leaf
+        tree.insert(i, (i / 10, 1 - i / 10))
+    assert tree.height == 2
+    check_rtree_invariants(tree)
+
+
+def test_many_inserts_preserve_membership_and_invariants():
+    dataset = generate_independent(400, 3, seed=1)
+    tree = RTree(MemoryNodeStore(8), dims=3)
+    for object_id, point in dataset.items():
+        tree.insert(object_id, point)
+    assert tree.num_objects == 400
+    assert tree.height >= 3
+    check_rtree_invariants(tree)
+    assert sorted(oid for oid, _ in tree.iter_objects()) == dataset.ids
+
+
+def test_insert_into_disk_tree_counts_io():
+    dataset = generate_independent(500, 3, seed=2)
+    store = DiskNodeStore(3)
+    tree = RTree(store, dims=3)
+    for object_id, point in dataset.items():
+        tree.insert(object_id, point)
+    check_rtree_invariants(tree)
+    # With a buffer smaller than the tree, inserts must cause disk traffic.
+    store.buffer.resize(4)
+    before = store.disk.stats.io_accesses
+    tree.insert(10_000, (0.5, 0.5, 0.5))
+    assert store.disk.stats.io_accesses > before
+
+
+def test_range_search_matches_linear_scan():
+    dataset = generate_independent(300, 2, seed=3)
+    tree = RTree(MemoryNodeStore(8), dims=2)
+    for object_id, point in dataset.items():
+        tree.insert(object_id, point)
+    query = MBR((0.2, 0.3), (0.6, 0.9))
+    got = sorted(tree.range_search(query))
+    want = sorted(
+        (object_id, point)
+        for object_id, point in dataset.items()
+        if query.contains_point(point)
+    )
+    assert got == want
+    assert want  # the query window must be non-trivial
+
+
+def test_duplicate_points_allowed_distinct_ids():
+    tree = RTree(MemoryNodeStore(4), dims=2)
+    for i in range(10):
+        tree.insert(i, (0.5, 0.5))
+    assert tree.num_objects == 10
+    check_rtree_invariants(tree)
+
+
+def test_wrong_dimensionality_rejected():
+    tree = RTree(MemoryNodeStore(8), dims=3)
+    with pytest.raises(DimensionalityError):
+        tree.insert(0, (0.1, 0.2))
+
+
+def test_unknown_split_strategy_rejected():
+    with pytest.raises(RTreeError):
+        RTree(MemoryNodeStore(8), dims=2, split="linear")
+
+
+def test_quadratic_split_tree_works_too():
+    dataset = generate_independent(200, 2, seed=4)
+    tree = RTree(MemoryNodeStore(6), dims=2, split="quadratic")
+    for object_id, point in dataset.items():
+        tree.insert(object_id, point)
+    check_rtree_invariants(tree)
+    assert sorted(oid for oid, _ in tree.iter_objects()) == dataset.ids

@@ -1,0 +1,82 @@
+"""Split strategy unit tests (R* topological split and quadratic split)."""
+
+import pytest
+
+from repro.geometry import MBR
+from repro.rtree import Entry
+from repro.rtree.split import quadratic_split, rstar_split
+
+
+def entries_from_points(points):
+    return [Entry.for_object(i, p) for i, p in enumerate(points)]
+
+
+@pytest.mark.parametrize("split_fn", [rstar_split, quadratic_split])
+def test_split_partitions_all_entries(split_fn):
+    entries = entries_from_points(
+        [(x / 12, (x * 7 % 12) / 12) for x in range(12)]
+    )
+    group1, group2 = split_fn(entries, min_fill=4)
+    assert len(group1) + len(group2) == 12
+    assert len(group1) >= 4 and len(group2) >= 4
+    ids = sorted(e.child for e in group1 + group2)
+    assert ids == list(range(12))
+
+
+@pytest.mark.parametrize("split_fn", [rstar_split, quadratic_split])
+def test_split_respects_min_fill(split_fn):
+    entries = entries_from_points([(x / 9, 0.5) for x in range(9)])
+    group1, group2 = split_fn(entries, min_fill=3)
+    assert min(len(group1), len(group2)) >= 3
+
+
+@pytest.mark.parametrize("split_fn", [rstar_split, quadratic_split])
+def test_too_few_entries_rejected(split_fn):
+    entries = entries_from_points([(0.1, 0.1), (0.9, 0.9)])
+    with pytest.raises(ValueError):
+        split_fn(entries, min_fill=2)
+
+
+def test_rstar_separates_two_clusters_cleanly():
+    left = [(0.05 + i * 0.01, 0.5 + i * 0.01) for i in range(5)]
+    right = [(0.9 + i * 0.01, 0.4 + i * 0.01) for i in range(5)]
+    entries = entries_from_points(left + right)
+    group1, group2 = rstar_split(entries, min_fill=3)
+    sides = [
+        {e.child < 5 for e in group} for group in (group1, group2)
+    ]
+    # Each group contains entries from exactly one cluster.
+    assert sides[0] in ({True}, {False})
+    assert sides[1] in ({True}, {False})
+    assert sides[0] != sides[1]
+
+
+def test_rstar_split_minimizes_overlap():
+    # A grid: the chosen split must have zero overlap between groups.
+    entries = entries_from_points(
+        [(x / 4 + 0.01, y / 4 + 0.01) for x in range(4) for y in range(4)]
+    )
+    group1, group2 = rstar_split(entries, min_fill=5)
+    mbr1 = MBR.union_all(e.mbr for e in group1)
+    mbr2 = MBR.union_all(e.mbr for e in group2)
+    assert mbr1.overlap_area(mbr2) == pytest.approx(0.0)
+
+
+def test_splits_work_with_branch_entries():
+    boxes = [
+        Entry(MBR((0.1 * i, 0.0), (0.1 * i + 0.05, 0.3)), i)
+        for i in range(8)
+    ]
+    for split_fn in (rstar_split, quadratic_split):
+        group1, group2 = split_fn(boxes, min_fill=3)
+        assert len(group1) + len(group2) == 8
+
+
+def test_split_deterministic():
+    entries = entries_from_points(
+        [((x * 13 % 17) / 17, (x * 5 % 17) / 17) for x in range(15)]
+    )
+    first = rstar_split(entries, min_fill=5)
+    second = rstar_split(entries, min_fill=5)
+    assert [e.child for e in first[0]] == [e.child for e in second[0]]
+    assert [e.child for e in first[1]] == [e.child for e in second[1]]

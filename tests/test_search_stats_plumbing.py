@@ -1,0 +1,50 @@
+"""SearchStats plumbing: matchers propagate CPU-side counters."""
+
+from repro.core import BruteForceMatcher, ChainMatcher, MatchingProblem, SkylineMatcher
+from repro.data import generate_independent
+from repro.prefs import generate_preferences
+from repro.storage import SearchStats
+
+
+def make_problem(seed=360):
+    objects = generate_independent(300, 3, seed=seed)
+    functions = generate_preferences(15, 3, seed=seed + 1)
+    return MatchingProblem.build(objects, functions)
+
+
+def test_sb_counts_dominance_and_scores():
+    stats = SearchStats()
+    SkylineMatcher(make_problem(), search_stats=stats).run()
+    assert stats.dominance_checks > 0     # BBS + maintenance
+    assert stats.score_evaluations > 0    # TA scans + argmax confirms
+    assert stats.heap_pushes > 0
+    assert stats.heap_pops > 0
+
+
+def test_brute_force_counts_ranked_search_work():
+    stats = SearchStats()
+    BruteForceMatcher(make_problem(), search_stats=stats).run()
+    assert stats.heap_pushes > 0
+    assert stats.heap_pops > 0
+    assert stats.score_evaluations > 0    # entry bound computations
+
+
+def test_chain_counts_both_tree_searches():
+    stats = SearchStats()
+    ChainMatcher(make_problem(), search_stats=stats).run()
+    assert stats.heap_pushes > 0
+    assert stats.heap_pops > 0
+
+
+def test_stats_are_cumulative_across_runs():
+    stats = SearchStats()
+    SkylineMatcher(make_problem(seed=361), search_stats=stats).run()
+    first = stats.score_evaluations
+    SkylineMatcher(make_problem(seed=362), search_stats=stats).run()
+    assert stats.score_evaluations > first
+
+
+def test_no_stats_object_means_no_counting_overhead_errors():
+    # Default path (stats=None) must work everywhere.
+    matching = SkylineMatcher(make_problem(seed=363)).run()
+    assert len(matching) == 15

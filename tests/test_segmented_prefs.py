@@ -1,0 +1,85 @@
+"""Segmented preference-workload generator."""
+
+import pytest
+
+from repro.errors import DimensionalityError, PreferenceError
+from repro.prefs import generate_segmented_preferences
+
+PROFILES = {
+    "budget": (0.5, 4.0, 0.5),
+    "family": (3.0, 1.0, 2.0),
+}
+
+
+def test_counts_ids_and_segments():
+    functions, segment_of = generate_segmented_preferences(
+        PROFILES, per_segment=10, dims=3, seed=310
+    )
+    assert len(functions) == 20
+    assert [f.fid for f in functions] == list(range(20))
+    assert sum(1 for s in segment_of.values() if s == "budget") == 10
+    # Segment order follows dict insertion order.
+    assert segment_of[0] == "budget" and segment_of[10] == "family"
+
+
+def test_weights_normalized_and_near_profile():
+    functions, segment_of = generate_segmented_preferences(
+        PROFILES, per_segment=50, dims=3, seed=311, jitter=0.2
+    )
+    for function in functions:
+        assert abs(sum(function.weights) - 1.0) < 1e-9
+        profile = PROFILES[segment_of[function.fid]]
+        total = sum(profile)
+        for weight, base in zip(function.weights, profile):
+            expected = base / total
+            assert abs(weight - expected) < expected * 0.6 + 0.05
+
+
+def test_budget_segment_weights_price_most():
+    functions, segment_of = generate_segmented_preferences(
+        PROFILES, per_segment=30, dims=3, seed=312
+    )
+    for function in functions:
+        if segment_of[function.fid] == "budget":
+            assert function.weights[1] == max(function.weights)
+
+
+def test_deterministic():
+    a, _ = generate_segmented_preferences(PROFILES, 5, 3, seed=313)
+    b, _ = generate_segmented_preferences(PROFILES, 5, 3, seed=313)
+    assert a == b
+
+
+def test_validation():
+    with pytest.raises(PreferenceError):
+        generate_segmented_preferences({}, 5, 3)
+    with pytest.raises(DimensionalityError):
+        generate_segmented_preferences({"x": (1.0, 1.0)}, 5, 3)
+    with pytest.raises(PreferenceError):
+        generate_segmented_preferences({"x": (0.0, 0.0, 0.0)}, 5, 3)
+    with pytest.raises(PreferenceError):
+        generate_segmented_preferences(PROFILES, -1, 3)
+    with pytest.raises(PreferenceError):
+        generate_segmented_preferences(PROFILES, 5, 3, jitter=1.0)
+
+
+def test_zero_per_segment():
+    functions, segment_of = generate_segmented_preferences(
+        PROFILES, per_segment=0, dims=3
+    )
+    assert functions == [] and segment_of == {}
+
+
+def test_segmented_workload_matches_end_to_end():
+    from repro.core import MatchingProblem, SkylineMatcher, greedy_reference_matching
+    from repro.data import generate_independent
+
+    objects = generate_independent(300, 3, seed=314)
+    functions, _ = generate_segmented_preferences(
+        PROFILES, per_segment=8, dims=3, seed=315
+    )
+    problem = MatchingProblem.build(objects, functions)
+    matching = SkylineMatcher(problem).run()
+    assert matching.as_set() == greedy_reference_matching(
+        objects, functions
+    ).as_set()

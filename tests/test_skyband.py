@@ -1,0 +1,109 @@
+"""K-skyband computation."""
+
+import pytest
+
+from repro.data import generate_anticorrelated, generate_independent
+from repro.errors import ReproError
+from repro.rtree import DiskNodeStore, MemoryNodeStore, RTree
+from repro.skyline import (
+    canonical_skyline_naive,
+    compute_kskyband,
+    compute_skyline,
+    kskyband_naive,
+)
+
+
+def build(dataset, disk=False):
+    store = DiskNodeStore(dataset.dims) if disk else MemoryNodeStore(8)
+    return RTree.bulk_load(store, dataset.dims, dataset.items()), store
+
+
+@pytest.mark.parametrize("generator,dims,k", [
+    (generate_independent, 2, 1),
+    (generate_independent, 2, 3),
+    (generate_independent, 4, 5),
+    (generate_anticorrelated, 3, 2),
+])
+def test_matches_naive_oracle(generator, dims, k):
+    dataset = generator(400, dims, seed=340)
+    tree, _ = build(dataset)
+    band = compute_kskyband(tree, k)
+    want = [oid for oid, _ in kskyband_naive(list(dataset.items()), k)]
+    assert sorted(band) == want
+
+
+def test_one_skyband_is_the_skyline():
+    dataset = generate_independent(300, 3, seed=341)
+    tree, _ = build(dataset)
+    band = compute_kskyband(tree, 1)
+    state = compute_skyline(tree)
+    assert sorted(band) == sorted(state.ids())
+    naive = canonical_skyline_naive(list(dataset.items()))
+    assert sorted(band) == [oid for oid, _ in naive]
+
+
+def test_skybands_are_nested():
+    dataset = generate_independent(300, 3, seed=342)
+    tree, _ = build(dataset)
+    previous = set()
+    for k in (1, 2, 4, 8):
+        band = set(compute_kskyband(tree, k))
+        assert previous <= band
+        previous = band
+
+
+def test_huge_k_returns_everything():
+    dataset = generate_independent(50, 2, seed=343)
+    tree, _ = build(dataset)
+    band = compute_kskyband(tree, 1000)
+    assert sorted(band) == dataset.ids
+
+
+def test_duplicates_budget_each_other():
+    tree = RTree(MemoryNodeStore(8), dims=2)
+    for i in range(4):
+        tree.insert(i, (0.7, 0.7))
+    # k=2: the two lowest-id duplicates survive (each later one is
+    # weakly dominated by all earlier ones).
+    band = compute_kskyband(tree, 2)
+    assert sorted(band) == [0, 1]
+    items = [(i, (0.7, 0.7)) for i in range(4)]
+    assert [oid for oid, _ in kskyband_naive(items, 2)] == [0, 1]
+
+
+def test_invalid_k():
+    dataset = generate_independent(10, 2, seed=344)
+    tree, _ = build(dataset)
+    with pytest.raises(ReproError):
+        compute_kskyband(tree, 0)
+    with pytest.raises(ReproError):
+        kskyband_naive([], 0)
+
+
+def test_skyband_prunes_io():
+    dataset = generate_independent(5000, 3, seed=345)
+    tree, store = build(dataset, disk=True)
+    store.buffer.resize(4)
+    store.buffer.clear()
+    store.disk.stats.reset()
+    compute_kskyband(tree, 2)
+    assert store.disk.stats.page_reads < store.disk.num_pages / 2
+
+
+def test_skyband_covers_capacitated_candidates():
+    """Every object used by a capacity-k matching of unit-demand
+    functions... more precisely: the top-k objects of any function lie
+    in the k-skyband."""
+    import numpy as np
+
+    from repro.prefs import generate_preferences
+
+    dataset = generate_independent(400, 3, seed=346)
+    tree, _ = build(dataset)
+    k = 3
+    band = set(compute_kskyband(tree, k))
+    for function in generate_preferences(20, 3, seed=347):
+        scores = dataset.matrix @ np.asarray(function.weights)
+        top_k_rows = np.argsort(-scores)[:k]
+        top_k_ids = {dataset.ids[r] for r in top_k_rows}
+        assert top_k_ids <= band, function.fid

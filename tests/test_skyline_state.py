@@ -1,0 +1,109 @@
+"""SkylineState: membership, plists, vectorized dominance index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.rtree import Entry
+from repro.skyline import SkylineState
+
+
+def test_add_and_lookup():
+    state = SkylineState(2)
+    state.add(5, (0.2, 0.8))
+    assert 5 in state
+    assert len(state) == 1
+    assert state.point(5) == (0.2, 0.8)
+    assert state.ids() == [5]
+
+
+def test_duplicate_add_rejected():
+    state = SkylineState(2)
+    state.add(1, (0.1, 0.1))
+    with pytest.raises(ReproError):
+        state.add(1, (0.2, 0.2))
+
+
+def test_remove_returns_plist():
+    state = SkylineState(2)
+    state.add(1, (0.9, 0.9))
+    item = (Entry.for_object(2, (0.5, 0.5)), 0)
+    state.park(1, item)
+    plist = state.remove(1)
+    assert plist == [item]
+    assert 1 not in state
+    with pytest.raises(ReproError):
+        state.remove(1)
+
+
+def test_first_dominator_insertion_order():
+    state = SkylineState(2)
+    state.add(10, (0.8, 0.8))
+    state.add(4, (0.9, 0.9))
+    # Both dominate; the earliest-admitted member wins ownership.
+    assert state.first_dominator((0.5, 0.5)) == 10
+    assert state.first_dominator((0.85, 0.85)) == 4
+    assert state.first_dominator((0.95, 0.2)) is None
+
+
+def test_first_dominator_includes_equality():
+    state = SkylineState(2)
+    state.add(1, (0.5, 0.5))
+    assert state.first_dominator((0.5, 0.5)) == 1  # "equal or better"
+
+
+def test_dominators_lists_all():
+    state = SkylineState(2)
+    state.add(1, (0.8, 0.8))
+    state.add(2, (0.9, 0.6))
+    state.add(3, (0.3, 0.9))
+    assert state.dominators((0.2, 0.7)) == [1, 3]
+
+
+def test_ids_and_matrix_stay_aligned_through_churn():
+    rng = np.random.default_rng(34)
+    state = SkylineState(3)
+    alive = {}
+    next_id = 0
+    for _ in range(500):
+        if alive and rng.random() < 0.45:
+            victim = int(rng.choice(sorted(alive)))
+            state.remove(victim)
+            del alive[victim]
+        else:
+            point = tuple(rng.random(3))
+            state.add(next_id, point)
+            alive[next_id] = point
+            next_id += 1
+    ids = state.ids()
+    matrix = state.matrix()
+    assert len(ids) == len(alive) == matrix.shape[0]
+    for row, object_id in enumerate(ids):
+        assert tuple(matrix[row]) == alive[object_id]
+
+
+def test_compaction_preserves_dominance_answers():
+    state = SkylineState(2)
+    for i in range(200):
+        state.add(i, (i / 1000 + 0.4, 0.4))
+    for i in range(0, 200, 2):
+        state.remove(i)
+    # Force growth/compaction paths.
+    for i in range(200, 400):
+        state.add(i, (0.001 * i, 0.2))
+    probe = (0.41, 0.3)
+    expected = [
+        object_id for object_id in state.ids()
+        if all(a >= b for a, b in zip(state.point(object_id), probe))
+    ]
+    assert state.dominators(probe) == expected
+
+
+def test_park_appends_in_order():
+    state = SkylineState(2)
+    state.add(0, (1.0, 1.0))
+    items = [(Entry.for_object(i, (0.1, 0.1)), 0) for i in range(3)]
+    for item in items:
+        state.park(0, item)
+    assert state.plist(0) == items
+    assert state.plist_sizes() == {0: 3}

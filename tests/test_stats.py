@@ -1,0 +1,50 @@
+"""Unit tests for I/O and search counters."""
+
+from repro.storage import IOStats, SearchStats
+
+
+def test_io_accesses_sums_reads_and_writes():
+    stats = IOStats(page_reads=3, page_writes=4)
+    assert stats.io_accesses == 7
+
+
+def test_snapshot_is_immutable_copy():
+    stats = IOStats()
+    stats.page_reads = 5
+    snap = stats.snapshot()
+    stats.page_reads = 9
+    assert snap.page_reads == 5
+    assert snap.io_accesses == 5
+
+
+def test_snapshot_delta():
+    stats = IOStats()
+    stats.page_reads = 2
+    stats.page_writes = 1
+    before = stats.snapshot()
+    stats.page_reads = 10
+    stats.page_writes = 4
+    stats.buffer_hits = 7
+    delta = stats.snapshot().delta(before)
+    assert delta.page_reads == 8
+    assert delta.page_writes == 3
+    assert delta.buffer_hits == 7
+    assert delta.io_accesses == 11
+
+
+def test_reset_zeroes_everything():
+    stats = IOStats(page_reads=1, page_writes=2, buffer_hits=3,
+                    buffer_evictions=4, pages_allocated=5, pages_freed=6)
+    stats.reset()
+    assert stats.snapshot() == IOStats().snapshot()
+
+
+def test_search_stats_reset():
+    stats = SearchStats(dominance_checks=1, score_evaluations=2,
+                        heap_pushes=3, heap_pops=4, comparisons=5)
+    stats.reset()
+    assert stats.dominance_checks == 0
+    assert stats.score_evaluations == 0
+    assert stats.heap_pushes == 0
+    assert stats.heap_pops == 0
+    assert stats.comparisons == 0

@@ -1,0 +1,129 @@
+"""Branch-and-bound ranked (top-k) search."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_anticorrelated, generate_independent
+from repro.errors import DimensionalityError
+from repro.rtree import DiskNodeStore, MemoryNodeStore, RankedSearch, RTree, top1, topk
+from repro.storage import SearchStats
+
+
+def build(dataset, disk=True):
+    store = DiskNodeStore(dataset.dims) if disk else MemoryNodeStore(16)
+    return RTree.bulk_load(store, dataset.dims, dataset.items()), store
+
+
+def brute_order(dataset, weights):
+    scores = dataset.matrix @ np.asarray(weights)
+    order = sorted(zip(-scores, dataset.ids))
+    return [(oid, -neg) for neg, oid in order]
+
+
+def test_descending_score_order_exact():
+    dataset = generate_independent(500, 3, seed=20)
+    tree, _ = build(dataset)
+    weights = (0.5, 0.3, 0.2)
+    want = brute_order(dataset, weights)
+    got = [(oid, score) for oid, _, score in RankedSearch(tree, weights)]
+    assert [oid for oid, _ in got] == [oid for oid, _ in want]
+    np.testing.assert_allclose(
+        [s for _, s in got], [s for _, s in want], rtol=0, atol=1e-12
+    )
+
+
+def test_top1_equals_first_of_ranked():
+    dataset = generate_anticorrelated(400, 4, seed=21)
+    tree, _ = build(dataset)
+    weights = (0.25, 0.25, 0.25, 0.25)
+    hit = top1(tree, weights)
+    assert hit[0] == brute_order(dataset, weights)[0][0]
+
+
+def test_topk_returns_k_results():
+    dataset = generate_independent(300, 3, seed=22)
+    tree, _ = build(dataset)
+    weights = (0.6, 0.2, 0.2)
+    results = topk(tree, weights, 10)
+    assert len(results) == 10
+    want = brute_order(dataset, weights)[:10]
+    assert [oid for oid, _, _ in results] == [oid for oid, _ in want]
+
+
+def test_topk_larger_than_tree_returns_all():
+    dataset = generate_independent(20, 2, seed=23)
+    tree, _ = build(dataset)
+    results = topk(tree, (0.5, 0.5), 100)
+    assert len(results) == 20
+
+
+def test_excluded_objects_are_skipped():
+    dataset = generate_independent(200, 2, seed=24)
+    tree, _ = build(dataset)
+    weights = (0.7, 0.3)
+    full = brute_order(dataset, weights)
+    best, second = full[0][0], full[1][0]
+    hit = top1(tree, weights, excluded={best})
+    assert hit[0] == second
+    hit = top1(tree, weights, excluded={best, second})
+    assert hit[0] == full[2][0]
+
+
+def test_all_excluded_returns_none():
+    dataset = generate_independent(30, 2, seed=25)
+    tree, _ = build(dataset)
+    assert top1(tree, (0.5, 0.5), excluded=set(dataset.ids)) is None
+
+
+def test_empty_tree_returns_none():
+    tree = RTree(MemoryNodeStore(8), dims=2)
+    assert top1(tree, (0.5, 0.5)) is None
+
+
+def test_equal_scores_tie_break_by_object_id():
+    tree = RTree(MemoryNodeStore(8), dims=2)
+    # Three points with identical score under (0.5, 0.5).
+    tree.insert(9, (0.4, 0.6))
+    tree.insert(2, (0.6, 0.4))
+    tree.insert(5, (0.5, 0.5))
+    search = RankedSearch(tree, (0.5, 0.5))
+    order = [search.next()[0] for _ in range(3)]
+    assert order == [2, 5, 9]
+
+
+def test_extreme_weight_vector():
+    dataset = generate_independent(200, 3, seed=26)
+    tree, _ = build(dataset)
+    weights = (1.0, 0.0, 0.0)  # only the first attribute matters
+    hit = top1(tree, weights)
+    best_row = int(np.argmax(dataset.matrix[:, 0]))
+    assert hit[0] == dataset.ids[best_row]
+
+
+def test_wrong_weights_dimensionality():
+    dataset = generate_independent(10, 3, seed=27)
+    tree, _ = build(dataset)
+    with pytest.raises(DimensionalityError):
+        RankedSearch(tree, (0.5, 0.5))
+
+
+def test_top1_reads_fraction_of_tree():
+    # Branch-and-bound must not read every leaf for a top-1 query.
+    dataset = generate_independent(5000, 3, seed=28)
+    store = DiskNodeStore(3)
+    tree = RTree.bulk_load(store, 3, dataset.items())
+    store.buffer.resize(4)
+    store.buffer.clear()
+    store.disk.stats.reset()
+    top1(tree, (0.4, 0.4, 0.2))
+    assert store.disk.stats.page_reads < store.disk.num_pages / 4
+
+
+def test_search_stats_counters():
+    dataset = generate_independent(100, 2, seed=29)
+    tree, _ = build(dataset, disk=False)
+    stats = SearchStats()
+    top1(tree, (0.5, 0.5), stats=stats)
+    assert stats.heap_pushes > 0
+    assert stats.heap_pops > 0
+    assert stats.score_evaluations >= stats.heap_pushes

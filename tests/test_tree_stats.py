@@ -1,0 +1,47 @@
+"""RTree.stats structural snapshots."""
+
+from repro.data import generate_independent
+from repro.rtree import DiskNodeStore, MemoryNodeStore, RTree
+
+
+def test_single_leaf_stats():
+    tree = RTree(MemoryNodeStore(8), dims=2)
+    tree.insert(0, (0.5, 0.5))
+    stats = tree.stats()
+    assert stats.height == 1
+    assert stats.num_objects == 1
+    assert stats.num_nodes == 1
+    assert stats.nodes_per_level == {0: 1}
+
+
+def test_bulk_loaded_stats_consistent():
+    dataset = generate_independent(3000, 3, seed=290)
+    tree = RTree.bulk_load(DiskNodeStore(3), 3, dataset.items(), fill=0.9)
+    stats = tree.stats()
+    assert stats.num_objects == 3000
+    assert stats.height == tree.height
+    assert set(stats.nodes_per_level) == set(range(tree.height))
+    assert sum(stats.nodes_per_level.values()) == stats.num_nodes
+    # STR at fill 0.9 packs leaves close to the target.
+    assert 0.7 <= stats.avg_fill_per_level[0] <= 1.0
+
+
+def test_stats_track_mutations():
+    dataset = generate_independent(400, 2, seed=291)
+    tree = RTree(MemoryNodeStore(8), dims=2)
+    points = dict(dataset.items())
+    for object_id, point in points.items():
+        tree.insert(object_id, point)
+    before = tree.stats()
+    for object_id in dataset.ids[:200]:
+        tree.delete(object_id, points[object_id])
+    after = tree.stats()
+    assert after.num_objects == before.num_objects - 200
+    assert after.num_nodes <= before.num_nodes
+
+
+def test_fill_factors_are_fractions():
+    dataset = generate_independent(1000, 4, seed=292)
+    tree = RTree.bulk_load(DiskNodeStore(4), 4, dataset.items())
+    for level, fill in tree.stats().avg_fill_per_level.items():
+        assert 0.0 < fill <= 1.0, level

@@ -1,0 +1,101 @@
+"""Public tree validation API."""
+
+import pytest
+
+from repro.data import generate_independent
+from repro.geometry import MBR
+from repro.rtree import (
+    Entry,
+    MemoryNodeStore,
+    RTree,
+    RTreeNode,
+    TreeInvariantError,
+    validate_tree,
+)
+
+
+def healthy_tree(n=300, fanout=6):
+    dataset = generate_independent(n, 2, seed=330)
+    tree = RTree(MemoryNodeStore(fanout), dims=2)
+    for object_id, point in dataset.items():
+        tree.insert(object_id, point)
+    return tree
+
+
+def test_healthy_tree_validates():
+    tree = healthy_tree()
+    assert validate_tree(tree) == 300
+
+
+def test_empty_tree_validates():
+    tree = RTree(MemoryNodeStore(4), dims=2)
+    assert validate_tree(tree) == 0
+
+
+def test_detects_loose_parent_mbr():
+    tree = healthy_tree()
+    root = tree.read_root()
+    assert not root.is_leaf
+    # Corrupt: widen a branch entry's box beyond the tight union.
+    entry = root.entries[0]
+    root.entries[0] = Entry(
+        MBR((0.0, 0.0), (1.0, 1.0)), entry.child
+    ) if entry.mbr != MBR((0.0, 0.0), (1.0, 1.0)) else Entry(
+        MBR((0.0, 0.0), (0.5, 0.5)), entry.child
+    )
+    tree.store.write(root)
+    with pytest.raises(TreeInvariantError):
+        validate_tree(tree)
+
+
+def test_detects_wrong_count():
+    tree = healthy_tree()
+    tree._count += 1
+    with pytest.raises(TreeInvariantError, match="reports"):
+        validate_tree(tree)
+
+
+def test_detects_duplicate_object_ids():
+    tree = RTree(MemoryNodeStore(4), dims=2)
+    tree.insert(1, (0.2, 0.2))
+    # Bypass the API to force a duplicate id into the root leaf.
+    root = tree.read_root()
+    root.entries.append(Entry.for_object(1, (0.8, 0.8)))
+    tree.store.write(root)
+    tree._count += 1
+    with pytest.raises(TreeInvariantError, match="duplicate"):
+        validate_tree(tree)
+
+
+def test_detects_overfull_node():
+    tree = RTree(MemoryNodeStore(4), dims=2)
+    root = tree.read_root()
+    for i in range(6):  # capacity is 4
+        root.entries.append(Entry.for_object(i, (i / 10, i / 10)))
+    tree.store.write(root)
+    tree._count = 6
+    with pytest.raises(TreeInvariantError, match="capacity"):
+        validate_tree(tree)
+
+
+def test_detects_level_skew():
+    tree = healthy_tree()
+    root = tree.read_root()
+    child_id = root.entries[0].child
+    child = tree.read_node(child_id)
+    if child.is_leaf:
+        pytest.skip("tree too shallow for this corruption")
+    child.level += 1
+    tree.store.write(child)
+    with pytest.raises(TreeInvariantError):
+        validate_tree(tree)
+
+
+def test_detects_nonpoint_leaf_entry():
+    tree = RTree(MemoryNodeStore(4), dims=2)
+    root = tree.read_root()
+    root.entries.append(Entry(MBR((0.1, 0.1), (0.2, 0.2)), 5))
+    tree.store.write(root)
+    tree._count = 1
+    with pytest.raises(TreeInvariantError, match="non-point"):
+        validate_tree(tree)

@@ -1,0 +1,63 @@
+"""Synthetic Zillow substitute: the properties the paper's Figure 3 needs."""
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.data import ZILLOW_ATTRIBUTES, generate_zillow, generate_zillow_raw
+
+
+def test_attribute_schema():
+    # The paper: "2M records with five attributes: number of bathrooms,
+    # number of bedrooms, living area, price, and lot area".
+    assert ZILLOW_ATTRIBUTES == (
+        "bathrooms", "bedrooms", "living_area", "price", "lot_area"
+    )
+    raw = generate_zillow_raw(100, seed=80)
+    assert raw.shape == (100, 5)
+
+
+def test_room_counts_are_small_integers():
+    raw = generate_zillow_raw(2000, seed=81)
+    bathrooms, bedrooms = raw[:, 0], raw[:, 1]
+    assert np.array_equal(bathrooms, np.round(bathrooms))
+    assert np.array_equal(bedrooms, np.round(bedrooms))
+    assert bathrooms.min() >= 1 and bathrooms.max() <= 6
+    assert bedrooms.min() >= 1 and bedrooms.max() <= 8
+
+
+def test_continuous_attributes_are_right_skewed():
+    # "Zillow is highly skewed" is the paper's explanation of Figure 3's
+    # CPU results; the substitute must preserve heavy right tails.
+    raw = generate_zillow_raw(20000, seed=82)
+    for column in (2, 3, 4):  # living area, price, lot area
+        skewness = scipy_stats.skew(raw[:, column])
+        assert skewness > 1.0, ZILLOW_ATTRIBUTES[column]
+
+
+def test_size_attributes_positively_correlated():
+    raw = generate_zillow_raw(20000, seed=83)
+    log_price = np.log(raw[:, 3])
+    log_area = np.log(raw[:, 2])
+    assert np.corrcoef(log_area, log_price)[0, 1] > 0.4
+    assert np.corrcoef(raw[:, 1], log_area)[0, 1] > 0.4
+    # Lot area is only loosely coupled.
+    lot_corr = np.corrcoef(np.log(raw[:, 4]), log_price)[0, 1]
+    assert lot_corr < 0.4
+
+
+def test_normalized_dataset_in_unit_cube_with_price_flipped():
+    ds = generate_zillow(3000, seed=84)
+    assert ds.dims == 5
+    assert ds.matrix.min() >= 0.0 and ds.matrix.max() <= 1.0
+    raw = generate_zillow_raw(3000, seed=84)
+    cheapest = int(np.argmin(raw[:, 3]))
+    most_expensive = int(np.argmax(raw[:, 3]))
+    # Cheaper is better: the cheapest home gets price-score 1.
+    assert ds.vector(cheapest)[3] == 1.0
+    assert ds.vector(most_expensive)[3] == 0.0
+
+
+def test_determinism():
+    a = generate_zillow(500, seed=85)
+    b = generate_zillow(500, seed=85)
+    assert np.array_equal(a.matrix, b.matrix)
