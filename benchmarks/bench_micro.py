@@ -8,6 +8,7 @@ import pytest
 
 from repro.core import MatchingProblem
 from repro.data import generate_anticorrelated, generate_independent
+from repro.engine import MatchingEngine
 from repro.prefs import FunctionIndex, generate_preferences
 from repro.rtree import DiskNodeStore, RTree, top1
 from repro.skyline import compute_skyline, update_after_removal
@@ -109,3 +110,33 @@ def test_micro_problem_build(benchmark, dataset):
 
     problem = benchmark(build)
     assert problem.tree.num_objects == N_OBJECTS
+
+
+def _sb_backend_run(benchmark, dataset, backend):
+    """SB hot path through the engine on one storage backend.
+
+    The disk backend pays page (de)serialization and buffer bookkeeping
+    on every node touch; the memory backend pins how much of SB's cost
+    is the simulated I/O layer rather than the algorithm itself.
+    Anti-correlated data keeps the skyline (and hence the tree traffic)
+    large — the hard case for the storage layer.
+    """
+    functions = generate_preferences(N_FUNCTIONS, DIMS, seed=SEED + 4)
+    engine = MatchingEngine(algorithm="sb", backend=backend)
+    problem = engine.build_problem(dataset, functions)
+
+    def run():
+        problem.reset_io()
+        return engine.create_matcher(problem).run()
+
+    matching = benchmark(run)
+    assert len(matching) == N_FUNCTIONS
+    return matching
+
+
+def test_micro_sb_disk_backend(benchmark, anti_dataset):
+    _sb_backend_run(benchmark, anti_dataset, "disk")
+
+
+def test_micro_sb_memory_backend(benchmark, anti_dataset):
+    _sb_backend_run(benchmark, anti_dataset, "memory")

@@ -10,7 +10,7 @@ Run with::
     python examples/figure1_walkthrough.py
 """
 
-from repro import MatchingProblem, SkylineMatcher
+from repro import MatchingEngine
 from repro.core import TraceRecorder
 from repro.data import Dataset
 from repro.prefs import LinearPreference
@@ -32,7 +32,8 @@ F2 = LinearPreference(2, (0.6, 0.4))
 
 def main() -> None:
     objects = Dataset([POINTS[letter] for letter in LETTERS], name="figure1")
-    problem = MatchingProblem.build(objects, [F1, F2])
+    engine = MatchingEngine(algorithm="sb")
+    problem = engine.build_problem(objects, [F1, F2])
 
     print("Objects (the 13 points of Figure 1):")
     for letter in LETTERS:
@@ -52,7 +53,9 @@ def main() -> None:
 
     print("\nStep 2 — iterate BestPair + UpdateSkyline:")
     recorder = TraceRecorder()
-    matcher = SkylineMatcher(problem, on_round=recorder)
+    # create_matcher forwards extra keywords (like the trace hook)
+    # straight to the algorithm's constructor.
+    matcher = engine.create_matcher(problem, on_round=recorder)
     for pair in matcher.pairs():
         fname = f"f{pair.function_id}"
         print(

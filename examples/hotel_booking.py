@@ -18,12 +18,8 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro import (
-    Dataset,
-    MatchingProblem,
-    SkylineMatcher,
-    verify_stable_matching,
-)
+import repro
+from repro import Dataset, verify_stable_matching
 from repro.prefs import generate_segmented_preferences
 
 SEGMENTS = {
@@ -59,9 +55,8 @@ def build_users(per_segment: int, seed: int):
 def main(n_rooms: int = 6000, per_segment: int = 60) -> None:
     rooms = build_rooms(n_rooms, seed=3)
     users, segment_of = build_users(per_segment=per_segment, seed=4)
-    problem = MatchingProblem.build(rooms, users)
-    matching = SkylineMatcher(problem).run()
-    assert verify_stable_matching(matching, rooms, users)
+    matching = repro.match(rooms, users, algorithm="sb")
+    assert verify_stable_matching(matching.to_matching(), rooms, users)
 
     # Regret: rank of the assigned room in the user's personal ordering
     # (0 = got their true top-1 despite the contention).
@@ -74,7 +69,7 @@ def main(n_rooms: int = 6000, per_segment: int = 60) -> None:
         regret_by_segment[segment_of[pair.function_id]].append(rank)
 
     print(f"matched {len(matching)} users to {len(rooms)} rooms "
-          f"({problem.io_stats.io_accesses} I/O accesses)\n")
+          f"({matching.io_accesses} I/O accesses)\n")
     print(f"{'segment':>10} {'users':>6} {'top-1 kept':>11} "
           f"{'median rank':>12} {'worst rank':>11}")
     for segment, regrets in sorted(regret_by_segment.items()):

@@ -6,19 +6,17 @@ distance to the beach, ...). A room can only be sold once, so instead of
 answering each top-1 query independently the system computes a *stable
 1-1 matching* between users and rooms.
 
+The one-shot ``repro.match()`` facade drives everything: algorithms and
+storage backends are picked by name, and every combination returns the
+identical stable pairs.
+
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    BruteForceMatcher,
-    MatchingProblem,
-    SkylineMatcher,
-    generate_independent,
-    generate_preferences,
-    verify_stable_matching,
-)
+import repro
+from repro import generate_independent, generate_preferences, verify_stable_matching
 
 
 def main(n_rooms: int = 8000, n_users: int = 200) -> None:
@@ -27,47 +25,44 @@ def main(n_rooms: int = 8000, n_users: int = 200) -> None:
     rooms = generate_independent(n=n_rooms, dims=4, seed=7)
     users = generate_preferences(n=n_users, dims=4, seed=11)
 
-    # F stays in memory; O is bulk-loaded into a disk R-tree (4 KiB pages)
-    # behind the paper's 2%-of-tree LRU buffer.
-    problem = MatchingProblem.build(rooms, users)
-    print(f"problem: {problem}")
+    # One call: SB over the paper's storage stack (disk R-tree, 4 KiB
+    # pages, 2%-of-tree LRU buffer).
+    result = repro.match(rooms, users, algorithm="sb", backend="disk")
+    print(f"engine result: {result}")
 
-    # SB is progressive: pairs stream out as soon as they are stable.
-    matcher = SkylineMatcher(problem)
     print("\nfirst five assignments (best global scores first):")
-    pairs = []
-    for pair in matcher.pairs():
-        pairs.append(pair)
-        if len(pairs) <= 5:
-            print(
-                f"  user {pair.function_id:>3} <- room {pair.object_id:>5} "
-                f"(score {pair.score:.4f}, round {pair.round})"
-            )
+    for pair in result.pairs[:5]:
+        print(
+            f"  user {pair.function_id:>3} <- room {pair.object_id:>5} "
+            f"(score {pair.score:.4f}, round {pair.round})"
+        )
 
-    print(f"\nmatched {len(pairs)} users in {matcher.rounds} rounds")
-    print(f"I/O accesses (SB): {problem.io_stats.io_accesses}")
+    print(f"\nmatched {len(result)} users in "
+          f"{int(result.stats['rounds'])} rounds")
+    print(f"I/O accesses (SB): {result.io_accesses}")
 
     # The result is a stable matching: no user/room pair prefers each
     # other over what they got.
-    from repro.core import Matching
-
-    matching = Matching(pairs, algorithm="skyline")
-    assert verify_stable_matching(matching, rooms, users)
+    assert verify_stable_matching(result.to_matching(), rooms, users)
     print("stability verified: no blocking pairs")
 
-    # Compare against the Brute Force baseline (fresh problem: Brute
-    # Force deletes assigned rooms from its R-tree).
-    baseline_problem = MatchingProblem.build(rooms, users)
-    baseline_problem.reset_io()
-    baseline = BruteForceMatcher(baseline_problem).run()
-    assert baseline.as_set() == matching.as_set()
+    # The Brute Force baseline produces the same matching at a much
+    # higher simulated I/O cost (each algorithm gets a fresh problem).
+    baseline = repro.match(rooms, users, algorithm="bf")
+    assert baseline.as_set() == result.as_set()
     print(
-        f"I/O accesses (Brute Force): "
-        f"{baseline_problem.io_stats.io_accesses} "
+        f"I/O accesses (Brute Force): {baseline.io_accesses} "
         f"(same matching, "
-        f"{baseline_problem.io_stats.io_accesses / max(1, problem.io_stats.io_accesses):.0f}x "
+        f"{baseline.io_accesses / max(1, result.io_accesses):.0f}x "
         f"the I/O of SB)"
     )
+
+    # Serving deployments that don't need the cost model can skip the
+    # simulated disk entirely: same pairs, no page faults.
+    fast = repro.match(rooms, users, backend="memory")
+    assert fast.as_set() == result.as_set()
+    print(f"in-memory backend: identical pairs, {fast.io_accesses} I/O, "
+          f"{fast.cpu_seconds:.3f}s CPU")
 
 
 if __name__ == "__main__":

@@ -15,14 +15,10 @@ Run with::
 """
 
 import tempfile
-import time
 from pathlib import Path
 
+import repro
 from repro import (
-    BruteForceMatcher,
-    ChainMatcher,
-    MatchingProblem,
-    SkylineMatcher,
     generate_preferences,
     generate_zillow,
     load_dataset_csv,
@@ -43,28 +39,26 @@ def main(n_homes: int = 12_000, n_buyers: int = 300) -> None:
     print(f"catalog: {len(homes)} homes x {homes.dims} attributes "
           f"({', '.join(ZILLOW_ATTRIBUTES)})")
 
+    # One facade call per algorithm: each run stages its own fresh
+    # problem (Brute Force and Chain mutate their R-tree).
     results = {}
-    for name, matcher_cls in [
-        ("SB (paper)", SkylineMatcher),
-        ("Brute Force", BruteForceMatcher),
-        ("Chain", ChainMatcher),
+    for name, algorithm in [
+        ("SB (paper)", "sb"),
+        ("Brute Force", "bf"),
+        ("Chain", "chain"),
     ]:
-        problem = MatchingProblem.build(homes, buyers)
-        problem.reset_io()
-        start = time.perf_counter()
-        matching = matcher_cls(problem).run()
-        elapsed = time.perf_counter() - start
-        results[name] = (matching, problem.io_stats.io_accesses, elapsed)
+        results[name] = repro.match(homes, buyers, algorithm=algorithm)
 
     print(f"\n{'algorithm':>12} {'I/O':>8} {'CPU (s)':>8} {'pairs':>6}")
-    for name, (matching, io, elapsed) in results.items():
-        print(f"{name:>12} {io:>8} {elapsed:>8.2f} {len(matching):>6}")
+    for name, result in results.items():
+        print(f"{name:>12} {result.io_accesses:>8} "
+              f"{result.cpu_seconds:>8.2f} {len(result):>6}")
 
-    matchings = [m.as_set() for m, _, _ in results.values()]
+    matchings = [r.as_set() for r in results.values()]
     assert matchings[0] == matchings[1] == matchings[2]
     print("\nall three algorithms produce the identical stable matching;")
-    sb_io = results["SB (paper)"][1]
-    runner_up = min(io for name, (_, io, _) in results.items()
+    sb_io = results["SB (paper)"].io_accesses
+    runner_up = min(r.io_accesses for name, r in results.items()
                     if name != "SB (paper)")
     print(f"SB uses {runner_up / max(1, sb_io):.0f}x less I/O than the "
           f"best competitor (the paper's Figure 3 shape).")

@@ -3,11 +3,11 @@
 Two extensions of the paper's model in one realistic scenario:
 
 * a hotel sells room *types*, each with several identical units — the
-  capacitated matcher expands types into units and the stable-matching
-  semantics carry over exactly;
+  ``capacities=`` argument of ``repro.match()`` expands types into units
+  and the stable-matching semantics carry over exactly;
 * some guests don't score rooms linearly: a family wants *no weak
   aspect* (weighted-minimum preference), an influencer wants excellence
-  somewhere (quadratic preference). The generic skyline matcher handles
+  somewhere (quadratic preference). ``algorithm="generic-sb"`` handles
   any monotone function.
 
 Run with::
@@ -15,12 +15,9 @@ Run with::
     python examples/room_types_capacity.py
 """
 
-from repro import Dataset, MatchingProblem
-from repro.core import (
-    GenericSkylineMatcher,
-    greedy_monotone_reference,
-    match_with_capacities,
-)
+import repro
+from repro import Dataset
+from repro.core import greedy_monotone_reference
 from repro.prefs import (
     MinPreference,
     QuadraticPreference,
@@ -44,7 +41,7 @@ def main(n_guests: int = 8) -> None:
     print("Room types:", {
         name: f"{units} unit(s)" for name, (_, units) in ROOM_TYPES.items()
     })
-    result = match_with_capacities(rooms, guests, capacities)
+    result = repro.match(rooms, guests, capacities=capacities)
     print(f"\nCapacitated matching of {n_guests} linear guests:")
     for i, name in enumerate(names):
         assigned = result.assignments_of(i)
@@ -59,8 +56,8 @@ def main(n_guests: int = 8) -> None:
         QuadraticPreference(1, (0.1, 0.1, 0.6, 0.2)),  # view excellence
         MinPreference(2, (0.5, 2.0, 0.5, 1.0)),        # price-sensitive min
     ]
-    problem = MatchingProblem.build(rooms, [])
-    matching = GenericSkylineMatcher(problem, quirky_guests).run()
+    matching = repro.match(rooms, quirky_guests, algorithm="generic-sb",
+                           backend="memory")
     reference = greedy_monotone_reference(rooms, quirky_guests)
     assert matching.as_set() == reference.as_set()
     print("\nMonotone (non-linear) guests via the generic skyline matcher:")

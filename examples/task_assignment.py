@@ -16,9 +16,9 @@ Run with::
     python examples/task_assignment.py
 """
 
+import repro
 from repro import (
-    MatchingProblem,
-    SkylineMatcher,
+    MatchingEngine,
     compute_skyline,
     generate_anticorrelated,
     generate_preferences,
@@ -31,7 +31,7 @@ def main(n_workers: int = 10_000, n_jobs: int = 250) -> None:
     workers = generate_anticorrelated(n=n_workers, dims=DIMS, seed=21)
     jobs = generate_preferences(n=n_jobs, dims=DIMS, seed=22)
 
-    problem = MatchingProblem.build(workers, jobs)
+    problem = MatchingEngine(algorithm="sb").build_problem(workers, jobs)
 
     # Under the hood: only skyline workers can ever be anyone's top-1.
     state = compute_skyline(problem.tree)
@@ -39,7 +39,6 @@ def main(n_workers: int = 10_000, n_jobs: int = 250) -> None:
         f"{len(workers)} workers, but only {len(state)} are in the "
         f"skyline — SB matches the {len(jobs)} jobs against those."
     )
-    problem.reset_io()
 
     variants = {
         "SB (multi-pair, plists)": dict(),
@@ -49,17 +48,15 @@ def main(n_workers: int = 10_000, n_jobs: int = 250) -> None:
     }
     baseline = None
     print(f"\n{'variant':>26} {'I/O':>7} {'rounds':>7} {'rev-top1':>9}")
-    for name, kwargs in variants.items():
-        fresh = MatchingProblem.build(workers, jobs)
-        fresh.reset_io()
-        matcher = SkylineMatcher(fresh, **kwargs)
-        matching = matcher.run()
+    for name, options in variants.items():
+        result = repro.match(workers, jobs, algorithm="sb", **options)
         if baseline is None:
-            baseline = matching.as_set()
-        assert matching.as_set() == baseline  # design choices change cost only
+            baseline = result.as_set()
+        assert result.as_set() == baseline  # design choices change cost only
         print(
-            f"{name:>26} {fresh.io_stats.io_accesses:>7} "
-            f"{matcher.rounds:>7} {matcher.reverse_top1_queries:>9}"
+            f"{name:>26} {result.io_accesses:>7} "
+            f"{int(result.stats['rounds']):>7} "
+            f"{int(result.stats.get('reverse_top1_queries', 0)):>9}"
         )
 
     print(

@@ -1,2 +1,19 @@
-from setuptools import setup
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-preference-matching",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Efficient Evaluation of Multiple Preference "
+        "Queries' (ICDE 2009): skyline-based stable matching with a "
+        "unified engine facade"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    include_package_data=True,
+    zip_safe=False,
+    python_requires=">=3.8",
+    install_requires=["numpy"],
+    extras_require={"test": ["pytest", "hypothesis", "pytest-benchmark"]},
+)

@@ -7,21 +7,26 @@ using the paper's skyline-based SB algorithm, with the Brute Force and
 Chain baselines, a simulated disk + LRU buffer cost model, and a full
 benchmark harness reproducing the paper's figures.
 
-Quickstart::
+Quickstart (the unified facade)::
 
-    from repro import (MatchingProblem, SkylineMatcher,
-                       generate_independent, generate_preferences)
+    import repro
 
-    objects = generate_independent(n=10_000, dims=4, seed=7)
-    prefs = generate_preferences(n=500, dims=4, seed=11)
-    problem = MatchingProblem.build(objects, prefs)
-    matching = SkylineMatcher(problem).run()
-    print(matching.pairs[:3], problem.io_stats.io_accesses)
+    objects = repro.generate_independent(n=10_000, dims=4, seed=7)
+    prefs = repro.generate_preferences(n=500, dims=4, seed=11)
+    result = repro.match(objects, prefs, algorithm="sb", backend="disk")
+    print(result.pairs[:3], result.io_accesses)
+
+``repro.match`` accepts any registered algorithm
+(:func:`repro.available_algorithms`) and storage backend
+(:func:`repro.available_backends`); the lower-level classes
+(:class:`MatchingProblem`, :class:`SkylineMatcher`, ...) stay available
+for streaming pairs and custom instrumentation.
 """
 
 from .core import (
     BruteForceMatcher,
     ChainMatcher,
+    GaleShapleyMatcher,
     GenericSkylineMatcher,
     Matcher,
     Matching,
@@ -34,6 +39,16 @@ from .core import (
     match_with_capacities,
     summarize,
     verify_stable_matching,
+)
+from .engine import (
+    MatchingConfig,
+    MatchingEngine,
+    MatchResult,
+    available_algorithms,
+    available_backends,
+    match,
+    register_backend,
+    register_matcher,
 )
 from .data import (
     Dataset,
@@ -55,7 +70,16 @@ __version__ = "1.0.0"
 __all__ = [
     "BruteForceMatcher",
     "ChainMatcher",
+    "GaleShapleyMatcher",
     "GenericSkylineMatcher",
+    "MatchingConfig",
+    "MatchingEngine",
+    "MatchResult",
+    "available_algorithms",
+    "available_backends",
+    "match",
+    "register_backend",
+    "register_matcher",
     "MatchingReport",
     "match_with_capacities",
     "summarize",

@@ -19,10 +19,12 @@ from .record import (
 from .report import format_figure, format_sweep_table, orders_of_magnitude
 from .runner import (
     ALGORITHMS,
+    BENCH_CONFIGS,
     DEFAULT_ALGORITHM_ORDER,
     Sweep,
     SweepPoint,
     bench_scale,
+    resolve_algorithms,
     run_point,
 )
 
@@ -46,9 +48,11 @@ __all__ = [
     "format_sweep_table",
     "orders_of_magnitude",
     "ALGORITHMS",
+    "BENCH_CONFIGS",
     "DEFAULT_ALGORITHM_ORDER",
     "Sweep",
     "SweepPoint",
     "bench_scale",
+    "resolve_algorithms",
     "run_point",
 ]

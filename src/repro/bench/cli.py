@@ -5,6 +5,8 @@ Regenerates the paper's figures as text tables. Examples::
     python -m repro.bench --figure 2a            # I/O, independent data
     python -m repro.bench --figure 2 --scale 0.1 # all four Fig. 2 panels
     python -m repro.bench --figure all           # everything (default)
+    python -m repro.bench --figure 2a --algorithms SB        # one matcher
+    python -m repro.bench --figure 2a --backend memory       # fast path
 """
 
 from __future__ import annotations
@@ -13,9 +15,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..engine import available_backends
 from .figures import figure2_sweep, figure3_sweep
 from .report import format_sweep_table
-from .runner import bench_scale
+from .runner import BENCH_CONFIGS, bench_scale, resolve_algorithms
 
 #: figure id -> (builder kwargs, metric, title)
 _PANELS = {
@@ -58,13 +61,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="workload scale vs the paper's cardinalities "
                              "(default: REPRO_BENCH_SCALE or 0.05)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--algorithms", default=None, metavar="NAMES",
+                        help="comma-separated subset of the bench panel "
+                             f"({', '.join(sorted(BENCH_CONFIGS))}); "
+                             "default: SB,BruteForce,Chain")
+    parser.add_argument("--backend", default="disk",
+                        choices=sorted(available_backends()),
+                        help="storage backend for every run "
+                             "(default: disk, the paper's cost model)")
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also save each sweep as JSON into DIR")
     args = parser.parse_args(argv)
 
     scale = args.scale if args.scale is not None else bench_scale()
+    requested = None
+    if args.algorithms is not None:
+        requested = [name.strip() for name in args.algorithms.split(",")
+                     if name.strip()]
+        if not requested:
+            raise SystemExit("--algorithms requires at least one name")
+    try:
+        algorithms = resolve_algorithms(requested)
+    except Exception as error:
+        raise SystemExit(str(error))
     panels = _expand(args.figure)
     print(f"# workload scale: {scale:g} of the paper's cardinalities")
+    if args.backend != "disk":
+        print(f"# storage backend: {args.backend}")
 
     cache = {}
     for panel in panels:
@@ -79,10 +102,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         variant, metric, title = _PANELS[panel]
         if variant not in cache:
             if variant == "zillow":
-                cache[variant] = figure3_sweep(scale=scale, seed=args.seed)
+                cache[variant] = figure3_sweep(scale=scale, seed=args.seed,
+                                               algorithms=algorithms,
+                                               backend=args.backend)
             else:
                 cache[variant] = figure2_sweep(variant, scale=scale,
-                                               seed=args.seed)
+                                               seed=args.seed,
+                                               algorithms=algorithms,
+                                               backend=args.backend)
         print()
         print(format_sweep_table(cache[variant], metric, title=title))
 

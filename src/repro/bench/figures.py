@@ -39,6 +39,7 @@ _SYNTHETIC_GENERATORS = {
 def figure2_sweep(variant: str, scale: Optional[float] = None,
                   dims: Sequence[int] = PAPER_DIMENSIONS,
                   algorithms: Sequence[str] = DEFAULT_ALGORITHM_ORDER,
+                  backend: str = "disk",
                   seed: int = 42) -> Sweep:
     """Figure 2 workload: vary D on synthetic data.
 
@@ -72,7 +73,8 @@ def figure2_sweep(variant: str, scale: Optional[float] = None,
                 "dims": d,
             },
         )
-        point.results = run_point(objects, functions, algorithms=algorithms)
+        point.results = run_point(objects, functions, algorithms=algorithms,
+                                  backend=backend)
         sweep.points.append(point)
     return sweep
 
@@ -80,6 +82,7 @@ def figure2_sweep(variant: str, scale: Optional[float] = None,
 def figure3_sweep(scale: Optional[float] = None,
                   sizes: Sequence[int] = PAPER_ZILLOW_SIZES,
                   algorithms: Sequence[str] = DEFAULT_ALGORITHM_ORDER,
+                  backend: str = "disk",
                   seed: int = 42) -> Sweep:
     """Figure 3 workload: vary |O| on the (synthetic) Zillow dataset.
 
@@ -110,6 +113,7 @@ def figure3_sweep(scale: Optional[float] = None,
                 "dims": dims,
             },
         )
-        point.results = run_point(objects, functions, algorithms=algorithms)
+        point.results = run_point(objects, functions, algorithms=algorithms,
+                                  backend=backend)
         sweep.points.append(point)
     return sweep

@@ -1,54 +1,78 @@
-"""Experiment runner: algorithm registry and parameter sweeps.
+"""Experiment runner: bench algorithm panel and parameter sweeps.
 
 The harness mirrors the paper's protocol: for each point of a sweep (a
 dimensionality, or an object-set size) it builds a fresh problem per
 algorithm (Brute Force and Chain mutate the R-tree), runs the matcher on a
 cold buffer, and records a :class:`~repro.bench.instruments.RunMeasurement`.
+
+Problems and matchers are staged through the unified
+:class:`~repro.engine.MatchingEngine` facade: each bench panel name maps
+to a :class:`~repro.engine.MatchingConfig` in :data:`BENCH_CONFIGS`, and
+``--backend`` selects the storage backend for the whole sweep (the
+``disk`` default reproduces the paper's I/O figures; ``memory`` times
+the serving fast path).
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from ..core import (
-    BruteForceMatcher,
-    ChainMatcher,
-    Matcher,
-    MatchingProblem,
-    SkylineMatcher,
-)
+from ..core import Matcher, MatchingProblem
 from ..data import Dataset
+from ..engine import MatchingConfig, MatchingEngine
 from ..errors import ReproError
 from ..prefs import LinearPreference
 from .instruments import RunMeasurement, measure_matcher
 
-#: Algorithm registry: display name -> matcher factory.
+#: Bench panel name -> full engine configuration.
+BENCH_CONFIGS: Dict[str, MatchingConfig] = {
+    "SB": MatchingConfig(algorithm="sb"),
+    "BruteForce": MatchingConfig(algorithm="bf"),
+    "Chain": MatchingConfig(algorithm="chain"),
+    # Reference algorithms (not part of the paper's figures).
+    "GaleShapley": MatchingConfig(algorithm="gs"),
+    "GenericSB": MatchingConfig(algorithm="generic-sb"),
+    # Ablation variants (not part of the paper's figures).
+    "SB-single": MatchingConfig(algorithm="sb", multi_pair=False),
+    "SB-retraversal": MatchingConfig(algorithm="sb",
+                                     maintenance="retraversal"),
+    "SB-naive-threshold": MatchingConfig(algorithm="sb", threshold="naive"),
+    "SB-nocache": MatchingConfig(algorithm="sb", cache_best=False),
+    "Chain-stack": MatchingConfig(algorithm="chain", restart=False),
+    "BruteForce-filter": MatchingConfig(algorithm="bf",
+                                        deletion_mode="filter"),
+}
+
+
+def _factory(config: MatchingConfig) -> Callable[[MatchingProblem], Matcher]:
+    return lambda problem: MatchingEngine(config).create_matcher(problem)
+
+
+#: Backwards-compatible view: display name -> matcher factory.
 MatcherFactory = Callable[[MatchingProblem], Matcher]
 
 ALGORITHMS: Dict[str, MatcherFactory] = {
-    "SB": lambda problem: SkylineMatcher(problem),
-    "BruteForce": lambda problem: BruteForceMatcher(problem),
-    "Chain": lambda problem: ChainMatcher(problem),
-    # Ablation variants (not part of the paper's figures).
-    "SB-single": lambda problem: SkylineMatcher(problem, multi_pair=False),
-    "SB-retraversal": lambda problem: SkylineMatcher(
-        problem, maintenance="retraversal"
-    ),
-    "SB-naive-threshold": lambda problem: SkylineMatcher(
-        problem, threshold="naive"
-    ),
-    "SB-nocache": lambda problem: SkylineMatcher(problem, cache_best=False),
-    "Chain-stack": lambda problem: ChainMatcher(problem, restart=False),
-    "BruteForce-filter": lambda problem: BruteForceMatcher(
-        problem, deletion_mode="filter"
-    ),
+    name: _factory(config) for name, config in BENCH_CONFIGS.items()
 }
 
 #: The paper's plotting order (SB last in its legends, first here for
 #: readability of the winner).
 DEFAULT_ALGORITHM_ORDER = ("SB", "BruteForce", "Chain")
+
+
+def resolve_algorithms(names: Optional[Sequence[str]]) -> List[str]:
+    """Validate bench panel names, defaulting to the paper's panel set."""
+    if names is None:
+        return list(DEFAULT_ALGORITHM_ORDER)
+    unknown = [name for name in names if name not in BENCH_CONFIGS]
+    if unknown:
+        raise ReproError(
+            f"unknown algorithm {unknown[0]!r}; expected one of "
+            f"{sorted(BENCH_CONFIGS)}"
+        )
+    return list(names)
 
 
 def bench_scale(default: float = 0.05) -> float:
@@ -101,23 +125,18 @@ class Sweep:
 
 def run_point(objects: Dataset, functions: Sequence[LinearPreference],
               algorithms: Optional[Sequence[str]] = None,
+              backend: str = "disk",
               buffer_fraction: float = 0.02,
               page_size: int = 4096) -> Dict[str, RunMeasurement]:
     """Run each algorithm on its own fresh copy of one workload."""
-    if algorithms is None:
-        algorithms = DEFAULT_ALGORITHM_ORDER
+    names = resolve_algorithms(algorithms)
     results: Dict[str, RunMeasurement] = {}
-    for name in algorithms:
-        try:
-            factory = ALGORITHMS[name]
-        except KeyError:
-            raise ReproError(
-                f"unknown algorithm {name!r}; expected one of "
-                f"{sorted(ALGORITHMS)}"
-            ) from None
-        problem = MatchingProblem.build(
-            objects, functions,
-            buffer_fraction=buffer_fraction, page_size=page_size,
-        )
-        results[name] = measure_matcher(factory(problem))
+    for name in names:
+        engine = MatchingEngine(BENCH_CONFIGS[name].replace(
+            backend=backend,
+            buffer_fraction=buffer_fraction,
+            page_size=page_size,
+        ))
+        problem = engine.build_problem(objects, functions)
+        results[name] = measure_matcher(engine.create_matcher(problem))
     return results

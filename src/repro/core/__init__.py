@@ -8,11 +8,16 @@ from .analysis import (
 )
 from .base import Matcher
 from .brute_force import BruteForceMatcher
-from .capacity import CapacitatedMatching, match_with_capacities
+from .capacity import (
+    CapacitatedMatching,
+    expand_capacities,
+    match_with_capacities,
+)
 from .chain import ChainMatcher
 from .generic import GenericSkylineMatcher, greedy_monotone_reference
 from .trace import RoundTrace, TraceRecorder
 from .gale_shapley import (
+    GaleShapleyMatcher,
     gale_shapley,
     greedy_reference_matching,
     preference_lists_from_scores,
@@ -33,6 +38,7 @@ __all__ = [
     "score_regrets",
     "summarize",
     "CapacitatedMatching",
+    "expand_capacities",
     "match_with_capacities",
     "GenericSkylineMatcher",
     "greedy_monotone_reference",
@@ -41,6 +47,7 @@ __all__ = [
     "Matcher",
     "BruteForceMatcher",
     "ChainMatcher",
+    "GaleShapleyMatcher",
     "gale_shapley",
     "greedy_reference_matching",
     "preference_lists_from_scores",

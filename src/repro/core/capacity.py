@@ -16,7 +16,7 @@ pruned list and resurface as units sell out).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Sequence
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -63,17 +63,16 @@ class CapacitatedMatching:
         ]
 
 
-def match_with_capacities(
-    objects: Dataset,
-    functions: Sequence[LinearPreference],
-    capacities: Mapping[int, int],
-    matcher_factory: Callable[[MatchingProblem], object] = SkylineMatcher,
-    **build_kwargs,
-) -> CapacitatedMatching:
-    """Stable many-to-one matching via virtual-object expansion.
+def expand_capacities(objects: Dataset,
+                      capacities: Mapping[int, int],
+                      ) -> Tuple[Dataset, List[int]]:
+    """Expand objects into capacity-many virtual copies.
 
-    ``capacities`` maps every object id to a non-negative unit count
-    (missing ids default to 1; zero removes the object from sale).
+    Returns ``(expanded dataset, owner list)`` where ``owner[virtual_id]``
+    is the original object id of each virtual copy (virtual ids are the
+    expanded dataset's dense ``0..n-1`` ids). ``capacities`` maps object
+    ids to non-negative unit counts (missing ids default to 1; zero
+    removes the object from sale).
     """
     virtual_vectors = []
     virtual_owner: List[int] = []
@@ -92,6 +91,22 @@ def match_with_capacities(
         ),
         name=f"{objects.name}-expanded",
     )
+    return expanded, virtual_owner
+
+
+def match_with_capacities(
+    objects: Dataset,
+    functions: Sequence[LinearPreference],
+    capacities: Mapping[int, int],
+    matcher_factory: Callable[[MatchingProblem], object] = SkylineMatcher,
+    **build_kwargs,
+) -> CapacitatedMatching:
+    """Stable many-to-one matching via virtual-object expansion.
+
+    ``capacities`` maps every object id to a non-negative unit count
+    (missing ids default to 1; zero removes the object from sale).
+    """
+    expanded, virtual_owner = expand_capacities(objects, capacities)
     problem = MatchingProblem.build(expanded, functions, **build_kwargs)
     matcher = matcher_factory(problem)
     matching: Matching = matcher.run()

@@ -17,10 +17,13 @@ in tests.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..data import Dataset
 from ..prefs import LinearPreference
+from ..storage.stats import SearchStats
+from .base import Matcher
+from .problem import MatchingProblem
 from .result import Matching, MatchPair
 
 
@@ -59,6 +62,50 @@ def greedy_reference_matching(objects: Dataset,
         unmatched_objects_count=len(objects) - len(pairs),
         algorithm="greedy-reference",
     )
+
+
+class GaleShapleyMatcher(Matcher):
+    """Deferred acceptance as a :class:`Matcher` (reference algorithm).
+
+    Materializes both sides' explicit preference lists from the score
+    model (O(|F|·|O|) scores, no index structures) and runs classic
+    Gale-Shapley. On the paper's aligned preferences the proposer-optimal
+    matching *is* the unique stable matching, so the output coincides
+    with the indexed matchers pair for pair; pairs are re-emitted in the
+    canonical (score desc, fid asc, oid asc) order.
+
+    Useful as an index-free cross-check and for workloads small enough
+    that quadratic scoring is acceptable.
+    """
+
+    name = "gale-shapley"
+
+    def __init__(self, problem: MatchingProblem,
+                 search_stats: Optional[SearchStats] = None) -> None:
+        super().__init__(problem, search_stats)
+        #: GS is one-shot: a completed run counts as a single round.
+        self.rounds = 0
+
+    def pairs(self) -> Iterator[MatchPair]:
+        objects = self.problem.objects
+        functions = self.problem.functions
+        if not functions or not len(objects):
+            return
+        function_lists, object_lists = preference_lists_from_scores(
+            objects, functions
+        )
+        assignment = gale_shapley(function_lists, object_lists)
+        by_fid = {function.fid: function for function in functions}
+        scored = []
+        for fid, object_id in assignment.items():
+            score = by_fid[fid].score(objects.vector(object_id))
+            if self.search_stats is not None:
+                self.search_stats.score_evaluations += 1
+            scored.append((-score, fid, object_id))
+        scored.sort()
+        self.rounds = 1
+        for rank, (neg_score, fid, object_id) in enumerate(scored):
+            yield MatchPair(fid, object_id, -neg_score, round=0, rank=rank)
 
 
 def gale_shapley(proposer_prefs: Dict[int, List[int]],

@@ -21,7 +21,15 @@ from ..data import Dataset
 from ..errors import DimensionalityError, MatchingError
 from ..prefs import LinearPreference
 from ..rtree import DiskNodeStore, RTree
-from ..storage import DEFAULT_PAGE_SIZE, BufferPool, DiskManager, IOSnapshot, IOStats
+from ..storage import (
+    DEFAULT_PAGE_SIZE,
+    BufferPool,
+    DiskManager,
+    IOSnapshot,
+    IOStats,
+    fraction_capacity,
+    make_buffer,
+)
 
 
 class MatchingProblem:
@@ -36,7 +44,9 @@ class MatchingProblem:
                  tree: RTree, disk: DiskManager, buffer: BufferPool,
                  build_io: Optional[IOSnapshot] = None,
                  fill: float = 0.9,
-                 buffer_fraction: float = 0.02) -> None:
+                 buffer_fraction: float = 0.02,
+                 buffer_capacity: Optional[int] = None,
+                 buffer_policy: str = "lru") -> None:
         for function in functions:
             if function.dims != objects.dims:
                 raise DimensionalityError(
@@ -53,6 +63,11 @@ class MatchingProblem:
         self.build_io = build_io
         self._fill = fill
         self._buffer_fraction = buffer_fraction
+        # ``buffer_capacity`` records an *explicitly pinned* frame count;
+        # ``None`` means the buffer was sized as a fraction of the tree,
+        # and :meth:`rebuild` must preserve that mode.
+        self._buffer_capacity = buffer_capacity
+        self._buffer_policy = buffer_policy
 
     # ------------------------------------------------------------------
     # Construction
@@ -63,14 +78,16 @@ class MatchingProblem:
               page_size: int = DEFAULT_PAGE_SIZE,
               buffer_fraction: float = 0.02,
               buffer_capacity: Optional[int] = None,
+              buffer_policy: str = "lru",
               fill: float = 0.9) -> "MatchingProblem":
-        """Bulk-load the object R-tree and attach the LRU buffer.
+        """Bulk-load the object R-tree and attach the page buffer.
 
         ``buffer_fraction`` follows the paper's "2% of the tree size";
         pass ``buffer_capacity`` to pin an absolute frame count instead.
-        After the build, the buffer is cleared and the I/O counters are
-        zeroed, so subsequent counts reflect query work only (the build
-        cost is preserved in :attr:`build_io`).
+        ``buffer_policy`` selects the replacement policy (``"lru"`` or
+        ``"clock"``). After the build, the buffer is cleared and the I/O
+        counters are zeroed, so subsequent counts reflect query work only
+        (the build cost is preserved in :attr:`build_io`).
         """
         disk = DiskManager(page_size=page_size)
         # Generous staging buffer for the build itself.
@@ -81,27 +98,33 @@ class MatchingProblem:
         build_io = disk.stats.snapshot()
 
         if buffer_capacity is not None:
-            buffer = BufferPool(disk, capacity=buffer_capacity)
+            capacity = buffer_capacity
         else:
-            buffer = BufferPool.fraction_of_disk(disk, fraction=buffer_fraction)
+            capacity = fraction_capacity(disk.num_pages, buffer_fraction)
+        buffer = make_buffer(disk, capacity, policy=buffer_policy)
         store.buffer = buffer
         disk.stats.reset()
         return cls(
             objects, functions, tree, disk, buffer,
             build_io=build_io, fill=fill, buffer_fraction=buffer_fraction,
+            buffer_capacity=buffer_capacity, buffer_policy=buffer_policy,
         )
 
     def rebuild(self) -> "MatchingProblem":
         """A fresh, identical problem (new disk, tree and buffer).
 
         Needed to rerun a second matcher after one that deletes objects
-        from the tree.
+        from the tree. The buffer sizing mode used at build time is
+        preserved: a problem built with ``buffer_fraction`` semantics is
+        rebuilt with the same fraction (not a pinned frame count), and a
+        problem built with an explicit ``buffer_capacity`` keeps it.
         """
         return MatchingProblem.build(
             self.objects, self.functions,
             page_size=self.disk.page_size,
             buffer_fraction=self._buffer_fraction,
-            buffer_capacity=self.buffer.capacity,
+            buffer_capacity=self._buffer_capacity,
+            buffer_policy=self._buffer_policy,
             fill=self._fill,
         )
 

@@ -1,0 +1,57 @@
+"""Unified matching engine: one facade over algorithms and storage.
+
+The package ties the library's pieces behind a single coherent API:
+
+* :class:`MatchingConfig` — every tunable of a run in one dataclass;
+* the **algorithm registry** (:func:`register_matcher`,
+  :func:`available_algorithms`) with SB, Brute Force, Chain,
+  Gale-Shapley, and the monotone generic-SB pre-registered;
+* **pluggable storage backends** (:func:`register_backend`,
+  :func:`available_backends`): the paper's simulated disk stack and a
+  zero-I/O in-memory backend for serving workloads;
+* :class:`MatchingEngine` and the one-shot :func:`match`, returning a
+  unified :class:`MatchResult` for both 1-1 and capacitated runs.
+"""
+
+from .backends import (
+    DiskBackend,
+    InMemoryProblem,
+    MemoryBackend,
+    StorageBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .config import MatchingConfig
+from .facade import MatchingEngine, match
+from .registry import (
+    algorithm_aliases,
+    available_algorithms,
+    create_matcher,
+    register_matcher,
+    unregister_matcher,
+)
+from .result import MatchResult
+
+# Importing the adapters registers the built-in algorithms.
+from .adapters import GenericSkylineAdapter
+
+__all__ = [
+    "DiskBackend",
+    "InMemoryProblem",
+    "MemoryBackend",
+    "StorageBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "MatchingConfig",
+    "MatchingEngine",
+    "match",
+    "algorithm_aliases",
+    "available_algorithms",
+    "create_matcher",
+    "register_matcher",
+    "unregister_matcher",
+    "MatchResult",
+    "GenericSkylineAdapter",
+]

@@ -1,0 +1,63 @@
+"""Built-in algorithm registrations.
+
+Importing this module (done by ``repro.engine``) populates the algorithm
+registry with the paper's SB, both baselines, the Gale-Shapley reference,
+and a :class:`Matcher`-conforming adapter around the monotone-function
+:class:`~repro.core.generic.GenericSkylineMatcher` — one namespace for
+every way the library can compute a stable matching.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..core.base import Matcher
+from ..core.brute_force import BruteForceMatcher
+from ..core.chain import ChainMatcher
+from ..core.gale_shapley import GaleShapleyMatcher
+from ..core.generic import GenericSkylineMatcher
+from ..core.problem import MatchingProblem
+from ..core.result import MatchPair
+from ..core.skyline_matching import SkylineMatcher
+from ..storage.stats import SearchStats
+from .registry import register_matcher
+
+
+@register_matcher("generic-sb", aliases=("generic-skyline", "monotone-sb"))
+class GenericSkylineAdapter(Matcher):
+    """SB for arbitrary monotone functions, behind the Matcher interface.
+
+    :class:`~repro.core.generic.GenericSkylineMatcher` historically lived
+    outside the :class:`Matcher` hierarchy with its own constructor
+    signature (problem + separate function list). This adapter conforms
+    it: the functions are taken from the problem itself — anything with
+    ``fid``, ``dims`` and a monotone ``score`` qualifies, linear
+    preferences included — so the engine can treat it like every other
+    algorithm.
+    """
+
+    name = "generic-sb"
+
+    def __init__(self, problem: MatchingProblem,
+                 multi_pair: bool = True,
+                 search_stats: Optional[SearchStats] = None) -> None:
+        super().__init__(problem, search_stats)
+        self._delegate = GenericSkylineMatcher(
+            problem, problem.functions,
+            multi_pair=multi_pair, search_stats=search_stats,
+        )
+
+    @property
+    def rounds(self) -> int:
+        return self._delegate.rounds
+
+    def pairs(self) -> Iterator[MatchPair]:
+        return self._delegate.pairs()
+
+
+register_matcher("sb", aliases=("skyline",))(SkylineMatcher)
+register_matcher("bf", aliases=("brute-force", "bruteforce"))(
+    BruteForceMatcher
+)
+register_matcher("chain")(ChainMatcher)
+register_matcher("gs", aliases=("gale-shapley",))(GaleShapleyMatcher)

@@ -1,0 +1,147 @@
+"""Pluggable storage backends: where the object R-tree lives.
+
+The paper's cost model indexes ``O`` in a simulated disk R-tree behind a
+small LRU buffer so that "I/O accesses" can be counted. That is the
+right substrate for reproducing the figures — and pure overhead for a
+serving deployment that only wants the matching: every node touch pays
+page (de)serialization and buffer bookkeeping.
+
+A :class:`StorageBackend` builds the
+:class:`~repro.core.problem.MatchingProblem` a matcher runs against:
+
+* :class:`DiskBackend` — the paper's stack (disk pages, LRU/clock
+  buffer, I/O counters), unchanged;
+* :class:`MemoryBackend` — the same R-tree algorithms over plain
+  in-process nodes. No pages, no serialization, no simulated faults on
+  the hot path; ``io_stats`` legitimately reads zero.
+
+Both produce problems with identical tree *contents* (same bulk-load,
+same canonical arithmetic), so every matcher returns identical pairs on
+either backend — only the cost model differs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Protocol, Sequence, Tuple, runtime_checkable
+
+from ..core.problem import MatchingProblem
+from ..data import Dataset
+from ..errors import MatchingError
+from ..rtree import MemoryNodeStore, RTree
+from ..storage import BufferPool, DiskManager
+from .config import MatchingConfig
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """Anything that can stage a workload into a matchable problem."""
+
+    #: Canonical backend name (shown in results and error messages).
+    name: str
+
+    def build_problem(self, objects: Dataset, functions: Sequence,
+                      config: MatchingConfig) -> MatchingProblem:
+        """Materialize ``objects`` + ``functions`` under this storage."""
+        ...
+
+
+#: name (canonical or alias) -> backend factory (zero-arg).
+_BACKENDS: Dict[str, Tuple[str, type]] = {}
+
+
+def register_backend(name: str, *, aliases: Iterable[str] = (),
+                     replace: bool = False):
+    """Class decorator adding a storage backend to the registry."""
+
+    def decorate(cls):
+        canonical = name.strip().lower()
+        for key in (canonical, *(a.strip().lower() for a in aliases)):
+            if not replace and key in _BACKENDS:
+                raise MatchingError(
+                    f"backend name {key!r} is already registered "
+                    f"(to {_BACKENDS[key][0]!r}); pass replace=True to "
+                    f"override"
+                )
+            _BACKENDS[key] = (canonical, cls)
+        return cls
+
+    return decorate
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted canonical names of every registered backend."""
+    return tuple(sorted({canonical for canonical, _ in _BACKENDS.values()}))
+
+
+def get_backend(name: str) -> StorageBackend:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        _, cls = _BACKENDS[name.strip().lower()]
+    except KeyError:
+        raise MatchingError(
+            f"unknown backend {name!r}; available backends: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    return cls()
+
+
+class InMemoryProblem(MatchingProblem):
+    """A matching problem whose R-tree lives in plain process memory.
+
+    Drop-in for :class:`~repro.core.problem.MatchingProblem`: the tree
+    supports the same search/delete operations, and ``io_stats`` exists
+    (attached to an inert disk) but stays at zero — the point of the
+    backend is that no I/O is simulated at all.
+    """
+
+    @classmethod
+    def build_memory(cls, objects: Dataset, functions: Sequence,
+                     fanout: int = 64, fill: float = 0.9,
+                     ) -> "InMemoryProblem":
+        """Bulk-load the object R-tree into memory nodes."""
+        store = MemoryNodeStore(fanout)
+        tree = RTree.bulk_load(store, objects.dims, objects.items(),
+                               fill=fill)
+        disk = DiskManager()  # inert: holds the (always-zero) counters
+        buffer = BufferPool(disk, capacity=1)
+        problem = cls(objects, functions, tree, disk, buffer, fill=fill)
+        problem._fanout = fanout
+        return problem
+
+    def rebuild(self) -> "InMemoryProblem":
+        return type(self).build_memory(
+            self.objects, self.functions,
+            fanout=getattr(self, "_fanout", 64), fill=self._fill,
+        )
+
+
+@register_backend("disk", aliases=("paper", "simulated"))
+class DiskBackend:
+    """The paper's simulated disk + buffer stack (the cost-model path)."""
+
+    name = "disk"
+
+    def build_problem(self, objects: Dataset, functions: Sequence,
+                      config: MatchingConfig) -> MatchingProblem:
+        return MatchingProblem.build(
+            objects, functions,
+            page_size=config.page_size,
+            buffer_fraction=config.buffer_fraction,
+            buffer_capacity=config.buffer_capacity,
+            buffer_policy=config.buffer_policy,
+            fill=config.fill,
+        )
+
+
+@register_backend("memory", aliases=("mem", "inmemory", "in-memory"))
+class MemoryBackend:
+    """In-process array/R-tree storage — the serving fast path."""
+
+    name = "memory"
+
+    def build_problem(self, objects: Dataset, functions: Sequence,
+                      config: MatchingConfig) -> InMemoryProblem:
+        return InMemoryProblem.build_memory(
+            objects, functions,
+            fanout=config.memory_fanout, fill=config.fill,
+        )

@@ -1,0 +1,136 @@
+"""Engine configuration: one dataclass for every tunable of a run.
+
+:class:`MatchingConfig` captures everything the
+:class:`~repro.engine.facade.MatchingEngine` needs to turn a workload
+into a matching: algorithm choice, storage backend, page size, buffer
+policy and sizing, deletion mode, per-object capacities, SB's ablation
+switches, and the seed recorded with the result. It is a frozen
+dataclass, so configs can be shared freely and derived from each other
+with :meth:`MatchingConfig.replace`. (Note: a config carrying a
+``capacities`` mapping is not hashable — the mapping itself is mutable.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..errors import MatchingError
+from ..storage import DEFAULT_PAGE_SIZE
+
+#: Buffer replacement policies understood by the storage layer.
+BUFFER_POLICIES = ("lru", "clock")
+
+#: Deletion modes understood by the tree-mutating matchers.
+DELETION_MODES = ("delete", "filter")
+
+
+@dataclass(frozen=True)
+class MatchingConfig:
+    """Full specification of one matching run.
+
+    Parameters
+    ----------
+    algorithm:
+        Registered algorithm name (see
+        :func:`~repro.engine.registry.available_algorithms`).
+    backend:
+        Registered storage backend name (see
+        :func:`~repro.engine.backends.available_backends`).
+    page_size:
+        Simulated disk page size in bytes (disk backend only).
+    buffer_policy:
+        Page replacement policy, ``"lru"`` (the paper's) or ``"clock"``.
+    buffer_fraction:
+        Buffer size as a fraction of the tree (the paper's 2% default).
+    buffer_capacity:
+        Absolute frame count; overrides ``buffer_fraction`` when set.
+    fill:
+        Bulk-load fill factor of the R-tree.
+    memory_fanout:
+        Node fanout of the in-memory backend's R-tree.
+    deletion_mode:
+        ``"delete"`` (paper-faithful physical deletes) or ``"filter"``
+        for the matchers that remove assigned objects from the tree.
+    capacities:
+        Optional ``{object_id: units}`` for many-to-one matching via
+        virtual-object expansion (missing ids default to 1).
+    seed:
+        Workload seed recorded on the result (informational; the engine
+        itself is deterministic).
+    multi_pair / maintenance / threshold / cache_best:
+        SB design switches (Sections IV-A/B/C and their ablations).
+    restart / function_fanout:
+        Chain walk restart behaviour and its memory R-tree fanout.
+    """
+
+    algorithm: str = "sb"
+    backend: str = "disk"
+    page_size: int = DEFAULT_PAGE_SIZE
+    buffer_policy: str = "lru"
+    buffer_fraction: float = 0.02
+    buffer_capacity: Optional[int] = None
+    fill: float = 0.9
+    memory_fanout: int = 64
+    deletion_mode: str = "delete"
+    capacities: Optional[Mapping[int, int]] = None
+    seed: Optional[int] = None
+    # SB switches.
+    multi_pair: bool = True
+    maintenance: str = "plist"
+    threshold: str = "tight"
+    cache_best: bool = True
+    # Chain switches.
+    restart: bool = True
+    function_fanout: int = 32
+
+    def __post_init__(self) -> None:
+        if self.buffer_policy not in BUFFER_POLICIES:
+            raise MatchingError(
+                f"buffer_policy must be one of {BUFFER_POLICIES}, "
+                f"got {self.buffer_policy!r}"
+            )
+        if self.deletion_mode not in DELETION_MODES:
+            raise MatchingError(
+                f"deletion_mode must be one of {DELETION_MODES}, "
+                f"got {self.deletion_mode!r}"
+            )
+        if self.page_size < 128:
+            raise MatchingError(
+                f"page_size must be >= 128 bytes, got {self.page_size}"
+            )
+        if not 0.0 < self.buffer_fraction <= 1.0:
+            raise MatchingError(
+                f"buffer_fraction must be in (0, 1], "
+                f"got {self.buffer_fraction}"
+            )
+        if self.buffer_capacity is not None and self.buffer_capacity < 1:
+            raise MatchingError(
+                f"buffer_capacity must be >= 1, got {self.buffer_capacity}"
+            )
+        if self.memory_fanout < 4:
+            raise MatchingError(
+                f"memory_fanout must be >= 4, got {self.memory_fanout}"
+            )
+
+    def replace(self, **overrides) -> "MatchingConfig":
+        """A new config with the given fields changed."""
+        return dataclasses.replace(self, **overrides)
+
+    def matcher_kwargs(self) -> dict:
+        """Every config field a matcher constructor might accept.
+
+        The registry intersects this with each matcher's actual
+        ``__init__`` signature, so algorithms receive exactly the
+        switches they understand.
+        """
+        return {
+            "deletion_mode": self.deletion_mode,
+            "multi_pair": self.multi_pair,
+            "maintenance": self.maintenance,
+            "threshold": self.threshold,
+            "cache_best": self.cache_best,
+            "restart": self.restart,
+            "function_fanout": self.function_fanout,
+        }

@@ -1,0 +1,204 @@
+"""The unified MatchingEngine facade and the one-shot :func:`match`.
+
+One configurable entry point for the whole library, in the spirit of a
+``pipeline()`` facade: pick an algorithm by name, a storage backend by
+name, optionally per-object capacities — everything else has the paper's
+defaults::
+
+    import repro
+
+    result = repro.match(objects, prefs)                     # SB on disk
+    result = repro.match(objects, prefs, backend="memory")   # serving path
+    result = repro.match(objects, prefs, algorithm="chain",
+                         capacities={0: 3, 1: 2})
+
+The engine object itself is reusable and exposes the intermediate steps
+(`build_problem`, `create_matcher`) for callers that need streaming
+pairs or custom instrumentation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.capacity import expand_capacities
+from ..core.problem import MatchingProblem
+from ..core.result import MatchPair
+from ..data import Dataset
+from ..storage.stats import SearchStats
+from .backends import StorageBackend, get_backend
+from .config import MatchingConfig
+from .registry import create_matcher
+from .result import MatchResult
+
+
+class MatchingEngine:
+    """A configured matching pipeline: backend + algorithm + options.
+
+    Construct with a :class:`MatchingConfig`, keyword overrides, or
+    both (keywords win)::
+
+        engine = MatchingEngine(algorithm="sb", backend="memory")
+        result = engine.match(objects, prefs)
+    """
+
+    def __init__(self, config: Optional[MatchingConfig] = None,
+                 **overrides) -> None:
+        if config is None:
+            config = MatchingConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage backend instance named by the config."""
+        return get_backend(self.config.backend)
+
+    def _stage(self, objects: Dataset, functions: Sequence,
+               ) -> Tuple[MatchingProblem, Optional[List[int]]]:
+        """Capacity-expand (if configured) and build on the backend.
+
+        Returns the staged problem plus the virtual-owner list (``None``
+        for a plain 1-1 run).
+        """
+        virtual_owner = None
+        if self.config.capacities is not None:
+            objects, virtual_owner = expand_capacities(
+                objects, self.config.capacities
+            )
+        problem = self.backend.build_problem(objects, functions, self.config)
+        return problem, virtual_owner
+
+    # ------------------------------------------------------------------
+    # Pipeline steps (exposed for streaming / instrumentation callers)
+    # ------------------------------------------------------------------
+    def build_problem(self, objects: Dataset,
+                      functions: Sequence) -> MatchingProblem:
+        """Stage a workload on the configured storage backend.
+
+        ``config.capacities`` is honoured: objects are expanded into
+        capacity-many virtual copies before indexing (the returned
+        problem then matches against *virtual* ids; :meth:`match` folds
+        them back automatically).
+        """
+        problem, _ = self._stage(objects, functions)
+        return problem
+
+    def create_matcher(self, problem: MatchingProblem,
+                       search_stats: Optional[SearchStats] = None,
+                       **overrides):
+        """Instantiate the configured algorithm for a staged problem."""
+        return create_matcher(
+            self.config.algorithm, problem, self.config,
+            search_stats=search_stats, **overrides,
+        )
+
+    # ------------------------------------------------------------------
+    # One-shot execution
+    # ------------------------------------------------------------------
+    def match(self, objects: Dataset, functions: Sequence) -> MatchResult:
+        """Stage, run, and package one complete matching run."""
+        config = self.config
+        problem, virtual_owner = self._stage(objects, functions)
+        problem.reset_io()
+        matcher = create_matcher(config.algorithm, problem, config)
+
+        start = time.perf_counter()
+        pairs = list(matcher.pairs())
+        cpu_seconds = time.perf_counter() - start
+
+        capacities = None
+        if virtual_owner is not None:
+            pairs = [
+                MatchPair(
+                    pair.function_id, virtual_owner[pair.object_id],
+                    pair.score, round=pair.round, rank=pair.rank,
+                )
+                for pair in pairs
+            ]
+            capacities = {
+                object_id: int(config.capacities.get(object_id, 1))
+                for object_id, _ in objects.items()
+            }
+        matched = {pair.function_id for pair in pairs}
+        unmatched = [
+            function.fid for function in functions
+            if function.fid not in matched
+        ]
+        stats = {"rounds": getattr(matcher, "rounds", 0)}
+        for counter in ("top1_searches", "reverse_top1_queries"):
+            value = getattr(matcher, counter, 0)
+            if value:
+                stats[counter] = value
+        return MatchResult(
+            pairs,
+            unmatched_functions=unmatched,
+            unmatched_objects_count=len(problem.objects) - len(pairs),
+            algorithm=getattr(matcher, "name", config.algorithm),
+            backend=self.backend.name,
+            capacities=capacities,
+            io=problem.io_stats.snapshot(),
+            cpu_seconds=cpu_seconds,
+            seed=config.seed,
+            stats=stats,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MatchingEngine(algorithm={self.config.algorithm!r}, "
+            f"backend={self.config.backend!r})"
+        )
+
+
+#: Sentinel distinguishing "argument not passed" from an explicit value,
+#: so keyword defaults never clobber the fields of a passed ``config=``.
+_UNSET = object()
+
+
+def match(objects: Dataset, functions: Sequence, *,
+          algorithm: str = _UNSET, backend: str = _UNSET,
+          capacities=_UNSET, config: Optional[MatchingConfig] = None,
+          **options) -> MatchResult:
+    """One-shot stable matching — the library's front door.
+
+    Parameters
+    ----------
+    objects:
+        The object set ``O`` (a :class:`~repro.data.Dataset`).
+    functions:
+        The preference functions ``F`` (linear, or any monotone
+        functions when ``algorithm="generic-sb"``).
+    algorithm:
+        Registered algorithm name (``"sb"``, ``"bf"``, ``"chain"``,
+        ``"gs"``, ``"generic-sb"``, or anything you registered).
+        Default ``"sb"``.
+    backend:
+        Registered storage backend (``"disk"`` for the paper's simulated
+        cost model, ``"memory"`` for the serving fast path).
+        Default ``"disk"``.
+    capacities:
+        Optional ``{object_id: units}`` for many-to-one matching.
+    config:
+        A full :class:`MatchingConfig` to start from; only keyword
+        arguments that are *explicitly passed* override its fields.
+    options:
+        Any further :class:`MatchingConfig` field (``page_size``,
+        ``buffer_policy``, ``deletion_mode``, ``seed``, ...).
+
+    Returns
+    -------
+    MatchResult
+        The stable pairs with provenance and costs.
+    """
+    base = config if config is not None else MatchingConfig()
+    overrides = dict(options)
+    if algorithm is not _UNSET:
+        overrides["algorithm"] = algorithm
+    if backend is not _UNSET:
+        overrides["backend"] = backend
+    if capacities is not _UNSET:
+        overrides["capacities"] = capacities
+    engine = MatchingEngine(base.replace(**overrides))
+    return engine.match(objects, functions)

@@ -5,7 +5,7 @@ metric. See :mod:`repro.storage.disk` for the physical layer and
 :mod:`repro.storage.buffer` for the paper's 2%-of-tree LRU buffer.
 """
 
-from .buffer import BufferPool
+from .buffer import BufferPool, fraction_capacity
 from .clock import ClockBufferPool, make_buffer
 from .disk import DiskManager
 from .page import DEFAULT_PAGE_SIZE, INVALID_PAGE_ID, Page
@@ -13,6 +13,7 @@ from .stats import IOSnapshot, IOStats, SearchStats
 
 __all__ = [
     "BufferPool",
+    "fraction_capacity",
     "ClockBufferPool",
     "make_buffer",
     "DiskManager",

@@ -22,6 +22,19 @@ from .disk import DiskManager
 from .page import Page
 
 
+def fraction_capacity(num_pages: int, fraction: float,
+                      minimum: int = 4) -> int:
+    """Frame count for a ``fraction``-of-the-tree buffer (paper's 2%).
+
+    The single source of the sizing rule, shared by
+    :meth:`BufferPool.fraction_of_disk` and every other code path that
+    sizes a buffer from the disk occupancy.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise StorageError(f"fraction must be in (0, 1], got {fraction}")
+    return max(minimum, int(num_pages * fraction))
+
+
 class BufferPool:
     """A write-back LRU cache of disk pages.
 
@@ -53,9 +66,8 @@ class BufferPool:
         call it *after* bulk-loading the R-tree so ``disk.num_pages``
         reflects the tree.
         """
-        if not 0.0 < fraction <= 1.0:
-            raise StorageError(f"fraction must be in (0, 1], got {fraction}")
-        capacity = max(minimum, int(disk.num_pages * fraction))
+        capacity = fraction_capacity(disk.num_pages, fraction,
+                                     minimum=minimum)
         return cls(disk, capacity)
 
     # ------------------------------------------------------------------

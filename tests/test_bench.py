@@ -131,3 +131,42 @@ def test_cli_rejects_unknown_figure():
 
     with pytest.raises(SystemExit):
         main(["--figure", "9z"])
+
+
+def test_cli_algorithms_filter(capsys):
+    from repro.bench.cli import main
+
+    code = main(["--figure", "2a", "--scale", "0.002", "--seed", "3",
+                 "--algorithms", "SB"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "SB" in out
+    assert "BruteForce" not in out
+    assert "Chain" not in out
+
+
+def test_cli_rejects_unknown_algorithm():
+    from repro.bench.cli import main
+
+    with pytest.raises(SystemExit, match="unknown algorithm"):
+        main(["--figure", "2a", "--scale", "0.002",
+              "--algorithms", "SB,Oracle"])
+
+
+def test_cli_memory_backend(capsys):
+    from repro.bench.cli import main
+
+    code = main(["--figure", "2a", "--scale", "0.002", "--seed", "3",
+                 "--algorithms", "SB", "--backend", "memory"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "# storage backend: memory" in out
+
+
+def test_run_point_memory_backend_agrees_with_disk():
+    objects, functions = tiny_workload()
+    disk = run_point(objects, functions, algorithms=("SB",))
+    memory = run_point(objects, functions, algorithms=("SB",),
+                       backend="memory")
+    assert memory["SB"].pairs == disk["SB"].pairs
+    assert memory["SB"].io_accesses == 0
