@@ -44,11 +44,20 @@ from .engine import (
     MatchingConfig,
     MatchingEngine,
     MatchResult,
+    algorithm_supports_repair,
     available_algorithms,
     available_backends,
     match,
+    open_session,
     register_backend,
     register_matcher,
+)
+from .dynamic import (
+    DynamicMatcher,
+    RecomputeSession,
+    UpdateMix,
+    apply_events,
+    generate_events,
 )
 from .data import (
     Dataset,
@@ -75,11 +84,18 @@ __all__ = [
     "MatchingConfig",
     "MatchingEngine",
     "MatchResult",
+    "algorithm_supports_repair",
     "available_algorithms",
     "available_backends",
     "match",
+    "open_session",
     "register_backend",
     "register_matcher",
+    "DynamicMatcher",
+    "RecomputeSession",
+    "UpdateMix",
+    "apply_events",
+    "generate_events",
     "MatchingReport",
     "match_with_capacities",
     "summarize",

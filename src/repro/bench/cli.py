@@ -34,8 +34,8 @@ _PANELS = {
 
 
 def _expand(figure: str) -> List[str]:
-    if figure == "ablations":
-        return ["ablations"]
+    if figure in ("ablations", "dynamic"):
+        return [figure]
     if figure == "all":
         return list(_PANELS)
     if figure in ("2", "3"):
@@ -44,7 +44,7 @@ def _expand(figure: str) -> List[str]:
         return [figure]
     raise SystemExit(
         f"unknown figure {figure!r}; choose from "
-        f"{['all', '2', '3', 'ablations'] + list(_PANELS)}"
+        f"{['all', '2', '3', 'ablations', 'dynamic'] + list(_PANELS)}"
     )
 
 
@@ -55,7 +55,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "Multiple Preference Queries' (ICDE 2009).",
     )
     parser.add_argument("--figure", default="all",
-                        help="all, 2, 3, a panel id like 2a, or 'ablations' "
+                        help="all, 2, 3, a panel id like 2a, 'ablations', "
+                             "or 'dynamic' (incremental repair vs full "
+                             "recompute under streaming updates) "
                              "(default: all)")
     parser.add_argument("--scale", type=float, default=None,
                         help="workload scale vs the paper's cardinalities "
@@ -90,7 +92,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"# storage backend: {args.backend}")
 
     cache = {}
+    dynamic_results = []
     for panel in panels:
+        if panel == "dynamic":
+            from ..engine import algorithm_supports_repair
+            from .dynamic import dynamic_sweep, format_dynamic_table
+
+            dynamic_results = []
+            for panel_name in requested or ["SB"]:
+                panel_config = BENCH_CONFIGS[panel_name]
+                if not algorithm_supports_repair(panel_config.algorithm):
+                    raise SystemExit(
+                        f"--figure dynamic requires an algorithm that "
+                        f"supports incremental repair; {panel_name!r} "
+                        f"(algorithm {panel_config.algorithm!r}) does not"
+                    )
+                sweep = dynamic_sweep(
+                    scale=scale, seed=args.seed,
+                    base_config=panel_config.replace(backend=args.backend),
+                )
+                dynamic_results.append((panel_name, sweep))
+                print()
+                print(format_dynamic_table(sweep))
+            continue
         if panel == "ablations":
             from .ablations import format_ablation_table, run_sb_ablations
 
@@ -124,6 +148,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             target = directory / f"{sweep.name}.json"
             save_sweep_json(sweep, target)
             print(f"# wrote {target}")
+        if dynamic_results:
+            from .dynamic import save_dynamic_json
+
+            for panel_name, sweep in dynamic_results:
+                suffix = "" if panel_name == "SB" else f"-{panel_name}"
+                target = directory / f"dynamic{suffix}.json"
+                save_dynamic_json(sweep, target)
+                print(f"# wrote {target}")
     return 0
 
 

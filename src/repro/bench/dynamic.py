@@ -1,0 +1,245 @@
+"""Dynamic-workload benchmark: incremental repair vs full recompute.
+
+The measurement the dynamic subsystem ships with (in the spirit of the
+measurement-driven optimisation discipline the ROADMAP adopts): replay
+the same event stream into
+
+* a :class:`~repro.dynamic.DynamicMatcher` forced onto its incremental
+  path (``repair_threshold`` set high enough that the full-recompute
+  fallback never fires), and
+* a :class:`~repro.dynamic.RecomputeSession`, which restages the
+  surviving data and re-runs the configured matcher on every flush —
+  the honest cost of serving the stream with the static pipeline,
+
+and compare node I/O and wall-clock time of the event-serving phase
+across update ratios (events as a fraction of the initial ``|O|``).
+Anti-correlated data keeps skylines large — the hard case for repair.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data import generate_anticorrelated, generate_independent
+from ..dynamic import (
+    MIXED_CHURN,
+    RecomputeSession,
+    UpdateMix,
+    events_for_ratio,
+    generate_events,
+)
+from ..engine import MatchingConfig, MatchingEngine
+from ..prefs import generate_preferences
+from .runner import bench_scale
+
+#: Unscaled workload cardinalities. Smaller than the figure sweeps: the
+#: recompute baseline pays a full rebuild + match *per event*.
+DYNAMIC_NUM_OBJECTS = 20_000
+DYNAMIC_NUM_FUNCTIONS = 1_000
+
+#: The update ratios reported by default (5% is the headline point).
+DEFAULT_RATIOS = (0.01, 0.05, 0.10)
+
+_GENERATORS = {
+    "anticorrelated": generate_anticorrelated,
+    "independent": generate_independent,
+}
+
+
+@dataclass
+class DynamicPoint:
+    """One update ratio's comparison."""
+
+    update_ratio: float
+    n_events: int
+    n_objects: int
+    n_functions: int
+    incremental_io: int
+    incremental_seconds: float
+    recompute_io: int
+    recompute_seconds: float
+    session_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def io_speedup(self) -> float:
+        """Node-I/O ratio; ``inf`` when neither side did any I/O (the
+        in-memory backend), so a zero never reads as "repair was worse"."""
+        if self.recompute_io == 0 and self.incremental_io == 0:
+            return float("inf")
+        return self.recompute_io / max(1, self.incremental_io)
+
+    @property
+    def time_speedup(self) -> float:
+        return self.recompute_seconds / max(1e-9, self.incremental_seconds)
+
+    def as_dict(self) -> dict:
+        io_speedup = self.io_speedup
+        return {
+            "update_ratio": self.update_ratio,
+            "n_events": self.n_events,
+            "n_objects": self.n_objects,
+            "n_functions": self.n_functions,
+            "incremental": {
+                "io_accesses": self.incremental_io,
+                "cpu_seconds": self.incremental_seconds,
+            },
+            "recompute": {
+                "io_accesses": self.recompute_io,
+                "cpu_seconds": self.recompute_seconds,
+            },
+            "io_speedup": None if io_speedup == float("inf") else io_speedup,
+            "time_speedup": self.time_speedup,
+            "session_stats": dict(self.session_stats),
+        }
+
+
+@dataclass
+class DynamicSweep:
+    """The full ratio sweep plus its workload provenance."""
+
+    variant: str
+    algorithm: str
+    backend: str
+    dims: int
+    mix: Tuple[float, float, float, float]
+    seed: int
+    points: List[DynamicPoint] = field(default_factory=list)
+
+    name = "dynamic"
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": "dynamic-1",
+            "name": self.name,
+            "variant": self.variant,
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "dims": self.dims,
+            "mix": list(self.mix),
+            "seed": self.seed,
+            "points": [point.as_dict() for point in self.points],
+        }
+
+
+def run_dynamic_point(objects, functions, n_events: int,
+                      mix: UpdateMix = MIXED_CHURN, seed: int = 42,
+                      algorithm: str = "sb", backend: str = "disk",
+                      batch_size: int = 1, insert_pool=None,
+                      base_config: Optional[MatchingConfig] = None,
+                      ) -> DynamicPoint:
+    """Measure one event stream on both session types.
+
+    ``base_config`` carries the full switch set (e.g. an SB ablation
+    variant) and overrides the ``algorithm``/``backend`` shorthands;
+    both sessions run the identical configuration, the incremental one
+    merely with the recompute fallback disabled.
+    """
+    events = generate_events(
+        objects, functions, n_events, mix=mix, seed=seed,
+        insert_pool=insert_pool,
+    )
+    if base_config is None:
+        base_config = MatchingConfig(algorithm=algorithm, backend=backend)
+    config = base_config.replace(batch_size=batch_size)
+
+    # Force the incremental path: never fall back to recompute.
+    engine = MatchingEngine(config.replace(repair_threshold=1e9))
+    session = engine.open_session(objects, functions)
+    io_before = session.io_snapshot().io_accesses
+    start = time.perf_counter()
+    for event in events:
+        session.submit(event)
+    session.flush()
+    incremental_seconds = time.perf_counter() - start
+    incremental_io = session.io_snapshot().io_accesses - io_before
+
+    baseline = RecomputeSession(objects, functions, config)
+    io_before = baseline.io_accesses
+    start = time.perf_counter()
+    for event in events:
+        baseline.submit(event)
+    baseline.flush()
+    recompute_seconds = time.perf_counter() - start
+    recompute_io = baseline.io_accesses - io_before
+
+    return DynamicPoint(
+        update_ratio=n_events / max(1, len(objects)),
+        n_events=len(events),
+        n_objects=len(objects),
+        n_functions=len(functions),
+        incremental_io=incremental_io,
+        incremental_seconds=incremental_seconds,
+        recompute_io=recompute_io,
+        recompute_seconds=recompute_seconds,
+        session_stats=session.stats,
+    )
+
+
+def dynamic_sweep(scale: Optional[float] = None, seed: int = 42,
+                  ratios: Sequence[float] = DEFAULT_RATIOS,
+                  variant: str = "anticorrelated", dims: int = 4,
+                  algorithm: str = "sb", backend: str = "disk",
+                  mix: UpdateMix = MIXED_CHURN, batch_size: int = 1,
+                  base_config: Optional[MatchingConfig] = None,
+                  ) -> DynamicSweep:
+    """The incremental-vs-recompute comparison across update ratios."""
+    scale = bench_scale() if scale is None else scale
+    generator = _GENERATORS[variant]
+    if base_config is not None:
+        algorithm = base_config.algorithm
+        backend = base_config.backend
+    n_objects = max(300, int(DYNAMIC_NUM_OBJECTS * scale))
+    n_functions = max(20, int(DYNAMIC_NUM_FUNCTIONS * scale))
+    objects = generator(n_objects, dims, seed=seed)
+    functions = generate_preferences(n_functions, dims, seed=seed + 1)
+    # Streaming arrivals drawn from the same distribution as the data.
+    insert_pool = generator(max(64, n_objects // 4), dims, seed=seed + 2)
+
+    sweep = DynamicSweep(
+        variant=variant, algorithm=algorithm, backend=backend,
+        dims=dims, mix=mix.weights(), seed=seed,
+    )
+    for ratio in ratios:
+        sweep.points.append(run_dynamic_point(
+            objects, functions, events_for_ratio(objects, ratio),
+            mix=mix, seed=seed + 3, algorithm=algorithm, backend=backend,
+            batch_size=batch_size, insert_pool=insert_pool,
+            base_config=base_config,
+        ))
+    return sweep
+
+
+def format_dynamic_table(sweep: DynamicSweep) -> str:
+    """Render the sweep as a GitHub-flavored Markdown table."""
+    lines = [
+        f"Dynamic maintenance ({sweep.variant}, D={sweep.dims}, "
+        f"|O|={sweep.points[0].n_objects if sweep.points else 0}, "
+        f"|F|={sweep.points[0].n_functions if sweep.points else 0}, "
+        f"algorithm={sweep.algorithm}, backend={sweep.backend})",
+        "| update ratio | events | repair I/O | recompute I/O | I/O speedup"
+        " | repair s | recompute s | time speedup |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for point in sweep.points:
+        io_speedup = (
+            "n/a" if point.io_speedup == float("inf")
+            else f"{point.io_speedup:.1f}x"
+        )
+        lines.append(
+            f"| {point.update_ratio:.0%} | {point.n_events} "
+            f"| {point.incremental_io} | {point.recompute_io} "
+            f"| {io_speedup} "
+            f"| {point.incremental_seconds:.3f} "
+            f"| {point.recompute_seconds:.3f} "
+            f"| {point.time_speedup:.1f}x |"
+        )
+    return "\n".join(lines)
+
+
+def save_dynamic_json(sweep: DynamicSweep, path) -> None:
+    """Write the sweep to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(sweep.as_dict(), indent=2) + "\n")

@@ -25,6 +25,12 @@ class Matcher(ABC):
     #: Human-readable algorithm name (used in reports).
     name: str = "matcher"
 
+    #: Whether dynamic sessions may maintain this algorithm's matching
+    #: incrementally. True for the matchers that produce the canonical
+    #: greedy matching over *linear* preferences (the repair chains rely
+    #: on vectorized weight arithmetic and on the matching's uniqueness).
+    supports_repair: bool = False
+
     def __init__(self, problem: MatchingProblem,
                  search_stats: Optional[SearchStats] = None) -> None:
         self.problem = problem

@@ -33,6 +33,7 @@ class BruteForceMatcher(Matcher):
     """Iterated per-function top-1 search (the paper's first baseline)."""
 
     name = "brute-force"
+    supports_repair = True
 
     def __init__(self, problem: MatchingProblem,
                  deletion_mode: str = "delete",

@@ -42,6 +42,7 @@ class ChainMatcher(Matcher):
     """Best-partner chain walking (the paper's second baseline)."""
 
     name = "chain"
+    supports_repair = True
 
     def __init__(self, problem: MatchingProblem,
                  deletion_mode: str = "delete",

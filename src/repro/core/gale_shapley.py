@@ -79,6 +79,7 @@ class GaleShapleyMatcher(Matcher):
     """
 
     name = "gale-shapley"
+    supports_repair = True
 
     def __init__(self, problem: MatchingProblem,
                  search_stats: Optional[SearchStats] = None) -> None:

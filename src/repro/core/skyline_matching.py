@@ -76,6 +76,7 @@ class SkylineMatcher(Matcher):
     """
 
     name = "skyline"
+    supports_repair = True
 
     def __init__(self, problem: MatchingProblem,
                  multi_pair: bool = True,

@@ -101,6 +101,22 @@ class Dataset:
                 normalized[:, i] = 1.0 - normalized[:, i]
         return cls(normalized, ids=ids, name=name)
 
+    @classmethod
+    def from_mapping(cls, points: "dict", dims: int,
+                     name: str = "dataset") -> "Dataset":
+        """Build from an ``{object_id: point}`` mapping (ids sorted).
+
+        ``dims`` disambiguates the empty mapping, so dynamic pools can
+        drain to zero objects and still produce a dataset of the right
+        dimensionality.
+        """
+        ids = sorted(points)
+        if ids:
+            vectors = np.asarray([points[object_id] for object_id in ids])
+        else:
+            vectors = np.empty((0, dims))
+        return cls(vectors, ids=ids, name=name)
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------

@@ -1,0 +1,69 @@
+"""Dynamic matching: incremental repair over streaming updates.
+
+The static pipeline answers "what is the stable matching of this
+snapshot"; this package answers it *continuously* while the snapshot
+churns. A :class:`DynamicMatcher` session (opened through
+:meth:`repro.MatchingEngine.open_session` / :func:`repro.open_session`)
+consumes insert/delete/add/remove events and keeps the canonical stable
+matching valid by localized displacement chains — the matching after any
+event sequence equals a from-scratch ``repro.match()`` on the surviving
+data.
+
+Modules
+-------
+``events``
+    Event dataclasses and the batched :class:`EventLog`.
+``session``
+    The :class:`DynamicMatcher` workload API (validation, batching,
+    repair-vs-recompute decision).
+``repair``
+    The :class:`RepairEngine`: displacement chains, the maintained
+    available-pool skyline, tombstoned/buffered physical tree churn.
+``baseline``
+    :class:`RecomputeSession`, the rebuild-everything-per-flush baseline.
+``workload``
+    Deterministic event-stream generators and the replay oracle.
+"""
+
+from .baseline import RecomputeSession
+from .events import (
+    AddFunction,
+    DeleteObject,
+    Event,
+    EventLog,
+    InsertObject,
+    RemoveFunction,
+    replay_events,
+)
+from .repair import RepairEngine, RepairStats
+from .session import DynamicMatcher
+from .workload import (
+    MIXED_CHURN,
+    OBJECT_CHURN,
+    PREFERENCE_CHURN,
+    UpdateMix,
+    apply_events,
+    events_for_ratio,
+    generate_events,
+)
+
+__all__ = [
+    "AddFunction",
+    "DeleteObject",
+    "DynamicMatcher",
+    "Event",
+    "EventLog",
+    "InsertObject",
+    "MIXED_CHURN",
+    "OBJECT_CHURN",
+    "PREFERENCE_CHURN",
+    "RecomputeSession",
+    "RemoveFunction",
+    "RepairEngine",
+    "RepairStats",
+    "UpdateMix",
+    "apply_events",
+    "events_for_ratio",
+    "generate_events",
+    "replay_events",
+]

@@ -1,0 +1,149 @@
+"""Workload events and the session event log.
+
+A dynamic matching session consumes a stream of four event kinds —
+objects arriving and leaving, preference functions arriving and leaving —
+expressed as small frozen dataclasses so streams can be generated,
+logged, replayed, and asserted on in tests.
+
+:class:`EventLog` is the session's staging area: events are appended as
+they are submitted and drained in arrival order when a batch is applied
+(``batch_size`` controls how many may accumulate before the session
+flushes). The log also keeps running totals per event kind, which the
+session surfaces in its statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Tuple, Union
+
+from ..errors import ReproError, SessionError
+from ..prefs import LinearPreference
+
+
+@dataclass(frozen=True)
+class InsertObject:
+    """A new object arrives (id must be unused among surviving objects)."""
+
+    object_id: int
+    point: Tuple[float, ...]
+
+    kind = "insert_object"
+
+
+@dataclass(frozen=True)
+class DeleteObject:
+    """An existing object leaves (sold, expired, withdrawn)."""
+
+    object_id: int
+
+    kind = "delete_object"
+
+
+@dataclass(frozen=True)
+class AddFunction:
+    """A new user/preference function arrives."""
+
+    function: LinearPreference
+
+    kind = "add_function"
+
+
+@dataclass(frozen=True)
+class RemoveFunction:
+    """An existing user/preference function leaves."""
+
+    function_id: int
+
+    kind = "remove_function"
+
+
+Event = Union[InsertObject, DeleteObject, AddFunction, RemoveFunction]
+
+#: Canonical ordering of event kinds (used for stable stats reporting).
+EVENT_KINDS = (
+    "insert_object", "delete_object", "add_function", "remove_function",
+)
+
+
+def replay_events(points: Dict[int, Tuple[float, ...]],
+                  functions: Dict[int, LinearPreference],
+                  events: Iterable[Event]) -> None:
+    """Replay a stream onto plain ``{id: point}`` / ``{fid: function}``
+    dicts, strictly in arrival order.
+
+    The one shared definition of what an event *means* structurally —
+    used by the recompute baseline and the from-scratch oracle, so they
+    cannot drift apart. (The repair engine's
+    :meth:`~repro.dynamic.repair.RepairEngine.apply_structural` mirrors
+    it with the extra tombstone/pending bookkeeping physical tree churn
+    needs.)
+    """
+    for event in events:
+        if isinstance(event, InsertObject):
+            points[event.object_id] = tuple(event.point)
+        elif isinstance(event, DeleteObject):
+            del points[event.object_id]
+        elif isinstance(event, AddFunction):
+            functions[event.function.fid] = event.function
+        elif isinstance(event, RemoveFunction):
+            del functions[event.function_id]
+        else:
+            raise ReproError(f"unknown event {event!r}")
+
+
+class EventSubmitter:
+    """Shared event-submission machinery of the session types.
+
+    Subclasses provide the four typed event methods plus ``log``,
+    ``config`` and ``flush()``; this mixin contributes the generic
+    :meth:`submit` dispatch and the batch-size flush trigger, so the
+    incremental session and the recompute baseline cannot drift on how
+    streams are consumed.
+    """
+
+    def submit(self, event: Event) -> None:
+        """Queue one event object (the replay/workload entry point)."""
+        if isinstance(event, InsertObject):
+            self.insert_object(event.object_id, event.point)
+        elif isinstance(event, DeleteObject):
+            self.delete_object(event.object_id)
+        elif isinstance(event, AddFunction):
+            self.add_function(event.function)
+        elif isinstance(event, RemoveFunction):
+            self.remove_function(event.function_id)
+        else:
+            raise SessionError(f"unknown event {event!r}")
+
+    def _submit(self, event: Event) -> None:
+        self.log.append(event)
+        if len(self.log) >= self.config.batch_size:
+            self.flush()
+
+
+class EventLog:
+    """FIFO staging area for submitted-but-not-yet-applied events."""
+
+    def __init__(self) -> None:
+        self._pending: Deque[Event] = deque()
+        self.applied = 0
+        self.counts: Dict[str, int] = {kind: 0 for kind in EVENT_KINDS}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def append(self, event: Event) -> None:
+        self._pending.append(event)
+
+    def drain(self) -> List[Event]:
+        """Remove and return every pending event, in arrival order."""
+        events = list(self._pending)
+        self._pending.clear()
+        self.applied += len(events)
+        for event in events:
+            self.counts[event.kind] += 1
+        return events
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventLog(pending={len(self)}, applied={self.applied})"

@@ -1,0 +1,159 @@
+"""Streaming-workload generators: event mixes over a seeded population.
+
+Benchmarks and property tests need reproducible event streams with a
+controllable composition — how much of the churn is objects arriving,
+objects leaving, users arriving, users leaving. :class:`UpdateMix`
+captures the composition; :func:`generate_events` turns a mix into a
+concrete, deterministic event list that is always *valid* against the
+evolving population (deletes target live ids, inserts use fresh ids).
+
+The paper-style evaluation axis is the **update ratio**: the number of
+events as a fraction of the initial object count. ``events_for_ratio``
+converts a ratio into an event count, and :func:`apply_events` replays a
+stream on plain dictionaries to produce the surviving data — the oracle
+input for from-scratch verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data import Dataset
+from ..errors import ReproError
+from ..prefs import LinearPreference
+from .events import (
+    AddFunction,
+    DeleteObject,
+    Event,
+    InsertObject,
+    RemoveFunction,
+    replay_events,
+)
+
+
+@dataclass(frozen=True)
+class UpdateMix:
+    """Relative frequencies of the four event kinds (need not sum to 1)."""
+
+    insert_objects: float = 1.0
+    delete_objects: float = 1.0
+    add_functions: float = 1.0
+    remove_functions: float = 1.0
+
+    def weights(self) -> Tuple[float, float, float, float]:
+        values = (
+            self.insert_objects, self.delete_objects,
+            self.add_functions, self.remove_functions,
+        )
+        if any(value < 0 for value in values):
+            raise ReproError(f"update mix weights must be >= 0, got {values}")
+        total = sum(values)
+        if total <= 0:
+            raise ReproError("update mix weights must not all be zero")
+        return tuple(value / total for value in values)
+
+
+#: Objects-only churn (a marketplace with a stable user base).
+OBJECT_CHURN = UpdateMix(1.0, 1.0, 0.0, 0.0)
+#: Users-only churn (a fixed catalog with arriving/leaving users).
+PREFERENCE_CHURN = UpdateMix(0.0, 0.0, 1.0, 1.0)
+#: The default balanced mix, weighted toward object churn (objects
+#: outnumber functions in the paper's workloads).
+MIXED_CHURN = UpdateMix(0.3, 0.3, 0.2, 0.2)
+
+
+def events_for_ratio(objects: Dataset, update_ratio: float) -> int:
+    """Event count for an update ratio relative to the initial ``|O|``."""
+    if update_ratio < 0:
+        raise ReproError(f"update_ratio must be >= 0, got {update_ratio}")
+    return max(1, int(round(len(objects) * update_ratio)))
+
+
+def generate_events(objects: Dataset, functions: Sequence[LinearPreference],
+                    n_events: int, mix: UpdateMix = MIXED_CHURN,
+                    seed: int = 0,
+                    insert_pool: Optional[Dataset] = None) -> List[Event]:
+    """A deterministic, always-valid event stream.
+
+    Inserted points are drawn from ``insert_pool`` in order (so streaming
+    arrivals follow the same distribution as the initial data) or
+    uniformly from the unit hypercube when no pool is given; inserted
+    ids continue above every id ever seen. Added functions are fresh
+    Dirichlet-uniform preferences. Deletions and removals target a
+    uniformly random live id; when a side is empty its departure events
+    fall back to arrivals, so the requested event count is always met.
+    """
+    if n_events < 0:
+        raise ReproError(f"n_events must be >= 0, got {n_events}")
+    weights = mix.weights()
+    rng = np.random.default_rng(seed)
+    dims = objects.dims
+
+    live_objects = list(objects.ids)
+    live_functions = [function.fid for function in functions]
+    next_object_id = max(live_objects, default=-1) + 1
+    if insert_pool is not None:
+        pool = [point for _, point in insert_pool.items()]
+    else:
+        pool = []
+    pool_position = 0
+    next_function_id = max(live_functions, default=-1) + 1
+
+    def draw_point() -> Tuple[float, ...]:
+        nonlocal pool_position
+        if pool:
+            point = pool[pool_position % len(pool)]
+            pool_position += 1
+            return tuple(point)
+        return tuple(float(v) for v in rng.random(dims))
+
+    def pop_random(ids: List[int]) -> int:
+        index = int(rng.integers(len(ids)))
+        ids[index], ids[-1] = ids[-1], ids[index]
+        return ids.pop()
+
+    events: List[Event] = []
+    kinds = np.arange(4)
+    for _ in range(n_events):
+        kind = int(rng.choice(kinds, p=weights))
+        if kind == 1 and not live_objects:
+            kind = 0
+        if kind == 3 and not live_functions:
+            kind = 2
+        if kind == 0:
+            object_id = next_object_id
+            next_object_id += 1
+            live_objects.append(object_id)
+            events.append(InsertObject(object_id, draw_point()))
+        elif kind == 1:
+            events.append(DeleteObject(pop_random(live_objects)))
+        elif kind == 2:
+            fid = next_function_id
+            next_function_id += 1
+            live_functions.append(fid)
+            raw = rng.dirichlet(np.ones(dims))
+            events.append(AddFunction(LinearPreference.normalized(fid, raw)))
+        else:
+            events.append(RemoveFunction(pop_random(live_functions)))
+    return events
+
+
+def apply_events(objects: Dataset, functions: Sequence[LinearPreference],
+                 events: Sequence[Event],
+                 ) -> Tuple[Dataset, List[LinearPreference]]:
+    """Replay a stream on plain data: the surviving (objects, functions).
+
+    The from-scratch oracle for session equivalence: feed the result to
+    ``repro.match()`` and compare against the session's matching.
+    """
+    points: Dict[int, Tuple[float, ...]] = dict(objects.items())
+    prefs: Dict[int, LinearPreference] = {
+        function.fid: function for function in functions
+    }
+    replay_events(points, prefs, events)
+    surviving = Dataset.from_mapping(points, objects.dims,
+                                     name=f"{objects.name}+events")
+    return surviving, [prefs[fid] for fid in sorted(prefs)]

@@ -23,9 +23,10 @@ from .backends import (
     register_backend,
 )
 from .config import MatchingConfig
-from .facade import MatchingEngine, match
+from .facade import MatchingEngine, match, open_session
 from .registry import (
     algorithm_aliases,
+    algorithm_supports_repair,
     available_algorithms,
     create_matcher,
     register_matcher,
@@ -47,7 +48,9 @@ __all__ = [
     "MatchingConfig",
     "MatchingEngine",
     "match",
+    "open_session",
     "algorithm_aliases",
+    "algorithm_supports_repair",
     "available_algorithms",
     "create_matcher",
     "register_matcher",

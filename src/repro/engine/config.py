@@ -63,6 +63,18 @@ class MatchingConfig:
         SB design switches (Sections IV-A/B/C and their ablations).
     restart / function_fanout:
         Chain walk restart behaviour and its memory R-tree fanout.
+    batch_size:
+        Dynamic sessions: how many submitted events may accumulate
+        before a flush applies them (1 = apply immediately).
+    repair_threshold:
+        Dynamic sessions: when one batch carries at least
+        ``repair_threshold * |F|`` events, the session recomputes the
+        matching from scratch instead of running per-event repair
+        chains. Raise it to force incremental repair always.
+    compact_fraction:
+        Dynamic sessions: physical R-tree churn (tombstoned deletes,
+        buffered inserts) is applied once the backlog exceeds this
+        fraction of the surviving objects.
     """
 
     algorithm: str = "sb"
@@ -84,6 +96,10 @@ class MatchingConfig:
     # Chain switches.
     restart: bool = True
     function_fanout: int = 32
+    # Dynamic-session switches.
+    batch_size: int = 1
+    repair_threshold: float = 0.5
+    compact_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         if self.buffer_policy not in BUFFER_POLICIES:
@@ -112,6 +128,18 @@ class MatchingConfig:
         if self.memory_fanout < 4:
             raise MatchingError(
                 f"memory_fanout must be >= 4, got {self.memory_fanout}"
+            )
+        if self.batch_size < 1:
+            raise MatchingError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.repair_threshold <= 0:
+            raise MatchingError(
+                f"repair_threshold must be > 0, got {self.repair_threshold}"
+            )
+        if self.compact_fraction <= 0:
+            raise MatchingError(
+                f"compact_fraction must be > 0, got {self.compact_fraction}"
             )
 
     def replace(self, **overrides) -> "MatchingConfig":

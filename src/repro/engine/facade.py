@@ -26,6 +26,7 @@ from ..core.capacity import expand_capacities
 from ..core.problem import MatchingProblem
 from ..core.result import MatchPair
 from ..data import Dataset
+from ..errors import MatchingError
 from ..storage.stats import SearchStats
 from .backends import StorageBackend, get_backend
 from .config import MatchingConfig
@@ -50,6 +51,12 @@ class MatchingEngine:
         elif overrides:
             config = config.replace(**overrides)
         self.config = config
+        # Staged-state cache: (key, problem, virtual_owner, strong refs to
+        # the inputs so the identity key stays valid while cached).
+        self._staged = None
+        #: How many times this engine actually built a problem (staging
+        #: cache misses); exposed for tests and instrumentation.
+        self.stagings = 0
 
     @property
     def backend(self) -> StorageBackend:
@@ -61,14 +68,47 @@ class MatchingEngine:
         """Capacity-expand (if configured) and build on the backend.
 
         Returns the staged problem plus the virtual-owner list (``None``
-        for a plain 1-1 run).
+        for a plain 1-1 run). Always builds fresh — every caller gets an
+        independent problem (matchers with ``deletion_mode="delete"``
+        mutate the tree; see the one-problem-per-algorithm note on
+        :class:`~repro.core.problem.MatchingProblem`).
         """
         virtual_owner = None
+        expanded = objects
         if self.config.capacities is not None:
-            objects, virtual_owner = expand_capacities(
+            expanded, virtual_owner = expand_capacities(
                 objects, self.config.capacities
             )
-        problem = self.backend.build_problem(objects, functions, self.config)
+        problem = self.backend.build_problem(expanded, functions, self.config)
+        self.stagings += 1
+        return problem, virtual_owner
+
+    def _stage_cached(self, objects: Dataset, functions: Sequence,
+                      ) -> Tuple[MatchingProblem, Optional[List[int]]]:
+        """:meth:`_stage`, memoized for repeated :meth:`match` calls.
+
+        Repeated calls with the *same* objects and functions (by
+        identity — element-wise for the function sequence, so replacing
+        a function in place is detected) reuse the staged problem
+        instead of re-indexing the dataset; if a destructive matcher
+        consumed part of the cached tree, the problem is rebuilt first.
+        Only :meth:`match` uses this cache: the problem never escapes to
+        callers, so the reuse cannot alias user-visible state.
+        """
+        key = (
+            id(objects), len(objects),
+            tuple(id(function) for function in functions),
+        )
+        if self._staged is not None and self._staged[0] == key:
+            _, problem, virtual_owner, _refs = self._staged
+            if problem.tree.num_objects != len(problem.objects):
+                # A deletion_mode="delete" matcher mutated the tree.
+                problem = problem.rebuild()
+                self._staged = (key, problem, virtual_owner,
+                                (objects, functions))
+            return problem, virtual_owner
+        problem, virtual_owner = self._stage(objects, functions)
+        self._staged = (key, problem, virtual_owner, (objects, functions))
         return problem, virtual_owner
 
     # ------------------------------------------------------------------
@@ -99,9 +139,14 @@ class MatchingEngine:
     # One-shot execution
     # ------------------------------------------------------------------
     def match(self, objects: Dataset, functions: Sequence) -> MatchResult:
-        """Stage, run, and package one complete matching run."""
+        """Stage, run, and package one complete matching run.
+
+        Staged state is reused across repeated calls with the same
+        inputs (see :meth:`_stage_cached`), so serving many matchings
+        of one dataset does not re-index it every time.
+        """
         config = self.config
-        problem, virtual_owner = self._stage(objects, functions)
+        problem, virtual_owner = self._stage_cached(objects, functions)
         problem.reset_io()
         matcher = create_matcher(config.algorithm, problem, config)
 
@@ -144,6 +189,43 @@ class MatchingEngine:
             seed=config.seed,
             stats=stats,
         )
+
+    # ------------------------------------------------------------------
+    # Dynamic sessions
+    # ------------------------------------------------------------------
+    def open_session(self, objects: Dataset, functions: Sequence):
+        """Open a long-lived :class:`~repro.dynamic.DynamicMatcher`.
+
+        The session stages the workload once on the configured backend,
+        computes the initial matching with the configured algorithm, and
+        then maintains it under ``insert_object`` / ``delete_object`` /
+        ``add_function`` / ``remove_function`` events by localized
+        repair. The algorithm must support repair
+        (:func:`~repro.engine.registry.algorithm_supports_repair`) and
+        the run must be 1-1 (no ``capacities``).
+        """
+        from ..dynamic import DynamicMatcher
+        from .registry import algorithm_supports_repair
+
+        config = self.config
+        if config.capacities is not None:
+            raise MatchingError(
+                "dynamic sessions do not support capacitated matching; "
+                "open the session without capacities"
+            )
+        if not algorithm_supports_repair(config.algorithm):
+            raise MatchingError(
+                f"algorithm {config.algorithm!r} does not support "
+                f"incremental repair; choose one whose matcher sets "
+                f"supports_repair"
+            )
+        # The session owns all physical tree churn: matchers must not
+        # delete objects out from under it.
+        config = config.replace(deletion_mode="filter")
+        problem = get_backend(config.backend).build_problem(
+            objects, functions, config
+        )
+        return DynamicMatcher(problem, config, backend_name=self.backend.name)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -202,3 +284,31 @@ def match(objects: Dataset, functions: Sequence, *,
         overrides["capacities"] = capacities
     engine = MatchingEngine(base.replace(**overrides))
     return engine.match(objects, functions)
+
+
+def open_session(objects: Dataset, functions: Sequence, *,
+                 algorithm: str = _UNSET, backend: str = _UNSET,
+                 config: Optional[MatchingConfig] = None, **options):
+    """Open a dynamic matching session — ``match``'s streaming sibling.
+
+    Stages the workload once, computes the initial matching, and returns
+    a :class:`~repro.dynamic.DynamicMatcher` that keeps the matching
+    valid under object/function arrivals and departures::
+
+        session = repro.open_session(objects, prefs, backend="memory",
+                                     batch_size=8)
+        session.delete_object(42)
+        session.matching()   # == repro.match() on the surviving data
+
+    Accepts the same configuration surface as :func:`match` (minus
+    ``capacities``), including the dynamic knobs ``batch_size``,
+    ``repair_threshold`` and ``compact_fraction``.
+    """
+    base = config if config is not None else MatchingConfig()
+    overrides = dict(options)
+    if algorithm is not _UNSET:
+        overrides["algorithm"] = algorithm
+    if backend is not _UNSET:
+        overrides["backend"] = backend
+    engine = MatchingEngine(base.replace(**overrides))
+    return engine.open_session(objects, functions)

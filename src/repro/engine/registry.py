@@ -111,6 +111,17 @@ def algorithm_aliases() -> Dict[str, str]:
     return {key: canonical for key, (canonical, _) in _REGISTRY.items()}
 
 
+def algorithm_supports_repair(name: str) -> bool:
+    """Whether dynamic sessions can repair this algorithm's matching.
+
+    Reads the registered matcher class's ``supports_repair`` flag; plain
+    factories without an attached class default to ``False``.
+    """
+    _, factory = _resolve(name)
+    matcher_class = getattr(factory, "matcher_class", None)
+    return bool(getattr(matcher_class, "supports_repair", False))
+
+
 def _resolve(name: str) -> Tuple[str, MatcherFactory]:
     try:
         return _REGISTRY[_normalize(name)]

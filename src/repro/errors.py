@@ -64,3 +64,8 @@ class MatchingError(ReproError):
 
 class DatasetError(ReproError):
     """Raised for malformed datasets (NaNs, out-of-range values, bad shape)."""
+
+
+class SessionError(ReproError):
+    """Raised for invalid dynamic-session events (unknown ids, reuse of a
+    deleted id before compaction, dimensionality drift, closed session)."""

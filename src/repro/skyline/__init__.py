@@ -17,7 +17,11 @@ from .dominance import (
     is_skyline_member,
     weakly_dominates,
 )
-from .maintenance import recompute_with_pruning, update_after_removal
+from .maintenance import (
+    recompute_with_pruning,
+    update_after_insertion,
+    update_after_removal,
+)
 from .skyband import compute_kskyband, kskyband_naive
 from .state import PrunedItem, SkylineState
 
@@ -36,6 +40,7 @@ __all__ = [
     "is_skyline_member",
     "weakly_dominates",
     "recompute_with_pruning",
+    "update_after_insertion",
     "update_after_removal",
     "compute_kskyband",
     "kskyband_naive",

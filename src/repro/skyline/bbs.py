@@ -17,7 +17,7 @@ maintenance after a member is removed never restarts from the root (see
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import AbstractSet, List, Optional, Tuple
 
 from ..rtree.entry import Entry
 from ..rtree.tree import RTree
@@ -40,13 +40,20 @@ def push_entry(heap: List[HeapItem], entry: Entry, node_level: int,
 
 
 def bbs_loop(tree: RTree, heap: List[HeapItem], state: SkylineState,
-             stats: Optional[SearchStats] = None) -> List[int]:
+             stats: Optional[SearchStats] = None,
+             excluded: Optional[AbstractSet[int]] = None) -> List[int]:
     """Drain ``heap`` in BBS order, growing ``state``.
 
     Every popped entry is either parked in the plist of its earliest
     dominator or, if undominated, admitted (points) or expanded
     (branches, costing one node read each). Returns the ids admitted
     during this call, in admission order.
+
+    ``excluded`` object ids are skipped entirely: they are neither
+    admitted nor parked, so they silently vanish from the skyline's
+    coverage. Callers that may later un-exclude an id (e.g. a matched
+    object freed again) must re-introduce it explicitly with
+    :func:`~repro.skyline.maintenance.update_after_insertion`.
     """
     admitted: List[int] = []
     while heap:
@@ -54,6 +61,8 @@ def bbs_loop(tree: RTree, heap: List[HeapItem], state: SkylineState,
         if stats is not None:
             stats.heap_pops += 1
             stats.dominance_checks += 1
+        if is_point and excluded is not None and child in excluded:
+            continue
         owner = state.first_dominator(entry.mbr.high)
         if owner is not None:
             state.park(owner, (entry, level))
@@ -64,6 +73,12 @@ def bbs_loop(tree: RTree, heap: List[HeapItem], state: SkylineState,
             continue
         node = tree.read_node(child)
         for sub_entry in node.entries:
+            if (
+                node.level == 0
+                and excluded is not None
+                and sub_entry.child in excluded
+            ):
+                continue
             if stats is not None:
                 stats.dominance_checks += 1
             owner = state.first_dominator(sub_entry.mbr.high)
@@ -94,17 +109,21 @@ def _admit_point(state: SkylineState, object_id: int, entry: Entry) -> None:
             state.park(object_id, item)
 
 
-def compute_skyline(tree: RTree, stats: Optional[SearchStats] = None) -> SkylineState:
+def compute_skyline(tree: RTree, stats: Optional[SearchStats] = None,
+                    excluded: Optional[AbstractSet[int]] = None) -> SkylineState:
     """Full BBS run over ``tree``: the paper's ``ComputeSkyline``.
 
     The returned state carries the plists needed for incremental
     maintenance; reads go through the tree's store, so buffer misses are
-    counted as I/O.
+    counted as I/O. ``excluded`` ids (e.g. already-assigned objects) are
+    ignored as if absent from the tree.
     """
     state = SkylineState(tree.dims)
     heap: List[HeapItem] = []
     root = tree.read_root()
     for entry in root.entries:
+        if root.level == 0 and excluded is not None and entry.child in excluded:
+            continue
         push_entry(heap, entry, root.level, stats)
-    bbs_loop(tree, heap, state, stats)
+    bbs_loop(tree, heap, state, stats, excluded=excluded)
     return state

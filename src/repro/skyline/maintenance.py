@@ -20,25 +20,31 @@ with the current skyline.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+from typing import AbstractSet, Iterable, List, Optional, Set
 
+from ..rtree.entry import Entry
 from ..rtree.tree import RTree
 from ..storage.stats import SearchStats
-from .bbs import HeapItem, bbs_loop, push_entry
+from .bbs import HeapItem, _admit_point, bbs_loop, push_entry
 from .state import PrunedItem, SkylineState
 
 
 def update_after_removal(tree: RTree, state: SkylineState,
                          orphaned: Iterable[PrunedItem],
-                         stats: Optional[SearchStats] = None) -> List[int]:
+                         stats: Optional[SearchStats] = None,
+                         excluded: Optional[AbstractSet[int]] = None,
+                         ) -> List[int]:
     """The paper's ``UpdateSkyline``: reinstate coverage of orphaned entries.
 
     ``orphaned`` is the concatenation of the plists of the members removed
     in this round (one or several — Section IV-C removes multiple members
-    per loop). Returns the newly admitted member ids.
+    per loop). Returns the newly admitted member ids. ``excluded`` object
+    ids (assigned or logically deleted) are dropped instead of reinstated.
     """
     heap: List[HeapItem] = []
     for entry, level in orphaned:
+        if level == 0 and excluded is not None and entry.child in excluded:
+            continue
         if stats is not None:
             stats.dominance_checks += 1
         owner = state.first_dominator(entry.mbr.high)
@@ -46,7 +52,37 @@ def update_after_removal(tree: RTree, state: SkylineState,
             state.park(owner, (entry, level))
         else:
             push_entry(heap, entry, level, stats)
-    return bbs_loop(tree, heap, state, stats)
+    return bbs_loop(tree, heap, state, stats, excluded=excluded)
+
+
+def update_after_insertion(state: SkylineState, object_id: int,
+                           point: Iterable[float],
+                           stats: Optional[SearchStats] = None) -> bool:
+    """Maintain a skyline when one object *joins* the indexed pool.
+
+    The symmetric counterpart of :func:`update_after_removal`, needed by
+    dynamic workloads where objects arrive (streaming inserts) or return
+    (an assigned object freed by preference churn). No tree access is
+    required: the new point either
+
+    * is weakly dominated by a current member — it is parked in the
+      earliest such member's plist (duplicate coordinates follow the
+      canonical id rule: the lower id owns the higher), or
+    * joins the skyline, demoting any members it dominates into its own
+      plist, exactly as a BBS admission would.
+
+    Returns ``True`` when the object became a skyline member.
+    """
+    point = tuple(float(value) for value in point)
+    entry = Entry.for_object(object_id, point)
+    if stats is not None:
+        stats.dominance_checks += 1
+    for owner in state.dominators(point):
+        if state.point(owner) != point or owner < object_id:
+            state.park(owner, (entry, 0))
+            return False
+    _admit_point(state, object_id, entry)
+    return True
 
 
 def recompute_with_pruning(tree: RTree, state: SkylineState,

@@ -1,0 +1,164 @@
+"""Session-vs-scratch equivalence: the dynamic subsystem's correctness bar.
+
+After *any* event sequence, a session's matching must equal a
+from-scratch ``repro.match()`` over the surviving data — for every
+registered algorithm that supports repair, on both storage backends,
+and at intermediate checkpoints (not just at the end). Equality is on
+pair sets with exact scores: both sides use the canonical arithmetic,
+so not even a ulp of drift is tolerated.
+"""
+
+import pytest
+
+import repro
+from repro.dynamic import (
+    MIXED_CHURN,
+    OBJECT_CHURN,
+    PREFERENCE_CHURN,
+    apply_events,
+    generate_events,
+)
+from repro.engine import algorithm_supports_repair, available_algorithms
+
+REPAIRABLE = [
+    name for name in available_algorithms() if algorithm_supports_repair(name)
+]
+
+
+def pair_set(pairs):
+    return sorted((p.function_id, p.object_id, p.score) for p in pairs)
+
+
+def scratch_pairs(objects, functions, algorithm, backend):
+    if not len(objects) or not functions:
+        return []
+    result = repro.match(objects, functions, algorithm=algorithm,
+                         backend=backend)
+    return pair_set(result.pairs)
+
+
+def test_every_builtin_linear_matcher_supports_repair():
+    assert set(REPAIRABLE) == {"sb", "bf", "chain", "gs"}
+    assert not algorithm_supports_repair("generic-sb")
+
+
+@pytest.mark.parametrize("algorithm", REPAIRABLE)
+def test_randomized_sequences_match_scratch(algorithm):
+    objects = repro.generate_anticorrelated(180, 3, seed=31)
+    functions = repro.generate_preferences(28, 3, seed=32)
+    events = generate_events(objects, functions, 90, mix=MIXED_CHURN,
+                             seed=33)
+    session = repro.open_session(objects, functions, algorithm=algorithm,
+                                 backend="memory")
+    applied = []
+    for step, event in enumerate(events, start=1):
+        session.submit(event)
+        applied.append(event)
+        if step % 30 == 0 or step == len(events):
+            surviving, prefs = apply_events(objects, functions, applied)
+            assert pair_set(session.pairs) == scratch_pairs(
+                surviving, prefs, algorithm, "memory"
+            ), f"{algorithm} diverged after {step} events"
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4])
+@pytest.mark.parametrize("mix", [MIXED_CHURN, OBJECT_CHURN,
+                                 PREFERENCE_CHURN],
+                         ids=["mixed", "objects", "preferences"])
+def test_update_mixes_match_scratch(mix, seed):
+    objects = repro.generate_independent(150, 3, seed=seed)
+    functions = repro.generate_preferences(20, 3, seed=seed + 100)
+    events = generate_events(objects, functions, 80, mix=mix,
+                             seed=seed + 200)
+    session = repro.open_session(objects, functions, backend="memory")
+    for event in events:
+        session.submit(event)
+    surviving, prefs = apply_events(objects, functions, events)
+    assert pair_set(session.pairs) == scratch_pairs(
+        surviving, prefs, "sb", "memory"
+    )
+
+
+def test_disk_backend_matches_scratch_with_compaction():
+    objects = repro.generate_anticorrelated(250, 4, seed=41)
+    functions = repro.generate_preferences(30, 4, seed=42)
+    # Aggressive compaction so physical insert/delete churn is exercised.
+    session = repro.open_session(objects, functions, backend="disk",
+                                 compact_fraction=0.05)
+    events = generate_events(objects, functions, 120, mix=OBJECT_CHURN,
+                             seed=43)
+    for event in events:
+        session.submit(event)
+    assert session.stats["compactions"] > 0
+    assert session.stats["tree_deletes"] > 0
+    assert session.stats["tree_inserts"] > 0
+    surviving, prefs = apply_events(objects, functions, events)
+    assert pair_set(session.pairs) == scratch_pairs(
+        surviving, prefs, "sb", "disk"
+    )
+
+
+@pytest.mark.parametrize("batch_size", [4, 16, 64])
+def test_batched_application_matches_scratch(batch_size):
+    objects = repro.generate_independent(160, 3, seed=51)
+    functions = repro.generate_preferences(24, 3, seed=52)
+    events = generate_events(objects, functions, 70, seed=53)
+    session = repro.open_session(objects, functions, backend="memory",
+                                 batch_size=batch_size,
+                                 repair_threshold=1e9)
+    for event in events:
+        session.submit(event)
+    surviving, prefs = apply_events(objects, functions, events)
+    assert pair_set(session.pairs) == scratch_pairs(
+        surviving, prefs, "sb", "memory"
+    )
+    assert session.stats["full_rematches"] == 1  # only the initial match
+
+
+def test_recompute_fallback_matches_scratch():
+    objects = repro.generate_independent(140, 3, seed=61)
+    functions = repro.generate_preferences(18, 3, seed=62)
+    events = generate_events(objects, functions, 60, seed=63)
+    # Tiny threshold: every flush of this large batch goes through the
+    # structural-apply + full-rematch path.
+    session = repro.open_session(objects, functions, backend="memory",
+                                 batch_size=30, repair_threshold=0.01)
+    for event in events:
+        session.submit(event)
+    surviving, prefs = apply_events(objects, functions, events)
+    assert pair_set(session.pairs) == scratch_pairs(
+        surviving, prefs, "sb", "memory"
+    )
+    assert session.stats["full_rematches"] >= 3  # initial + both batches
+
+
+def test_draining_both_sides_and_refilling():
+    objects = repro.generate_independent(25, 2, seed=71)
+    functions = repro.generate_preferences(6, 2, seed=72)
+    session = repro.open_session(objects, functions, backend="memory")
+    for fid in list(range(6)):
+        session.remove_function(fid)
+    assert session.pairs == []
+    for object_id in list(objects.ids):
+        session.delete_object(object_id)
+    assert session.pairs == []
+    session.insert_object(1000, (0.3, 0.8))
+    session.add_function(repro.LinearPreference(500, (0.5, 0.5)))
+    pairs = session.pairs
+    assert [(p.function_id, p.object_id) for p in pairs] == [(500, 1000)]
+    assert pairs[0].score == pytest.approx(0.55)
+
+
+def test_functions_exceeding_objects_stay_consistent():
+    objects = repro.generate_independent(8, 2, seed=81)
+    functions = repro.generate_preferences(15, 2, seed=82)
+    session = repro.open_session(objects, functions, backend="memory")
+    events = generate_events(objects, functions, 40, seed=83)
+    for event in events:
+        session.submit(event)
+    surviving, prefs = apply_events(objects, functions, events)
+    assert pair_set(session.pairs) == scratch_pairs(
+        surviving, prefs, "sb", "memory"
+    )
+    result = session.matching()
+    assert len(result.unmatched_functions) == len(prefs) - len(result.pairs)

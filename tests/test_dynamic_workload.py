@@ -1,0 +1,125 @@
+"""Workload generators: determinism, validity, mixes, and the replay oracle."""
+
+import pytest
+
+import repro
+from repro.dynamic import (
+    AddFunction,
+    DeleteObject,
+    InsertObject,
+    MIXED_CHURN,
+    OBJECT_CHURN,
+    PREFERENCE_CHURN,
+    RemoveFunction,
+    UpdateMix,
+    apply_events,
+    events_for_ratio,
+    generate_events,
+)
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def population():
+    objects = repro.generate_independent(100, 3, seed=1)
+    functions = repro.generate_preferences(20, 3, seed=2)
+    return objects, functions
+
+
+def test_streams_are_deterministic(population):
+    objects, functions = population
+    a = generate_events(objects, functions, 50, seed=7)
+    b = generate_events(objects, functions, 50, seed=7)
+    assert a == b
+    c = generate_events(objects, functions, 50, seed=8)
+    assert a != c
+
+
+def test_streams_are_always_valid(population):
+    objects, functions = population
+    events = generate_events(objects, functions, 400, seed=9)
+    assert len(events) == 400
+    live_objects = set(objects.ids)
+    live_functions = {f.fid for f in functions}
+    for event in events:
+        if isinstance(event, InsertObject):
+            assert event.object_id not in live_objects
+            assert len(event.point) == objects.dims
+            assert all(0.0 <= v <= 1.0 for v in event.point)
+            live_objects.add(event.object_id)
+        elif isinstance(event, DeleteObject):
+            assert event.object_id in live_objects
+            live_objects.discard(event.object_id)
+        elif isinstance(event, AddFunction):
+            assert event.function.fid not in live_functions
+            live_functions.add(event.function.fid)
+        else:
+            assert event.function_id in live_functions
+            live_functions.discard(event.function_id)
+
+
+def test_single_sided_mixes(population):
+    objects, functions = population
+    for event in generate_events(objects, functions, 60, mix=OBJECT_CHURN,
+                                 seed=3):
+        assert isinstance(event, (InsertObject, DeleteObject))
+    for event in generate_events(objects, functions, 60,
+                                 mix=PREFERENCE_CHURN, seed=4):
+        assert isinstance(event, (AddFunction, RemoveFunction))
+
+
+def test_departures_fall_back_to_arrivals_when_empty():
+    objects = repro.generate_independent(2, 2, seed=5)
+    functions = repro.generate_preferences(1, 2, seed=6)
+    events = generate_events(objects, functions, 80,
+                             mix=UpdateMix(0.0, 1.0, 0.0, 1.0), seed=7)
+    assert len(events) == 80  # inserts/adds fill in once sides drain
+    apply_events(objects, functions, events)  # replay never raises
+
+
+def test_insert_pool_supplies_points(population):
+    objects, functions = population
+    pool = repro.generate_anticorrelated(32, 3, seed=11)
+    events = generate_events(objects, functions, 120, mix=OBJECT_CHURN,
+                             seed=12, insert_pool=pool)
+    pool_points = {point for _, point in pool.items()}
+    inserted = [e.point for e in events if isinstance(e, InsertObject)]
+    assert inserted and all(point in pool_points for point in inserted)
+
+
+def test_apply_events_replays_correctly(population):
+    objects, functions = population
+    events = [
+        DeleteObject(0),
+        InsertObject(500, (0.5, 0.5, 0.5)),
+        AddFunction(repro.LinearPreference(900, (0.2, 0.3, 0.5))),
+        RemoveFunction(functions[0].fid),
+    ]
+    surviving, prefs = apply_events(objects, functions, events)
+    assert 0 not in surviving
+    assert surviving.vector(500) == (0.5, 0.5, 0.5)
+    fids = [f.fid for f in prefs]
+    assert 900 in fids and functions[0].fid not in fids
+    assert len(surviving) == len(objects)  # one out, one in
+
+
+def test_events_for_ratio(population):
+    objects, _ = population
+    assert events_for_ratio(objects, 0.05) == 5
+    assert events_for_ratio(objects, 0.0) == 1  # floor of one event
+    with pytest.raises(ReproError):
+        events_for_ratio(objects, -0.1)
+
+
+def test_mix_validation():
+    with pytest.raises(ReproError):
+        UpdateMix(-1.0, 0.0, 0.0, 0.0).weights()
+    with pytest.raises(ReproError):
+        UpdateMix(0.0, 0.0, 0.0, 0.0).weights()
+    assert sum(MIXED_CHURN.weights()) == pytest.approx(1.0)
+
+
+def test_negative_event_count_rejected(population):
+    objects, functions = population
+    with pytest.raises(ReproError):
+        generate_events(objects, functions, -1)

@@ -254,3 +254,86 @@ def test_engine_is_reusable_across_workloads():
         objects, functions = tiny_workload(seed=seed)
         result = engine.match(objects, functions)
         assert len(result) == len(functions)
+
+
+# ----------------------------------------------------------------------
+# Staged-state reuse across repeated match() calls
+# ----------------------------------------------------------------------
+def test_repeated_match_reuses_staged_problem():
+    objects, functions = tiny_workload(seed=80)
+    engine = MatchingEngine(algorithm="sb", backend="disk")
+    first = engine.match(objects, functions)
+    second = engine.match(objects, functions)
+    assert engine.stagings == 1  # the dataset was indexed exactly once
+    assert [(p.function_id, p.object_id, p.score) for p in first.pairs] == \
+           [(p.function_id, p.object_id, p.score) for p in second.pairs]
+
+
+def test_staged_reuse_rebuilds_after_destructive_matcher():
+    # Chain physically deletes assigned objects; the cached problem must
+    # be rebuilt before the next run or results would silently shrink.
+    objects, functions = tiny_workload(seed=81)
+    engine = MatchingEngine(algorithm="chain", backend="disk")
+    first = engine.match(objects, functions)
+    second = engine.match(objects, functions)
+    assert engine.stagings == 1
+    assert [(p.function_id, p.object_id, p.score) for p in first.pairs] == \
+           [(p.function_id, p.object_id, p.score) for p in second.pairs]
+
+
+def test_staged_reuse_distinguishes_workloads():
+    engine = MatchingEngine(algorithm="sb", backend="memory")
+    objects_a, functions_a = tiny_workload(seed=82)
+    objects_b, functions_b = tiny_workload(seed=83)
+    result_a = engine.match(objects_a, functions_a)
+    result_b = engine.match(objects_b, functions_b)
+    assert engine.stagings == 2
+    fresh = repro.match(objects_b, functions_b, backend="memory")
+    assert [(p.function_id, p.object_id) for p in result_b.pairs] == \
+           [(p.function_id, p.object_id) for p in fresh.pairs]
+    assert result_a.pairs != result_b.pairs
+
+
+def test_staged_reuse_with_capacities_keeps_expansion():
+    objects, functions = tiny_workload(n_objects=10, n_functions=8, seed=84)
+    capacities = {object_id: 2 for object_id, _ in objects.items()}
+    engine = MatchingEngine(algorithm="sb", backend="memory",
+                            capacities=capacities)
+    first = engine.match(objects, functions)
+    second = engine.match(objects, functions)
+    assert engine.stagings == 1
+    assert first.capacities == second.capacities
+    assert [(p.function_id, p.object_id) for p in first.pairs] == \
+           [(p.function_id, p.object_id) for p in second.pairs]
+
+
+def test_staged_cache_detects_in_place_function_replacement():
+    # Regression: the cache must not serve a stale problem when the
+    # caller mutates the functions list between calls.
+    objects, functions = tiny_workload(seed=85)
+    functions = list(functions)
+    engine = MatchingEngine(algorithm="sb", backend="memory")
+    engine.match(objects, functions)
+    replacement = repro.prefs.LinearPreference.normalized(
+        999, [1.0] * objects.dims
+    )
+    functions[0] = replacement
+    result = engine.match(objects, functions)
+    assert engine.stagings == 2
+    matched = {pair.function_id for pair in result.pairs}
+    assert 999 in matched
+
+
+def test_build_problem_always_returns_fresh_problems():
+    # Regression: the match() staging cache must not alias problems
+    # handed out by build_problem — destructive matchers would corrupt
+    # each other's trees.
+    objects, functions = tiny_workload(n_objects=60, seed=86)
+    engine = MatchingEngine(algorithm="bf", backend="disk")
+    problem_a = engine.build_problem(objects, functions)
+    problem_b = engine.build_problem(objects, functions)
+    assert problem_a is not problem_b
+    first = list(engine.create_matcher(problem_a).pairs())
+    second = list(engine.create_matcher(problem_b).pairs())
+    assert [(p.function_id, p.object_id, p.score) for p in first] == \
+           [(p.function_id, p.object_id, p.score) for p in second]

@@ -68,6 +68,15 @@ def test_task_assignment_runs(capsys):
     assert "re-traversal maintenance" in out
 
 
+def test_streaming_session_runs(capsys):
+    module = load_example("streaming_session")
+    module.main(n_rooms=600, n_users=25, n_events=60)
+    out = capsys.readouterr().out
+    assert "initial matching: 25 pairs" in out
+    assert "repair chains:" in out
+    assert "verified: session matching == from-scratch match()" in out
+
+
 def test_examples_have_docstrings_and_main_guard():
     for path in sorted(EXAMPLES_DIR.glob("*.py")):
         source = path.read_text()

@@ -1,0 +1,156 @@
+"""Property test: both maintenance strategies admit identical members.
+
+Section IV-B's plist-based ``update_after_removal`` and the re-traversal
+baseline ``recompute_with_pruning`` are alternative implementations of
+the same contract — after removing any batch of members, the refreshed
+skylines must agree member for member, and both must equal the naive
+oracle over the surviving pool. Randomized multi-member removal
+schedules (sizes, duplicates-heavy data, exhaustion) probe the corner
+cases; SearchStats plumbing is asserted on both code paths.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree import MemoryNodeStore, RTree
+from repro.skyline import (
+    canonical_skyline_naive,
+    compute_skyline,
+    recompute_with_pruning,
+    update_after_removal,
+)
+from repro.storage.stats import SearchStats
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+# Coarse coordinates force exact ties and duplicate points.
+coarse = st.integers(min_value=0, max_value=4).map(lambda v: v / 4)
+
+
+def point_lists(coordinate, dims=3, min_size=6, max_size=48):
+    return st.lists(
+        st.tuples(*([coordinate] * dims)),
+        min_size=min_size, max_size=max_size,
+    )
+
+
+def build_tree(items, dims=3, fanout=4):
+    tree = RTree(MemoryNodeStore(fanout), dims=dims)
+    for object_id, point in items:
+        tree.insert(object_id, point)
+    return tree
+
+
+def oracle_ids(pool):
+    return [
+        oid for oid, _ in canonical_skyline_naive(sorted(pool.items()))
+    ]
+
+
+def run_schedule(points, batch_picks):
+    """Drive both strategies through the same multi-member removals."""
+    items = list(enumerate(points))
+    dims = len(points[0])
+    tree_plist = build_tree(items, dims=dims)
+    tree_baseline = build_tree(items, dims=dims)
+    stats_plist = SearchStats()
+    stats_baseline = SearchStats()
+    state_plist = compute_skyline(tree_plist, stats=stats_plist)
+    state_baseline = compute_skyline(tree_baseline, stats=stats_baseline)
+    assert sorted(state_plist.ids()) == sorted(state_baseline.ids())
+
+    pool = dict(items)
+    excluded = set()
+    for picks in batch_picks:
+        if not len(state_plist):
+            break
+        members = state_plist.ids()
+        batch = sorted({members[pick % len(members)] for pick in picks})
+        orphans = []
+        for victim in batch:
+            del pool[victim]
+            excluded.add(victim)
+            orphans.extend(state_plist.remove(victim))
+            state_baseline.remove(victim)
+        admitted_plist = update_after_removal(
+            tree_plist, state_plist, orphans, stats=stats_plist,
+        )
+        admitted_baseline = recompute_with_pruning(
+            tree_baseline, state_baseline, excluded, stats=stats_baseline,
+        )
+        want = oracle_ids(pool)
+        assert sorted(state_plist.ids()) == want
+        assert sorted(state_baseline.ids()) == want
+        for object_id in admitted_plist:
+            assert object_id in state_plist
+        for object_id in admitted_baseline:
+            assert object_id in state_baseline
+    return stats_plist, stats_baseline
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    point_lists(unit),
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=1000),
+                 min_size=1, max_size=5),
+        min_size=1, max_size=8,
+    ),
+)
+def test_multi_member_removals_agree_on_smooth_data(points, batch_picks):
+    run_schedule(points, batch_picks)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    point_lists(coarse, dims=2),
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=1000),
+                 min_size=1, max_size=4),
+        min_size=1, max_size=8,
+    ),
+)
+def test_multi_member_removals_agree_with_heavy_ties(points, batch_picks):
+    run_schedule(points, batch_picks)
+
+
+def test_search_stats_plumbing_on_both_strategies():
+    """Both maintenance paths must report their CPU work."""
+    points = [
+        ((i * 37) % 100 / 100.0, (i * 61) % 100 / 100.0, (i * 89) % 100 / 100.0)
+        for i in range(120)
+    ]
+    stats_plist, stats_baseline = run_schedule(
+        points, [[0, 1, 2]] * 6,
+    )
+    for stats in (stats_plist, stats_baseline):
+        assert stats.heap_pushes > 0
+        assert stats.heap_pops > 0
+        assert stats.dominance_checks > 0
+    # The re-traversal baseline restarts from the root every batch: it
+    # must pay strictly more dominance work than plist maintenance.
+    assert (
+        stats_baseline.dominance_checks > stats_plist.dominance_checks
+    )
+
+
+def test_removal_to_exhaustion_agrees():
+    points = [((i % 7) / 6.0, ((i * 3) % 7) / 6.0) for i in range(30)]
+    items = list(enumerate(points))
+    tree_plist = build_tree(items, dims=2)
+    tree_baseline = build_tree(items, dims=2)
+    state_plist = compute_skyline(tree_plist)
+    state_baseline = compute_skyline(tree_baseline)
+    excluded = set()
+    while len(state_plist):
+        batch = state_plist.ids()[:2]
+        orphans = []
+        for victim in batch:
+            excluded.add(victim)
+            orphans.extend(state_plist.remove(victim))
+            state_baseline.remove(victim)
+        update_after_removal(tree_plist, state_plist, orphans)
+        recompute_with_pruning(tree_baseline, state_baseline, excluded)
+        assert sorted(state_plist.ids()) == sorted(state_baseline.ids())
+    assert len(state_baseline) == 0
+    assert len(excluded) == 30
