@@ -15,5 +15,8 @@ setup(
     zip_safe=False,
     python_requires=">=3.8",
     install_requires=["numpy"],
-    extras_require={"test": ["pytest", "hypothesis", "pytest-benchmark"]},
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        "docs": ["mkdocs>=1.5", "mkdocs-material>=9"],
+    },
 )

@@ -7,20 +7,36 @@ using the paper's skyline-based SB algorithm, with the Brute Force and
 Chain baselines, a simulated disk + LRU buffer cost model, and a full
 benchmark harness reproducing the paper's figures.
 
-Quickstart (the unified facade)::
+Quickstart (the unified facade):
 
-    import repro
+    >>> import repro
+    >>> objects = repro.generate_independent(n=300, dims=3, seed=7)
+    >>> prefs = repro.generate_preferences(n=8, dims=3, seed=11)
+    >>> result = repro.match(objects, prefs)          # SB on the paper's
+    >>> len(result.pairs)                             # simulated disk
+    8
+    >>> result.io_accesses > 0
+    True
 
-    objects = repro.generate_independent(n=10_000, dims=4, seed=7)
-    prefs = repro.generate_preferences(n=500, dims=4, seed=11)
-    result = repro.match(objects, prefs, algorithm="sb", backend="disk")
-    print(result.pairs[:3], result.io_accesses)
+The serving fast path (same pairs, zero simulated I/O) and the sharded
+multi-core path (same pairs, many workers) are single keywords away:
+
+    >>> fast = repro.match(objects, prefs, backend="memory")
+    >>> fast.as_set() == result.as_set()
+    True
+    >>> wide = repro.match(objects, prefs, backend="memory",
+    ...                    shards=2, executor="serial")
+    >>> wide.as_set() == result.as_set()
+    True
 
 ``repro.match`` accepts any registered algorithm
 (:func:`repro.available_algorithms`) and storage backend
 (:func:`repro.available_backends`); the lower-level classes
 (:class:`MatchingProblem`, :class:`SkylineMatcher`, ...) stay available
-for streaming pairs and custom instrumentation.
+for streaming pairs and custom instrumentation, and
+:func:`repro.open_session` keeps a matching alive under streaming
+updates. The full documentation site lives in ``docs/`` (build it with
+``mkdocs build`` after ``pip install -e .[docs]``).
 """
 
 from .core import (
@@ -59,6 +75,9 @@ from .dynamic import (
     apply_events,
     generate_events,
 )
+
+# Importing the parallel package registers the "sharded-sb" algorithm.
+from .parallel import ShardedMatcher, available_executors, hilbert_ranges
 from .data import (
     Dataset,
     generate_anticorrelated,
@@ -96,6 +115,9 @@ __all__ = [
     "UpdateMix",
     "apply_events",
     "generate_events",
+    "ShardedMatcher",
+    "available_executors",
+    "hilbert_ranges",
     "MatchingReport",
     "match_with_capacities",
     "summarize",

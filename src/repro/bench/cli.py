@@ -16,6 +16,7 @@ import sys
 from typing import List, Optional
 
 from ..engine import available_backends
+from ..engine.config import EXECUTORS
 from .figures import figure2_sweep, figure3_sweep
 from .report import format_sweep_table
 from .runner import BENCH_CONFIGS, bench_scale, resolve_algorithms
@@ -34,7 +35,7 @@ _PANELS = {
 
 
 def _expand(figure: str) -> List[str]:
-    if figure in ("ablations", "dynamic"):
+    if figure in ("ablations", "dynamic", "parallel"):
         return [figure]
     if figure == "all":
         return list(_PANELS)
@@ -44,7 +45,7 @@ def _expand(figure: str) -> List[str]:
         return [figure]
     raise SystemExit(
         f"unknown figure {figure!r}; choose from "
-        f"{['all', '2', '3', 'ablations', 'dynamic'] + list(_PANELS)}"
+        f"{['all', '2', '3', 'ablations', 'dynamic', 'parallel'] + list(_PANELS)}"
     )
 
 
@@ -56,9 +57,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--figure", default="all",
                         help="all, 2, 3, a panel id like 2a, 'ablations', "
-                             "or 'dynamic' (incremental repair vs full "
-                             "recompute under streaming updates) "
-                             "(default: all)")
+                             "'dynamic' (incremental repair vs full "
+                             "recompute under streaming updates), or "
+                             "'parallel' (sharded matching speedup over "
+                             "shard counts) (default: all)")
     parser.add_argument("--scale", type=float, default=None,
                         help="workload scale vs the paper's cardinalities "
                              "(default: REPRO_BENCH_SCALE or 0.05)")
@@ -73,6 +75,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: disk, the paper's cost model)")
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also save each sweep as JSON into DIR")
+    parser.add_argument("--shards", default="1,2,4", metavar="COUNTS",
+                        help="comma-separated shard counts for "
+                             "--figure parallel (default: 1,2,4)")
+    parser.add_argument("--executor", default="process",
+                        choices=list(EXECUTORS),
+                        help="shard executor for --figure parallel "
+                             "(default: process)")
     args = parser.parse_args(argv)
 
     scale = args.scale if args.scale is not None else bench_scale()
@@ -93,7 +102,45 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     cache = {}
     dynamic_results = []
+    parallel_results = []
     for panel in panels:
+        if panel == "parallel":
+            from ..engine import algorithm_supports_repair
+            from .parallel import format_parallel_table, parallel_sweep
+
+            try:
+                shard_counts = [
+                    int(token) for token in args.shards.split(",") if token
+                ]
+            except ValueError:
+                raise SystemExit(
+                    f"--shards must be comma-separated integers, "
+                    f"got {args.shards!r}"
+                )
+            if not shard_counts:
+                raise SystemExit("--shards requires at least one count")
+            if min(shard_counts) < 1:
+                raise SystemExit(
+                    f"--shards counts must be >= 1, got {args.shards!r}"
+                )
+            for panel_name in requested or ["SB"]:
+                panel_config = BENCH_CONFIGS[panel_name]
+                if not algorithm_supports_repair(panel_config.algorithm):
+                    raise SystemExit(
+                        f"--figure parallel requires a canonical "
+                        f"linear-preference algorithm (one that supports "
+                        f"repair); {panel_name!r} (algorithm "
+                        f"{panel_config.algorithm!r}) does not"
+                    )
+                sweep = parallel_sweep(
+                    scale=scale, seed=args.seed,
+                    shard_counts=shard_counts, executor=args.executor,
+                    base_config=panel_config.replace(backend=args.backend),
+                )
+                parallel_results.append((panel_name, sweep))
+                print()
+                print(format_parallel_table(sweep))
+            continue
         if panel == "dynamic":
             from ..engine import algorithm_supports_repair
             from .dynamic import dynamic_sweep, format_dynamic_table
@@ -155,6 +202,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 suffix = "" if panel_name == "SB" else f"-{panel_name}"
                 target = directory / f"dynamic{suffix}.json"
                 save_dynamic_json(sweep, target)
+                print(f"# wrote {target}")
+        if parallel_results:
+            from .parallel import save_parallel_json
+
+            for panel_name, sweep in parallel_results:
+                suffix = "" if panel_name == "SB" else f"-{panel_name}"
+                target = directory / f"parallel{suffix}.json"
+                save_parallel_json(sweep, target)
                 print(f"# wrote {target}")
     return 0
 

@@ -1,0 +1,210 @@
+"""Sharded-matching benchmark: wall-clock speedup across shard counts.
+
+The acceptance measurement of the parallel subsystem: the same workload
+matched end-to-end (staging included) through ``repro.match()`` at
+increasing shard counts, on the process executor, against the
+single-process ``shards=1`` baseline. Anti-correlated data keeps
+skylines large — the regime where per-shard matching wins most.
+
+Every point re-verifies that the sharded assignments equal the baseline
+assignments, so the speedup table can never silently report a wrong
+matching as a win.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..data import generate_anticorrelated, generate_independent
+from ..engine import MatchingConfig, MatchingEngine
+from ..errors import MatchingError
+from ..prefs import generate_preferences
+from .runner import bench_scale
+
+#: Unscaled workload cardinalities (|O| deliberately large relative to
+#: |F|: every shard matches all functions, so the win comes from each
+#: shard's smaller tree and skyline).
+PARALLEL_NUM_OBJECTS = 40_000
+PARALLEL_NUM_FUNCTIONS = 1_000
+
+#: Shard counts reported by default (4 is the headline point).
+DEFAULT_SHARD_COUNTS = (1, 2, 4)
+
+_GENERATORS = {
+    "anticorrelated": generate_anticorrelated,
+    "independent": generate_independent,
+}
+
+
+@dataclass
+class ParallelPoint:
+    """One shard count's end-to-end measurement."""
+
+    shards: int
+    n_objects: int
+    n_functions: int
+    wall_seconds: float
+    io_accesses: int
+    shards_used: int = 0
+    merge_displaced: int = 0
+    repair_steals: int = 0
+    #: Wall seconds of the shards=1 baseline (set by the sweep).
+    baseline_seconds: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock speedup over the single-process baseline."""
+        return self.baseline_seconds / max(1e-9, self.wall_seconds)
+
+    def as_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "n_objects": self.n_objects,
+            "n_functions": self.n_functions,
+            "wall_seconds": self.wall_seconds,
+            "io_accesses": self.io_accesses,
+            "shards_used": self.shards_used,
+            "merge_displaced": self.merge_displaced,
+            "repair_steals": self.repair_steals,
+            "speedup": self.speedup,
+        }
+
+
+@dataclass
+class ParallelSweep:
+    """The shard-count sweep plus its workload provenance."""
+
+    variant: str
+    algorithm: str
+    backend: str
+    executor: str
+    dims: int
+    seed: int
+    points: List[ParallelPoint] = field(default_factory=list)
+
+    name = "parallel"
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": "parallel-1",
+            "name": self.name,
+            "variant": self.variant,
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "executor": self.executor,
+            "dims": self.dims,
+            "seed": self.seed,
+            "points": [point.as_dict() for point in self.points],
+        }
+
+
+def run_parallel_point(objects, functions, shards: int,
+                       executor: str = "process",
+                       base_config: Optional[MatchingConfig] = None,
+                       repeats: int = 1):
+    """Measure one end-to-end ``match()`` at the given shard count.
+
+    Returns ``(ParallelPoint, MatchResult)``; a fresh engine per repeat
+    so staging is always paid (the honest serving-cold cost), keeping
+    the best of ``repeats`` runs.
+    """
+    if base_config is None:
+        base_config = MatchingConfig()
+    config = base_config.replace(shards=shards, executor=executor)
+    best_seconds = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        engine = MatchingEngine(config)
+        start = time.perf_counter()
+        candidate = engine.match(objects, functions)
+        elapsed = time.perf_counter() - start
+        if elapsed < best_seconds:
+            best_seconds = elapsed
+            result = candidate
+    point = ParallelPoint(
+        shards=shards,
+        n_objects=len(objects),
+        n_functions=len(functions),
+        wall_seconds=best_seconds,
+        io_accesses=result.io_accesses,
+        shards_used=int(result.stats.get("shards_used", 1)),
+        merge_displaced=int(result.stats.get("merge_displaced", 0)),
+        repair_steals=int(result.stats.get("repair_steals", 0)),
+    )
+    return point, result
+
+
+def parallel_sweep(scale: Optional[float] = None, seed: int = 42,
+                   shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+                   variant: str = "anticorrelated", dims: int = 4,
+                   executor: str = "process",
+                   base_config: Optional[MatchingConfig] = None,
+                   repeats: int = 1) -> ParallelSweep:
+    """The shard-count sweep, with per-point equality re-verification."""
+    scale = bench_scale() if scale is None else scale
+    generator = _GENERATORS[variant]
+    if base_config is None:
+        base_config = MatchingConfig()
+    n_objects = max(800, int(PARALLEL_NUM_OBJECTS * scale))
+    n_functions = max(40, int(PARALLEL_NUM_FUNCTIONS * scale))
+    objects = generator(n_objects, dims, seed=seed)
+    functions = generate_preferences(n_functions, dims, seed=seed + 1)
+
+    sweep = ParallelSweep(
+        variant=variant, algorithm=base_config.algorithm,
+        backend=base_config.backend, executor=executor,
+        dims=dims, seed=seed,
+    )
+    reference = None
+    baseline_seconds = None
+    for shards in shard_counts:
+        point, result = run_parallel_point(
+            objects, functions, shards, executor=executor,
+            base_config=base_config, repeats=repeats,
+        )
+        assignments = sorted(
+            (pair.function_id, pair.object_id, pair.score)
+            for pair in result.pairs
+        )
+        if reference is None:
+            reference = assignments
+        elif assignments != reference:
+            raise MatchingError(
+                f"sharded matching at shards={shards} diverged from the "
+                f"shards={shard_counts[0]} baseline"
+            )
+        if baseline_seconds is None:
+            baseline_seconds = point.wall_seconds
+        point.baseline_seconds = baseline_seconds
+        sweep.points.append(point)
+    return sweep
+
+
+def format_parallel_table(sweep: ParallelSweep) -> str:
+    """Render the sweep as a GitHub-flavored Markdown table."""
+    lines = [
+        f"Sharded matching ({sweep.variant}, D={sweep.dims}, "
+        f"|O|={sweep.points[0].n_objects if sweep.points else 0}, "
+        f"|F|={sweep.points[0].n_functions if sweep.points else 0}, "
+        f"algorithm={sweep.algorithm}, backend={sweep.backend}, "
+        f"executor={sweep.executor})",
+        "| shards | wall s | speedup | I/O accesses | displaced "
+        "| repair steals |",
+        "|---|---|---|---|---|---|",
+    ]
+    for point in sweep.points:
+        lines.append(
+            f"| {point.shards} | {point.wall_seconds:.3f} "
+            f"| {point.speedup:.2f}x | {point.io_accesses} "
+            f"| {point.merge_displaced} | {point.repair_steals} |"
+        )
+    return "\n".join(lines)
+
+
+def save_parallel_json(sweep: ParallelSweep, path) -> None:
+    """Write the sweep to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(sweep.as_dict(), indent=2) + "\n")

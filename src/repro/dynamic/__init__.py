@@ -7,7 +7,23 @@ churns. A :class:`DynamicMatcher` session (opened through
 consumes insert/delete/add/remove events and keeps the canonical stable
 matching valid by localized displacement chains — the matching after any
 event sequence equals a from-scratch ``repro.match()`` on the surviving
-data.
+data:
+
+    >>> import repro
+    >>> objects = repro.generate_independent(n=90, dims=2, seed=3)
+    >>> prefs = repro.generate_preferences(n=6, dims=2, seed=4)
+    >>> session = repro.open_session(objects, prefs, backend="memory")
+    >>> session.insert_object(1000, (0.99, 0.98))   # a dominant arrival
+    >>> session.delete_object(session.pairs[-1].object_id)
+    >>> session.remove_function(prefs[0].fid)
+    >>> scratch = repro.match(session.objects(), session.functions(),
+    ...                       backend="memory")
+    >>> session.matching().as_set() == scratch.as_set()
+    True
+
+The same displacement-chain machinery (exposed as
+:meth:`RepairEngine.seed_matching` / :meth:`RepairEngine.release_object`)
+drives the exact cross-shard merge of :mod:`repro.parallel`.
 
 Modules
 -------

@@ -272,6 +272,78 @@ class RepairEngine:
         self._free_object(object_id)
 
     # ------------------------------------------------------------------
+    # External seeding (used by the sharded merge in ``repro.parallel``)
+    # ------------------------------------------------------------------
+    def seed_matching(self, pairs: Sequence[Tuple[int, int, float]]) -> None:
+        """Install an externally computed partial matching wholesale.
+
+        ``pairs`` is an iterable of ``(function_id, object_id, score)``
+        triples over the engine's surviving functions and objects. The
+        previous matching (and every derived cache) is discarded.
+
+        The caller guarantees the seeded matching is *stable for its own
+        instance* — the functions plus exactly the matched objects. The
+        cross-shard merge of :mod:`repro.parallel` is the canonical user:
+        it seeds each function's best shard-local partner (stable by the
+        shard-local stability of every per-shard matching) and then
+        re-introduces the displaced shard winners one
+        :meth:`release_object` chain at a time, which restores the
+        canonical global matching exactly like a stream of insertions.
+        """
+        self.matched_object.clear()
+        self.matched_function.clear()
+        self.pair_score.clear()
+        self._matched.clear()
+        self._weights_cache = None
+        self._sky = None
+        for fid, object_id, score in pairs:
+            if fid not in self.functions:
+                raise MatchingError(
+                    f"seed_matching: unknown function id {fid}"
+                )
+            if object_id not in self.points:
+                raise MatchingError(
+                    f"seed_matching: unknown object id {object_id}"
+                )
+            if fid in self.matched_function:
+                raise MatchingError(
+                    f"seed_matching: function {fid} seeded twice"
+                )
+            if object_id in self.matched_object:
+                raise MatchingError(
+                    f"seed_matching: object {object_id} seeded twice"
+                )
+            self.matched_object[object_id] = fid
+            self.matched_function[fid] = object_id
+            self.pair_score[fid] = float(score)
+            self._matched.add(object_id, self.points[object_id],
+                              float(score))
+        self._consumed = set(self.matched_object)
+        self._consumed.update(self.tombstones)
+
+    def release_object(self, object_id: int) -> None:
+        """Let an already-present free object compete for a partner.
+
+        Public wrapper over the object displacement chain: the object
+        takes the best function that accepts it, each steal frees
+        another object, and the chain runs until an object ends
+        unmatched. Unlike :meth:`insert_object` the object is already in
+        ``points`` (and physically in the tree); only the matching is
+        touched. This is the cross-shard repair hook: a shard-local
+        winner displaced by the merge re-enters exactly like an
+        insertion event.
+        """
+        if object_id not in self.points:
+            raise MatchingError(
+                f"release_object: unknown object id {object_id}"
+            )
+        if object_id in self.matched_object:
+            raise MatchingError(
+                f"release_object: object {object_id} is currently matched"
+            )
+        self._free_object(object_id)
+
+    # ------------------------------------------------------------------
     # Structural-only application (used by the full-recompute path)
     # ------------------------------------------------------------------
     def apply_structural(self, events: Sequence) -> None:

@@ -25,6 +25,10 @@ BUFFER_POLICIES = ("lru", "clock")
 #: Deletion modes understood by the tree-mutating matchers.
 DELETION_MODES = ("delete", "filter")
 
+#: Executors understood by the sharded parallel layer (kept here, not in
+#: ``repro.parallel``, so config validation needs no circular import).
+EXECUTORS = ("process", "thread", "serial")
+
 
 @dataclass(frozen=True)
 class MatchingConfig:
@@ -75,6 +79,31 @@ class MatchingConfig:
         Dynamic sessions: physical R-tree churn (tombstoned deletes,
         buffered inserts) is applied once the backlog exceeds this
         fraction of the surviving objects.
+    shards:
+        Partition the object set into this many Hilbert-order spatial
+        shards and match them concurrently (see :mod:`repro.parallel`).
+        ``1`` (the default) keeps the classic single-process path; any
+        larger value routes :meth:`MatchingEngine.match` through the
+        sharded layer, whose result is pair-for-pair identical.
+    executor:
+        How shard matchings run: ``"process"`` (a
+        :class:`concurrent.futures.ProcessPoolExecutor`, the true
+        multi-core path), ``"thread"``, or ``"serial"`` (in-line, for
+        debugging and deterministic tests).
+    max_workers:
+        Worker cap for the process/thread executors (default: one per
+        shard, bounded by the scheduler's own limits).
+
+    Examples
+    --------
+    Configs are frozen; derive variants with :meth:`replace`::
+
+        >>> from repro import MatchingConfig
+        >>> config = MatchingConfig(algorithm="sb", backend="memory")
+        >>> config.replace(shards=4, executor="serial").shards
+        4
+        >>> config.shards  # the original is untouched
+        1
     """
 
     algorithm: str = "sb"
@@ -100,6 +129,10 @@ class MatchingConfig:
     batch_size: int = 1
     repair_threshold: float = 0.5
     compact_fraction: float = 0.25
+    # Sharded-execution switches.
+    shards: int = 1
+    executor: str = "process"
+    max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.buffer_policy not in BUFFER_POLICIES:
@@ -140,6 +173,19 @@ class MatchingConfig:
         if self.compact_fraction <= 0:
             raise MatchingError(
                 f"compact_fraction must be > 0, got {self.compact_fraction}"
+            )
+        if self.shards < 1:
+            raise MatchingError(
+                f"shards must be >= 1, got {self.shards}"
+            )
+        if self.executor not in EXECUTORS:
+            raise MatchingError(
+                f"executor must be one of {EXECUTORS}, "
+                f"got {self.executor!r}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise MatchingError(
+                f"max_workers must be >= 1, got {self.max_workers}"
             )
 
     def replace(self, **overrides) -> "MatchingConfig":

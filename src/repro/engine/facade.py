@@ -38,10 +38,25 @@ class MatchingEngine:
     """A configured matching pipeline: backend + algorithm + options.
 
     Construct with a :class:`MatchingConfig`, keyword overrides, or
-    both (keywords win)::
+    both (keywords win). The engine is reusable: repeated
+    :meth:`match` calls on the same inputs reuse the staged problem.
 
-        engine = MatchingEngine(algorithm="sb", backend="memory")
-        result = engine.match(objects, prefs)
+    Examples
+    --------
+    >>> import repro
+    >>> engine = repro.MatchingEngine(algorithm="sb", backend="memory")
+    >>> objects = repro.generate_independent(n=60, dims=2, seed=5)
+    >>> prefs = repro.generate_preferences(n=4, dims=2, seed=6)
+    >>> result = engine.match(objects, prefs)
+    >>> (len(result), result.backend, result.io_accesses)
+    (4, 'memory', 0)
+
+    The pipeline steps are exposed for streaming and instrumentation:
+
+    >>> problem = engine.build_problem(objects, prefs)
+    >>> matcher = engine.create_matcher(problem)
+    >>> len(list(matcher.pairs())) == len(result)
+    True
     """
 
     def __init__(self, config: Optional[MatchingConfig] = None,
@@ -129,9 +144,34 @@ class MatchingEngine:
     def create_matcher(self, problem: MatchingProblem,
                        search_stats: Optional[SearchStats] = None,
                        **overrides):
-        """Instantiate the configured algorithm for a staged problem."""
+        """Instantiate the configured algorithm for a staged problem.
+
+        When ``config.shards > 1`` the configured algorithm is wrapped
+        in a :class:`~repro.parallel.ShardedMatcher` (unless it is
+        already a sharded algorithm), so the pipeline-steps API and
+        :meth:`match` route through the identical execution layer.
+        """
+        config = self.config
+        if config.shards > 1:
+            from ..parallel import ShardedMatcher, is_sharded_algorithm
+
+            if not is_sharded_algorithm(config.algorithm):
+                unknown = set(overrides) - {
+                    "base_algorithm", "shards", "executor",
+                }
+                if unknown:
+                    raise MatchingError(
+                        f"matcher overrides {sorted(unknown)} are not "
+                        f"supported with sharded execution "
+                        f"(shards={config.shards}); run with shards=1 "
+                        f"for per-matcher instrumentation"
+                    )
+                return ShardedMatcher(
+                    problem, config, base_algorithm=config.algorithm,
+                    search_stats=search_stats, **overrides,
+                )
         return create_matcher(
-            self.config.algorithm, problem, self.config,
+            config.algorithm, problem, config,
             search_stats=search_stats, **overrides,
         )
 
@@ -148,7 +188,7 @@ class MatchingEngine:
         config = self.config
         problem, virtual_owner = self._stage_cached(objects, functions)
         problem.reset_io()
-        matcher = create_matcher(config.algorithm, problem, config)
+        matcher = self.create_matcher(problem)
 
         start = time.perf_counter()
         pairs = list(matcher.pairs())
@@ -177,6 +217,13 @@ class MatchingEngine:
             value = getattr(matcher, counter, 0)
             if value:
                 stats[counter] = value
+        if getattr(matcher, "shards_used", 0):
+            # Sharded runs always report the full counter set (zeros
+            # included), so result.stats["merge_displaced"] etc. are
+            # reliable lookups whenever stats["shards_used"] exists.
+            for counter in ("shards_used", "merge_displaced",
+                            "repair_chains", "repair_steals"):
+                stats[counter] = getattr(matcher, counter, 0)
         return MatchResult(
             pairs,
             unmatched_functions=unmatched,
@@ -212,6 +259,11 @@ class MatchingEngine:
             raise MatchingError(
                 "dynamic sessions do not support capacitated matching; "
                 "open the session without capacities"
+            )
+        if config.shards > 1:
+            raise MatchingError(
+                "dynamic sessions are single-process; open the session "
+                "with shards=1 (sharded matching is for one-shot match())"
             )
         if not algorithm_supports_repair(config.algorithm):
             raise MatchingError(
@@ -273,6 +325,31 @@ def match(objects: Dataset, functions: Sequence, *,
     -------
     MatchResult
         The stable pairs with provenance and costs.
+
+    Examples
+    --------
+    >>> import repro
+    >>> objects = repro.generate_independent(n=120, dims=2, seed=1)
+    >>> prefs = repro.generate_preferences(n=5, dims=2, seed=2)
+    >>> result = repro.match(objects, prefs, backend="memory")
+    >>> (len(result), result.algorithm)
+    (5, 'skyline')
+
+    Every registered algorithm returns the identical stable pairs —
+    here the index-free Gale-Shapley reference, sharded four ways:
+
+    >>> again = repro.match(objects, prefs, algorithm="gs",
+    ...                     backend="memory", shards=4,
+    ...                     executor="serial")
+    >>> again.as_set() == result.as_set()
+    True
+
+    Capacitated (many-to-one) runs return the same unified result type:
+
+    >>> booked = repro.match(objects, prefs, backend="memory",
+    ...                      capacities={3: 2})
+    >>> booked.is_capacitated
+    True
     """
     base = config if config is not None else MatchingConfig()
     overrides = dict(options)
@@ -301,8 +378,24 @@ def open_session(objects: Dataset, functions: Sequence, *,
         session.matching()   # == repro.match() on the surviving data
 
     Accepts the same configuration surface as :func:`match` (minus
-    ``capacities``), including the dynamic knobs ``batch_size``,
-    ``repair_threshold`` and ``compact_fraction``.
+    ``capacities`` — sessions are 1-1 — and ``shards`` — sessions are
+    single-process), including the dynamic knobs ``batch_size``
+    (default 1: every event applies immediately), ``repair_threshold``
+    and ``compact_fraction``.
+
+    Examples
+    --------
+    >>> import repro
+    >>> objects = repro.generate_independent(n=80, dims=2, seed=3)
+    >>> prefs = repro.generate_preferences(n=6, dims=2, seed=4)
+    >>> session = repro.open_session(objects, prefs, backend="memory")
+    >>> best = session.pairs[0]
+    >>> session.delete_object(best.object_id)       # best object sold
+    >>> session.partner_of(best.function_id) != best.object_id
+    True
+    >>> snapshot = session.matching()               # == a fresh match()
+    >>> (len(snapshot), snapshot.algorithm)
+    (6, 'dynamic-sb')
     """
     base = config if config is not None else MatchingConfig()
     overrides = dict(options)

@@ -1,0 +1,105 @@
+"""Cross-shard merge: shard-local matchings to the global matching.
+
+Why this is exact
+-----------------
+Preferences are *aligned* (both sides rank a pair by the same score), so
+the stable matching of any instance is unique — the greedy matching in
+decreasing ``(score, -fid, -oid)`` order. Two facts make the shard
+decomposition lossless:
+
+1. **Merging best shard-local partners is a stable sub-matching.**
+   Every object lives in exactly one shard and is matched to at most one
+   function there, so candidate pairs never collide on objects and the
+   merge is simply: each function keeps its highest-scoring shard-local
+   partner. Suppose a pair ``(f, o)`` blocked the merged matching ``M``
+   restricted to its matched objects, with ``o`` matched to ``g``. Then
+   ``score(f, o) > score(g, o)``, so in ``o``'s shard the locally stable
+   matching must give ``f`` a partner it likes at least as much as
+   ``o`` — and ``M`` gives ``f`` its *best* shard-local partner, so
+   ``score(f, M(f)) >= score(f, o)``: contradiction.
+
+2. **Displaced shard winners repair like insertions.** Starting from a
+   stable matching and introducing one more object, the canonical
+   matching of the enlarged instance is restored by a single object
+   displacement chain — the dynamic subsystem's
+   :meth:`~repro.dynamic.repair.RepairEngine.release_object`. Objects
+   that were matched in their shard but lost the merge are introduced
+   one chain at a time; objects unmatched even in their own shard can
+   be skipped entirely (adding competitors never improves an object's
+   outcome, so an object unmatched against a subset of ``O`` stays
+   unmatched against all of ``O``).
+
+After the last chain the engine holds the canonical global matching —
+pair-for-pair identical to single-process ``repro.match()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..core.problem import MatchingProblem
+from ..dynamic.repair import RepairEngine
+from ..engine.config import MatchingConfig
+from ..storage.stats import SearchStats
+
+Triple = Tuple[int, int, float]
+
+
+def merge_shard_pairs(shard_pairs: Iterable[Sequence[Triple]],
+                      ) -> Tuple[List[Triple], List[int]]:
+    """Keep each function's best shard-local partner.
+
+    ``shard_pairs`` yields one sequence of ``(function_id, object_id,
+    score)`` triples per shard. Returns ``(merged, displaced)`` where
+    ``merged`` is the stable sub-matching (each function's best
+    shard-local pair, ties broken toward the lower object id — the
+    library-wide canonical discipline) and ``displaced`` are the
+    object ids that were matched in their own shard but lost the merge,
+    sorted ascending. Only those objects can still enter the global
+    matching; they are re-introduced by repair chains.
+    """
+    best: Dict[int, Tuple[float, int]] = {}
+    matched_somewhere: Set[int] = set()
+    for pairs in shard_pairs:
+        for fid, object_id, score in pairs:
+            matched_somewhere.add(object_id)
+            current = best.get(fid)
+            if (
+                current is None
+                or score > current[0]
+                or (score == current[0] and object_id < current[1])
+            ):
+                best[fid] = (score, object_id)
+    merged = [
+        (fid, object_id, score)
+        for fid, (score, object_id) in sorted(best.items())
+    ]
+    kept = {object_id for _, object_id, _ in merged}
+    displaced = sorted(matched_somewhere - kept)
+    return merged, displaced
+
+
+def cross_shard_repair(problem: MatchingProblem, config: MatchingConfig,
+                       merged: Sequence[Triple],
+                       displaced: Sequence[int],
+                       search_stats: SearchStats = None,
+                       ) -> RepairEngine:
+    """Restore the canonical global matching from a merged sub-matching.
+
+    Seeds a :class:`~repro.dynamic.repair.RepairEngine` over the *full*
+    problem with the merged matching, then runs one displacement chain
+    per displaced shard winner. Returns the engine, whose
+    :meth:`~repro.dynamic.repair.RepairEngine.pairs` is the canonical
+    matching and whose ``stats`` count the repair work (chains, steps,
+    steals).
+    """
+    # The engine must never mutate the parent tree: tree-preserving
+    # filter mode, and neither compact() nor full_rematch() is invoked.
+    engine = RepairEngine(
+        problem, config.replace(deletion_mode="filter"),
+        search_stats=search_stats,
+    )
+    engine.seed_matching(merged)
+    for object_id in displaced:
+        engine.release_object(object_id)
+    return engine

@@ -1,0 +1,96 @@
+"""The per-shard unit of work, picklable for process pools.
+
+A :class:`ShardTask` carries everything a worker needs to stage and
+match one shard — plain tuples, :class:`~repro.prefs.LinearPreference`
+objects, and a (frozen, capacity-free) :class:`~repro.engine.MatchingConfig` —
+so it crosses a process boundary with the default pickler.
+:func:`run_shard_task` is the module-level worker entry point (process
+pools resolve it by qualified name).
+
+A :class:`ShardOutcome` ships the results back: the shard-local stable
+pairs as bare ``(function_id, object_id, score)`` triples plus the
+shard's cost counters (I/O snapshot, :class:`~repro.storage.SearchStats`,
+matcher counters, wall seconds), which the
+:class:`~repro.parallel.ShardedMatcher` aggregates into the global
+result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..data import Dataset
+from ..engine.config import MatchingConfig
+from ..prefs import LinearPreference
+from ..storage.stats import IOSnapshot, SearchStats
+
+Point = Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's staging-and-matching assignment (picklable)."""
+
+    index: int
+    dims: int
+    items: Tuple[Tuple[int, Point], ...]
+    functions: Tuple[LinearPreference, ...]
+    config: MatchingConfig
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's matching and cost counters (picklable)."""
+
+    index: int
+    #: Shard-local stable pairs as ``(function_id, object_id, score)``.
+    pairs: List[Tuple[int, int, float]] = field(default_factory=list)
+    io: Optional[IOSnapshot] = None
+    search: SearchStats = field(default_factory=SearchStats)
+    rounds: int = 0
+    top1_searches: int = 0
+    reverse_top1_queries: int = 0
+    seconds: float = 0.0
+    num_objects: int = 0
+
+
+def run_shard_task(task: ShardTask) -> ShardOutcome:
+    """Stage one shard on its backend and run the base algorithm.
+
+    Empty shards (no objects) and empty function sets short-circuit to
+    an empty outcome without touching the storage layer.
+    """
+    # Imported here (not at module top) to keep the worker import
+    # footprint honest under spawn-style pools.
+    from ..engine.backends import get_backend
+    from ..engine.registry import create_matcher
+
+    outcome = ShardOutcome(index=task.index, num_objects=len(task.items))
+    if not task.items or not task.functions:
+        return outcome
+
+    start = time.perf_counter()
+    dataset = Dataset.from_mapping(
+        {object_id: point for object_id, point in task.items},
+        task.dims, name=f"shard-{task.index}",
+    )
+    problem = get_backend(task.config.backend).build_problem(
+        dataset, list(task.functions), task.config
+    )
+    problem.reset_io()
+    matcher = create_matcher(
+        task.config.algorithm, problem, task.config,
+        search_stats=outcome.search,
+    )
+    outcome.pairs = [
+        (pair.function_id, pair.object_id, pair.score)
+        for pair in matcher.pairs()
+    ]
+    outcome.io = problem.io_stats.snapshot()
+    outcome.rounds = getattr(matcher, "rounds", 0)
+    outcome.top1_searches = getattr(matcher, "top1_searches", 0)
+    outcome.reverse_top1_queries = getattr(matcher, "reverse_top1_queries", 0)
+    outcome.seconds = time.perf_counter() - start
+    return outcome

@@ -52,6 +52,14 @@ def test_room_types_capacity_runs(capsys):
     assert "MinPreference" in out
 
 
+def test_parallel_matching_runs(capsys):
+    module = load_example("parallel_matching")
+    module.main(n_listings=500, n_buyers=25, shards=3, executor="serial")
+    out = capsys.readouterr().out
+    assert "identical stable matching" in out
+    assert "sharded-sb" in out
+
+
 def test_figure1_walkthrough_runs(capsys):
     module = load_example("figure1_walkthrough")
     module.main()

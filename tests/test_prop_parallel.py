@@ -1,0 +1,86 @@
+"""Property test: sharded matching equals single-process matching.
+
+Random small instances — coarse grids included, to maximize exact score
+ties and duplicate points — across shard counts, algorithms, and
+backends. The sharded result must reproduce the single-process
+``repro.match()`` triple-for-triple (function, object, score) every
+time; this is the acceptance property of the parallel subsystem.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.data import Dataset
+from repro.prefs import LinearPreference
+
+# Coarse grids maximize exact score ties and duplicate points.
+coarse = st.integers(min_value=0, max_value=3).map(lambda v: v / 3)
+fine = st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+                 allow_infinity=False)
+coordinate = st.one_of(coarse, fine)
+positive = st.floats(min_value=1e-6, max_value=1.0, allow_nan=False)
+
+instances = st.tuples(
+    st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=24),
+    st.lists(st.tuples(positive, positive), min_size=1, max_size=8),
+    st.integers(min_value=2, max_value=6),                  # shards
+    st.sampled_from(["sb", "bf", "chain", "gs"]),
+    st.sampled_from(["memory", "disk"]),
+)
+
+
+def build(points, raw_weights):
+    objects = Dataset([list(point) for point in points])
+    functions = [
+        LinearPreference.normalized(fid, list(weights))
+        for fid, weights in enumerate(raw_weights)
+    ]
+    return objects, functions
+
+
+def triples(result):
+    return sorted(
+        (pair.function_id, pair.object_id, pair.score)
+        for pair in result.pairs
+    )
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(instances)
+def test_sharded_equals_single_process(instance):
+    points, raw_weights, shards, algorithm, backend = instance
+    objects, functions = build(points, raw_weights)
+    single = repro.match(objects, functions, algorithm=algorithm,
+                         backend=backend)
+    sharded = repro.match(objects, functions, algorithm=algorithm,
+                          backend=backend, shards=shards,
+                          executor="serial")
+    assert triples(sharded) == triples(single)
+    assert sorted(sharded.unmatched_functions) == sorted(
+        single.unmatched_functions
+    )
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(st.tuples(coarse, coarse), min_size=1, max_size=16),
+    st.lists(st.tuples(positive, positive), min_size=1, max_size=6),
+    st.integers(min_value=2, max_value=5),
+    st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=16),
+)
+def test_sharded_capacitated_equals_single_process(points, raw_weights,
+                                                   shards, raw_caps):
+    objects, functions = build(points, raw_weights)
+    capacities = {
+        object_id: raw_caps[object_id % len(raw_caps)]
+        for object_id, _ in objects.items()
+    }
+    single = repro.match(objects, functions, backend="memory",
+                         capacities=capacities)
+    sharded = repro.match(objects, functions, backend="memory",
+                          capacities=capacities, shards=shards,
+                          executor="serial")
+    assert triples(sharded) == triples(single)
