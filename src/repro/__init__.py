@@ -29,6 +29,16 @@ multi-core path (same pairs, many workers) are single keywords away:
     >>> wide.as_set() == result.as_set()
     True
 
+Sustained traffic goes through the serving pipeline — compile a plan
+once, stage the objects once, answer repeated workloads from warm
+state with a keyed result cache:
+
+    >>> service = repro.MatchingService(objects, backend="memory")
+    >>> service.submit(prefs).as_set() == result.as_set()
+    True
+    >>> service.submit(prefs) is service.submit(prefs)  # cached repeats
+    True
+
 ``repro.match`` accepts any registered algorithm
 (:func:`repro.available_algorithms`) and storage backend
 (:func:`repro.available_backends`); the lower-level classes
@@ -59,7 +69,10 @@ from .core import (
 from .engine import (
     MatchingConfig,
     MatchingEngine,
+    MatchingPlan,
+    MatchingService,
     MatchResult,
+    PreparedMatching,
     algorithm_supports_repair,
     available_algorithms,
     available_backends,
@@ -68,6 +81,7 @@ from .engine import (
     register_backend,
     register_matcher,
 )
+from .engine.plan import plan
 from .dynamic import (
     DynamicMatcher,
     RecomputeSession,
@@ -102,12 +116,16 @@ __all__ = [
     "GenericSkylineMatcher",
     "MatchingConfig",
     "MatchingEngine",
+    "MatchingPlan",
+    "MatchingService",
     "MatchResult",
+    "PreparedMatching",
     "algorithm_supports_repair",
     "available_algorithms",
     "available_backends",
     "match",
     "open_session",
+    "plan",
     "register_backend",
     "register_matcher",
     "DynamicMatcher",

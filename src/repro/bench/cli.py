@@ -35,7 +35,7 @@ _PANELS = {
 
 
 def _expand(figure: str) -> List[str]:
-    if figure in ("ablations", "dynamic", "parallel"):
+    if figure in ("ablations", "dynamic", "parallel", "serving"):
         return [figure]
     if figure == "all":
         return list(_PANELS)
@@ -45,7 +45,7 @@ def _expand(figure: str) -> List[str]:
         return [figure]
     raise SystemExit(
         f"unknown figure {figure!r}; choose from "
-        f"{['all', '2', '3', 'ablations', 'dynamic', 'parallel'] + list(_PANELS)}"
+        f"{['all', '2', '3', 'ablations', 'dynamic', 'parallel', 'serving'] + list(_PANELS)}"
     )
 
 
@@ -58,9 +58,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--figure", default="all",
                         help="all, 2, 3, a panel id like 2a, 'ablations', "
                              "'dynamic' (incremental repair vs full "
-                             "recompute under streaming updates), or "
+                             "recompute under streaming updates), "
                              "'parallel' (sharded matching speedup over "
-                             "shard counts) (default: all)")
+                             "shard counts), or 'serving' (cold match() "
+                             "vs prepared.run() across algorithms x "
+                             "backends) (default: all)")
     parser.add_argument("--scale", type=float, default=None,
                         help="workload scale vs the paper's cardinalities "
                              "(default: REPRO_BENCH_SCALE or 0.05)")
@@ -69,10 +71,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated subset of the bench panel "
                              f"({', '.join(sorted(BENCH_CONFIGS))}); "
                              "default: SB,BruteForce,Chain")
-    parser.add_argument("--backend", default="disk",
+    parser.add_argument("--backend", default=None,
                         choices=sorted(available_backends()),
                         help="storage backend for every run "
-                             "(default: disk, the paper's cost model)")
+                             "(default: disk, the paper's cost model; "
+                             "--figure serving sweeps disk and memory "
+                             "unless one is forced here)")
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also save each sweep as JSON into DIR")
     parser.add_argument("--shards", default="1,2,4", metavar="COUNTS",
@@ -96,14 +100,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     except Exception as error:
         raise SystemExit(str(error))
     panels = _expand(args.figure)
+    backend = args.backend if args.backend is not None else "disk"
     print(f"# workload scale: {scale:g} of the paper's cardinalities")
-    if args.backend != "disk":
-        print(f"# storage backend: {args.backend}")
+    if backend != "disk":
+        print(f"# storage backend: {backend}")
 
     cache = {}
     dynamic_results = []
     parallel_results = []
+    serving_result = None
     for panel in panels:
+        if panel == "serving":
+            from .serving import format_serving_table, serving_sweep
+
+            serving_result = serving_sweep(
+                scale=scale, seed=args.seed,
+                algorithms=requested or ["SB"],
+                backends=(
+                    (args.backend,) if args.backend is not None
+                    else ("disk", "memory")
+                ),
+            )
+            print()
+            print(format_serving_table(serving_result))
+            continue
         if panel == "parallel":
             from ..engine import algorithm_supports_repair
             from .parallel import format_parallel_table, parallel_sweep
@@ -135,7 +155,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 sweep = parallel_sweep(
                     scale=scale, seed=args.seed,
                     shard_counts=shard_counts, executor=args.executor,
-                    base_config=panel_config.replace(backend=args.backend),
+                    base_config=panel_config.replace(backend=backend),
                 )
                 parallel_results.append((panel_name, sweep))
                 print()
@@ -156,7 +176,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     )
                 sweep = dynamic_sweep(
                     scale=scale, seed=args.seed,
-                    base_config=panel_config.replace(backend=args.backend),
+                    base_config=panel_config.replace(backend=backend),
                 )
                 dynamic_results.append((panel_name, sweep))
                 print()
@@ -175,12 +195,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             if variant == "zillow":
                 cache[variant] = figure3_sweep(scale=scale, seed=args.seed,
                                                algorithms=algorithms,
-                                               backend=args.backend)
+                                               backend=backend)
             else:
                 cache[variant] = figure2_sweep(variant, scale=scale,
                                                seed=args.seed,
                                                algorithms=algorithms,
-                                               backend=args.backend)
+                                               backend=backend)
         print()
         print(format_sweep_table(cache[variant], metric, title=title))
 
@@ -211,6 +231,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 target = directory / f"parallel{suffix}.json"
                 save_parallel_json(sweep, target)
                 print(f"# wrote {target}")
+        if serving_result is not None:
+            from .serving import save_serving_json
+
+            target = directory / "serving.json"
+            save_serving_json(serving_result, target)
+            print(f"# wrote {target}")
     return 0
 
 

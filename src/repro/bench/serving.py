@@ -1,0 +1,244 @@
+"""Serving-path benchmark: cold vs warm latency across the matrix.
+
+The acceptance measurement of the compile → prepare → serve pipeline
+(:mod:`repro.engine.plan`): for each algorithm × backend, the same
+preference workloads answered three ways —
+
+``cold``
+    A fresh ``MatchingEngine.match()`` per request: config validation,
+    staging (R-tree bulk load), and the matching, all paid every time.
+    This is what a naive deployment of the one-shot API costs.
+``warm miss``
+    ``prepared.run()`` against a :class:`~repro.engine.plan.PreparedMatching`
+    with a *new* workload each request: the matcher runs, but staging is
+    amortized away (and, sharded, the worker pool and shard trees are
+    reused).
+``warm hit``
+    ``prepared.run()`` with a repeated workload: answered from the keyed
+    LRU result cache.
+
+Every point re-verifies that warm answers equal the cold answers, so
+the speedup table can never report a wrong matching as a win. Matchers
+run tree-preserving (``deletion_mode="filter"``) — the serving
+configuration; a delete-mode matcher would consume the warm tree and
+re-pay staging every run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..data import generate_independent
+from ..engine import MatchingConfig, MatchingEngine, MatchingPlan
+from ..errors import MatchingError
+from ..prefs import generate_preferences
+from .runner import bench_scale
+
+#: Unscaled workload cardinalities. |O| is deliberately large relative
+#: to |F|: staging cost grows with the object set, matching cost with
+#: the function set, so this is the regime a serving deployment lives
+#: in (a big, slowly-changing catalog; small per-request workloads).
+SERVING_NUM_OBJECTS = 40_000
+SERVING_NUM_FUNCTIONS = 400
+
+#: Distinct workloads measured per point (misses) before the repeats
+#: (hits).
+DEFAULT_NUM_QUERIES = 3
+
+
+@dataclass
+class ServingPoint:
+    """One algorithm × backend cell of the serving matrix."""
+
+    algorithm: str
+    backend: str
+    n_objects: int
+    n_functions: int
+    cold_seconds: float
+    warm_miss_seconds: float
+    warm_hit_seconds: float
+
+    @property
+    def miss_speedup(self) -> float:
+        """Cold / warm-miss: what amortizing staging alone buys."""
+        return self.cold_seconds / max(1e-9, self.warm_miss_seconds)
+
+    @property
+    def hit_speedup(self) -> float:
+        """Cold / warm-hit: what the result cache buys on repeats."""
+        return self.cold_seconds / max(1e-9, self.warm_hit_seconds)
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "n_objects": self.n_objects,
+            "n_functions": self.n_functions,
+            "cold_seconds": self.cold_seconds,
+            "warm_miss_seconds": self.warm_miss_seconds,
+            "warm_hit_seconds": self.warm_hit_seconds,
+            "miss_speedup": self.miss_speedup,
+            "hit_speedup": self.hit_speedup,
+        }
+
+
+@dataclass
+class ServingSweep:
+    """The full matrix plus workload provenance."""
+
+    variant: str
+    dims: int
+    seed: int
+    num_queries: int
+    shards: int
+    points: List[ServingPoint] = field(default_factory=list)
+
+    name = "serving"
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": "serving-1",
+            "name": self.name,
+            "variant": self.variant,
+            "dims": self.dims,
+            "seed": self.seed,
+            "num_queries": self.num_queries,
+            "shards": self.shards,
+            "points": [point.as_dict() for point in self.points],
+        }
+
+
+def _serving_config(base_config: MatchingConfig,
+                    backend: str) -> MatchingConfig:
+    """The serving variant of a bench panel config."""
+    return base_config.replace(backend=backend, deletion_mode="filter")
+
+
+def run_serving_point(objects, workloads: Sequence,
+                      base_config: MatchingConfig,
+                      backend: str = "memory",
+                      label: Optional[str] = None,
+                      ) -> Tuple[ServingPoint, List]:
+    """Measure one algorithm × backend cell.
+
+    ``workloads`` is a sequence of preference-function lists; each is
+    served cold (fresh engine), warm-miss (first prepared run), and
+    warm-hit (repeated prepared run), keeping the fastest cold and the
+    per-request mean of the warm timings. Returns the point plus the
+    warm results (already verified equal to the cold ones).
+    """
+    if not workloads:
+        raise MatchingError("run_serving_point needs at least one workload")
+    config = _serving_config(base_config, backend)
+
+    cold_best = float("inf")
+    cold_results = []
+    for functions in workloads:
+        engine = MatchingEngine(config)  # fresh: staging is paid
+        start = time.perf_counter()
+        cold_results.append(engine.match(objects, functions))
+        cold_best = min(cold_best, time.perf_counter() - start)
+
+    plan = MatchingPlan(config)
+    prepared = plan.prepare(objects)
+    try:
+        warm_results = []
+        miss_seconds = 0.0
+        for functions in workloads:
+            start = time.perf_counter()
+            warm_results.append(prepared.run(functions))
+            miss_seconds += time.perf_counter() - start
+        hit_seconds = 0.0
+        for functions in workloads:
+            start = time.perf_counter()
+            prepared.run(functions)
+            hit_seconds += time.perf_counter() - start
+        for cold, warm in zip(cold_results, warm_results):
+            if cold.as_set() != warm.as_set():
+                raise MatchingError(
+                    f"warm serving diverged from cold match() for "
+                    f"{label or base_config.algorithm!r} on {backend!r}"
+                )
+    finally:
+        prepared.close()
+
+    point = ServingPoint(
+        algorithm=label or base_config.algorithm,
+        backend=backend,
+        n_objects=len(objects),
+        n_functions=len(workloads[0]),
+        cold_seconds=cold_best,
+        warm_miss_seconds=miss_seconds / len(workloads),
+        warm_hit_seconds=hit_seconds / len(workloads),
+    )
+    return point, warm_results
+
+
+def serving_sweep(scale: Optional[float] = None, seed: int = 42,
+                  algorithms: Optional[Sequence[str]] = None,
+                  backends: Sequence[str] = ("disk", "memory"),
+                  dims: int = 4, shards: int = 1,
+                  num_queries: int = DEFAULT_NUM_QUERIES,
+                  ) -> ServingSweep:
+    """The full serving matrix: algorithms × backends, cold vs warm."""
+    from .runner import BENCH_CONFIGS
+
+    scale = bench_scale() if scale is None else scale
+    if algorithms is None:
+        algorithms = ["SB"]
+    n_objects = max(800, int(SERVING_NUM_OBJECTS * scale))
+    n_functions = max(40, int(SERVING_NUM_FUNCTIONS * scale))
+    objects = generate_independent(n_objects, dims, seed=seed)
+    workloads = [
+        generate_preferences(n_functions, dims, seed=seed + 1 + query)
+        for query in range(max(1, num_queries))
+    ]
+
+    sweep = ServingSweep(
+        variant="independent", dims=dims, seed=seed,
+        num_queries=len(workloads), shards=shards,
+    )
+    for panel in algorithms:
+        base = BENCH_CONFIGS[panel]
+        if shards > 1:
+            base = base.replace(shards=shards)
+        for backend in backends:
+            point, _ = run_serving_point(
+                objects, workloads, base, backend=backend, label=panel,
+            )
+            sweep.points.append(point)
+    return sweep
+
+
+def format_serving_table(sweep: ServingSweep) -> str:
+    """Render the sweep as a GitHub-flavored Markdown table."""
+    fan_out = f", shards={sweep.shards}" if sweep.shards > 1 else ""
+    lines = [
+        f"Serving path: cold match() vs prepared.run() "
+        f"({sweep.variant}, D={sweep.dims}, "
+        f"|O|={sweep.points[0].n_objects if sweep.points else 0}, "
+        f"|F|={sweep.points[0].n_functions if sweep.points else 0} "
+        f"per request, {sweep.num_queries} workloads{fan_out})",
+        "| algorithm | backend | cold ms | warm-miss ms | speedup "
+        "| warm-hit ms | speedup |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for point in sweep.points:
+        lines.append(
+            f"| {point.algorithm} | {point.backend} "
+            f"| {point.cold_seconds * 1e3:.1f} "
+            f"| {point.warm_miss_seconds * 1e3:.1f} "
+            f"| {point.miss_speedup:.2f}x "
+            f"| {point.warm_hit_seconds * 1e3:.2f} "
+            f"| {point.hit_speedup:.0f}x |"
+        )
+    return "\n".join(lines)
+
+
+def save_serving_json(sweep: ServingSweep, path) -> None:
+    """Write the sweep to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(sweep.as_dict(), indent=2) + "\n")

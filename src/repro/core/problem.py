@@ -128,6 +128,28 @@ class MatchingProblem:
             fill=self._fill,
         )
 
+    def with_functions(self, functions: Sequence[LinearPreference],
+                       ) -> "MatchingProblem":
+        """A view of this problem serving a different function workload.
+
+        Shares the staged storage stack — tree, disk, buffer — so no
+        bulk load is paid; only the (validated) function list differs.
+        This is what lets the serving path stage objects once and answer
+        many preference workloads against the warm tree. The view and
+        the original alias the same tree: a ``deletion_mode="delete"``
+        matcher run through either consumes it for both.
+        """
+        problem = type(self)(
+            self.objects, functions, self.tree, self.disk, self.buffer,
+            build_io=self.build_io, fill=self._fill,
+            buffer_fraction=self._buffer_fraction,
+            buffer_capacity=self._buffer_capacity,
+            buffer_policy=self._buffer_policy,
+        )
+        if hasattr(self, "_fanout"):
+            problem._fanout = self._fanout
+        return problem
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

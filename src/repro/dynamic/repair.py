@@ -155,7 +155,6 @@ class RepairEngine:
     def __init__(self, problem: MatchingProblem, config: MatchingConfig,
                  search_stats: Optional[SearchStats] = None) -> None:
         self.problem = problem
-        self.tree = problem.tree
         self.config = config
         self.search_stats = search_stats
         self.stats = RepairStats()
@@ -191,8 +190,20 @@ class RepairEngine:
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def tree(self):
+        """The problem's object R-tree, resolved lazily.
+
+        Lazy on purpose: the cross-shard merge path (seed + release
+        chains) never touches the tree, which lets the sharded layer
+        hand the engine a deferred problem whose parent tree is never
+        bulk-loaded at all. Sessions (compaction, skyline rebuilds,
+        full rematches) resolve it on first use as before.
+        """
+        return self.problem.tree
+
+    @property
     def dims(self) -> int:
-        return self.tree.dims
+        return self.problem.objects.dims
 
     def pairs(self) -> List[MatchPair]:
         """The current matching in canonical order."""

@@ -68,7 +68,8 @@ class DynamicMatcher(EventSubmitter):
 
     def __init__(self, problem: MatchingProblem, config: MatchingConfig,
                  backend_name: str = "",
-                 search_stats: Optional[SearchStats] = None) -> None:
+                 search_stats: Optional[SearchStats] = None,
+                 on_change=None) -> None:
         for function in problem.functions:
             if not isinstance(function, LinearPreference):
                 raise SessionError(
@@ -83,6 +84,11 @@ class DynamicMatcher(EventSubmitter):
         self.config = config
         self.backend_name = backend_name
         self.search_stats = search_stats
+        #: Optional observer called with each accepted event *before* it
+        #: is queued — the hook a :class:`~repro.engine.plan.PreparedMatching`
+        #: uses to invalidate its served-result cache the moment the
+        #: session's object set starts diverging.
+        self.on_change = on_change
         self.log = EventLog()
         self._repair = RepairEngine(problem, config, search_stats=search_stats)
         self._closed = False
@@ -227,6 +233,14 @@ class DynamicMatcher(EventSubmitter):
     def _check_open(self) -> None:
         if self._closed:
             raise SessionError("session is closed")
+
+    def _submit(self, event: Event) -> None:
+        # Observers run first: a validated event is about to change the
+        # session's world, so bound caches must go stale *before* any
+        # flush this submission may trigger.
+        if self.on_change is not None:
+            self.on_change(event)
+        super()._submit(event)
 
     # ------------------------------------------------------------------
     # Batch application

@@ -10,7 +10,12 @@ The package ties the library's pieces behind a single coherent API:
   :func:`available_backends`): the paper's simulated disk stack and a
   zero-I/O in-memory backend for serving workloads;
 * :class:`MatchingEngine` and the one-shot :func:`match`, returning a
-  unified :class:`MatchResult` for both 1-1 and capacitated runs.
+  unified :class:`MatchResult` for both 1-1 and capacitated runs;
+* the **serving path** (:func:`plan` → :class:`MatchingPlan` →
+  :class:`PreparedMatching`, fronted by :class:`MatchingService`):
+  compile a config once, stage an object set once, then answer repeated
+  preference workloads against warm state with a keyed LRU result
+  cache and a persistent shard worker pool.
 """
 
 from .backends import (
@@ -22,8 +27,15 @@ from .backends import (
     get_backend,
     register_backend,
 )
+from .cache import ResultCache, config_fingerprint, prefs_digest
 from .config import MatchingConfig
 from .facade import MatchingEngine, match, open_session
+# MatchingPlan/PreparedMatching are re-exported here; the plan()
+# factory deliberately is NOT (import it as repro.plan or from
+# repro.engine.plan) — re-binding it here would shadow the
+# repro.engine.plan submodule attribute.
+from .plan import MatchingPlan, PreparedMatching
+from .service import MatchingService
 from .registry import (
     algorithm_aliases,
     algorithm_supports_repair,
@@ -47,6 +59,12 @@ __all__ = [
     "register_backend",
     "MatchingConfig",
     "MatchingEngine",
+    "MatchingPlan",
+    "MatchingService",
+    "PreparedMatching",
+    "ResultCache",
+    "config_fingerprint",
+    "prefs_digest",
     "match",
     "open_session",
     "algorithm_aliases",

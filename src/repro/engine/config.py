@@ -93,6 +93,12 @@ class MatchingConfig:
     max_workers:
         Worker cap for the process/thread executors (default: one per
         shard, bounded by the scheduler's own limits).
+    cache_size:
+        Serving path: how many results a
+        :class:`~repro.engine.plan.PreparedMatching` keeps in its keyed
+        LRU cache (``0`` disables result caching entirely). One-shot
+        :func:`repro.match` calls never observe the cache; only
+        repeated runs against the same prepared state do.
 
     Examples
     --------
@@ -133,6 +139,8 @@ class MatchingConfig:
     shards: int = 1
     executor: str = "process"
     max_workers: Optional[int] = None
+    # Serving-path switches.
+    cache_size: int = 128
 
     def __post_init__(self) -> None:
         if self.buffer_policy not in BUFFER_POLICIES:
@@ -186,6 +194,10 @@ class MatchingConfig:
         if self.max_workers is not None and self.max_workers < 1:
             raise MatchingError(
                 f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.cache_size < 0:
+            raise MatchingError(
+                f"cache_size must be >= 0, got {self.cache_size}"
             )
 
     def replace(self, **overrides) -> "MatchingConfig":

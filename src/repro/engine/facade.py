@@ -19,18 +19,17 @@ pairs or custom instrumentation.
 
 from __future__ import annotations
 
-import time
+import warnings
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.capacity import expand_capacities
 from ..core.problem import MatchingProblem
-from ..core.result import MatchPair
 from ..data import Dataset
 from ..errors import MatchingError
 from ..storage.stats import SearchStats
 from .backends import StorageBackend, get_backend
 from .config import MatchingConfig
-from .registry import create_matcher
+from .plan import MatchingPlan, PreparedMatching
 from .result import MatchResult
 
 
@@ -38,8 +37,13 @@ class MatchingEngine:
     """A configured matching pipeline: backend + algorithm + options.
 
     Construct with a :class:`MatchingConfig`, keyword overrides, or
-    both (keywords win). The engine is reusable: repeated
-    :meth:`match` calls on the same inputs reuse the staged problem.
+    both (keywords win). The configuration is *compiled* at
+    construction (see :class:`~repro.engine.plan.MatchingPlan`), so an
+    unknown algorithm or backend fails here, not mid-request. The
+    engine is reusable: repeated :meth:`match` calls on the same inputs
+    serve from the same prepared state — staged problem, warm shard
+    trees, persistent worker pool, result cache — via the
+    compile → prepare → serve pipeline of :mod:`repro.engine.plan`.
 
     Examples
     --------
@@ -66,17 +70,39 @@ class MatchingEngine:
         elif overrides:
             config = config.replace(**overrides)
         self.config = config
-        # Staged-state cache: (key, problem, virtual_owner, strong refs to
-        # the inputs so the identity key stays valid while cached).
-        self._staged = None
-        #: How many times this engine actually built a problem (staging
-        #: cache misses); exposed for tests and instrumentation.
-        self.stagings = 0
+        #: The compiled plan the engine serves through.
+        self.plan = MatchingPlan(config)
+        # Prepared-state cache: identity key of the last (objects,
+        # functions) pair, the PreparedMatching serving it, and strong
+        # refs keeping the identity key valid while cached.
+        self._prepared: Optional[PreparedMatching] = None
+        self._prepared_key = None
+        self._refs = None
+        self._stagings = 0
 
     @property
     def backend(self) -> StorageBackend:
         """The storage backend instance named by the config."""
         return get_backend(self.config.backend)
+
+    @property
+    def stagings(self) -> int:
+        """How many times this engine staged a problem.
+
+        .. deprecated:: 1.1
+            Staged-state reuse is now an internal detail of
+            :class:`~repro.engine.plan.PreparedMatching`; inspect
+            ``repro.plan(...).prepare(objects).stagings`` (and its
+            ``cache``) instead.
+        """
+        warnings.warn(
+            "MatchingEngine.stagings is deprecated: staged-state reuse "
+            "is an internal detail of PreparedMatching; use "
+            "repro.plan(...).prepare(objects) and inspect its stagings "
+            "and cache instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self._stagings
 
     def _stage(self, objects: Dataset, functions: Sequence,
                ) -> Tuple[MatchingProblem, Optional[List[int]]]:
@@ -95,36 +121,30 @@ class MatchingEngine:
                 objects, self.config.capacities
             )
         problem = self.backend.build_problem(expanded, functions, self.config)
-        self.stagings += 1
+        self._stagings += 1
         return problem, virtual_owner
 
-    def _stage_cached(self, objects: Dataset, functions: Sequence,
-                      ) -> Tuple[MatchingProblem, Optional[List[int]]]:
-        """:meth:`_stage`, memoized for repeated :meth:`match` calls.
+    def _prepare_cached(self, objects: Dataset) -> PreparedMatching:
+        """The prepared state serving ``match()``, memoized by identity.
 
-        Repeated calls with the *same* objects and functions (by
-        identity — element-wise for the function sequence, so replacing
-        a function in place is detected) reuse the staged problem
-        instead of re-indexing the dataset; if a destructive matcher
-        consumed part of the cached tree, the problem is rebuilt first.
-        Only :meth:`match` uses this cache: the problem never escapes to
-        callers, so the reuse cannot alias user-visible state.
+        Prepared state depends only on the object set (functions are a
+        per-run input; workload changes are already distinguished by
+        the prepared result cache's content-based preference digest),
+        so repeated calls with the *same* objects — by identity — reuse
+        the warm staging, pool, and cache across any stream of
+        workloads. Only :meth:`match` uses this cache: the staged
+        problem never escapes to callers, so the reuse cannot alias
+        user-visible state.
         """
-        key = (
-            id(objects), len(objects),
-            tuple(id(function) for function in functions),
-        )
-        if self._staged is not None and self._staged[0] == key:
-            _, problem, virtual_owner, _refs = self._staged
-            if problem.tree.num_objects != len(problem.objects):
-                # A deletion_mode="delete" matcher mutated the tree.
-                problem = problem.rebuild()
-                self._staged = (key, problem, virtual_owner,
-                                (objects, functions))
-            return problem, virtual_owner
-        problem, virtual_owner = self._stage(objects, functions)
-        self._staged = (key, problem, virtual_owner, (objects, functions))
-        return problem, virtual_owner
+        key = (id(objects), len(objects))
+        if self._prepared is None or self._prepared_key != key:
+            if self._prepared is not None:
+                self._prepared.close()
+            self._prepared = self.plan.prepare(objects)
+            self._prepared_key = key
+            self._refs = objects
+            self._stagings += 1
+        return self._prepared
 
     # ------------------------------------------------------------------
     # Pipeline steps (exposed for streaming / instrumentation callers)
@@ -170,6 +190,8 @@ class MatchingEngine:
                     problem, config, base_algorithm=config.algorithm,
                     search_stats=search_stats, **overrides,
                 )
+        from .registry import create_matcher
+
         return create_matcher(
             config.algorithm, problem, config,
             search_stats=search_stats, **overrides,
@@ -181,61 +203,15 @@ class MatchingEngine:
     def match(self, objects: Dataset, functions: Sequence) -> MatchResult:
         """Stage, run, and package one complete matching run.
 
-        Staged state is reused across repeated calls with the same
-        inputs (see :meth:`_stage_cached`), so serving many matchings
-        of one dataset does not re-index it every time.
+        A thin wrapper over the compile → prepare → serve pipeline:
+        repeated calls with the same inputs serve from the same
+        :class:`~repro.engine.plan.PreparedMatching` (staged problem,
+        warm shard trees, persistent worker pool, result cache), so
+        serving many matchings of one dataset does not re-index it —
+        or even re-match it — every time.
         """
-        config = self.config
-        problem, virtual_owner = self._stage_cached(objects, functions)
-        problem.reset_io()
-        matcher = self.create_matcher(problem)
-
-        start = time.perf_counter()
-        pairs = list(matcher.pairs())
-        cpu_seconds = time.perf_counter() - start
-
-        capacities = None
-        if virtual_owner is not None:
-            pairs = [
-                MatchPair(
-                    pair.function_id, virtual_owner[pair.object_id],
-                    pair.score, round=pair.round, rank=pair.rank,
-                )
-                for pair in pairs
-            ]
-            capacities = {
-                object_id: int(config.capacities.get(object_id, 1))
-                for object_id, _ in objects.items()
-            }
-        matched = {pair.function_id for pair in pairs}
-        unmatched = [
-            function.fid for function in functions
-            if function.fid not in matched
-        ]
-        stats = {"rounds": getattr(matcher, "rounds", 0)}
-        for counter in ("top1_searches", "reverse_top1_queries"):
-            value = getattr(matcher, counter, 0)
-            if value:
-                stats[counter] = value
-        if getattr(matcher, "shards_used", 0):
-            # Sharded runs always report the full counter set (zeros
-            # included), so result.stats["merge_displaced"] etc. are
-            # reliable lookups whenever stats["shards_used"] exists.
-            for counter in ("shards_used", "merge_displaced",
-                            "repair_chains", "repair_steals"):
-                stats[counter] = getattr(matcher, counter, 0)
-        return MatchResult(
-            pairs,
-            unmatched_functions=unmatched,
-            unmatched_objects_count=len(problem.objects) - len(pairs),
-            algorithm=getattr(matcher, "name", config.algorithm),
-            backend=self.backend.name,
-            capacities=capacities,
-            io=problem.io_stats.snapshot(),
-            cpu_seconds=cpu_seconds,
-            seed=config.seed,
-            stats=stats,
-        )
+        prepared = self._prepare_cached(objects)
+        return prepared.run(functions)
 
     # ------------------------------------------------------------------
     # Dynamic sessions
@@ -249,35 +225,34 @@ class MatchingEngine:
         ``add_function`` / ``remove_function`` events by localized
         repair. The algorithm must support repair
         (:func:`~repro.engine.registry.algorithm_supports_repair`) and
-        the run must be 1-1 (no ``capacities``).
+        the run must be 1-1 (no ``capacities``). Delegates to
+        :meth:`~repro.engine.plan.MatchingPlan.open_session`.
         """
-        from ..dynamic import DynamicMatcher
-        from .registry import algorithm_supports_repair
+        return self.plan.open_session(objects, functions)
 
-        config = self.config
-        if config.capacities is not None:
-            raise MatchingError(
-                "dynamic sessions do not support capacitated matching; "
-                "open the session without capacities"
-            )
-        if config.shards > 1:
-            raise MatchingError(
-                "dynamic sessions are single-process; open the session "
-                "with shards=1 (sharded matching is for one-shot match())"
-            )
-        if not algorithm_supports_repair(config.algorithm):
-            raise MatchingError(
-                f"algorithm {config.algorithm!r} does not support "
-                f"incremental repair; choose one whose matcher sets "
-                f"supports_repair"
-            )
-        # The session owns all physical tree churn: matchers must not
-        # delete objects out from under it.
-        config = config.replace(deletion_mode="filter")
-        problem = get_backend(config.backend).build_problem(
-            objects, functions, config
-        )
-        return DynamicMatcher(problem, config, backend_name=self.backend.name)
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release warm serving state (worker pool, caches).
+
+        A sharded engine owns a persistent worker pool through its
+        prepared state; call this (or use the engine as a context
+        manager) when done serving rather than relying on garbage
+        collection to reap worker processes. The engine remains usable:
+        the next :meth:`match` simply prepares fresh state.
+        """
+        if self._prepared is not None:
+            self._prepared.close()
+            self._prepared = None
+            self._prepared_key = None
+            self._refs = None
+
+    def __enter__(self) -> "MatchingEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

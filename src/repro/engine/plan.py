@@ -1,0 +1,627 @@
+"""The serving-path request pipeline: compile → prepare → serve.
+
+The paper's algorithms were measured as one-shot batch runs; a serving
+deployment answers *streams* of preference workloads against a mostly
+stable object set. One-shot :func:`repro.match` pays everything on every
+call: config validation, capacity expansion, R-tree bulk loading, (on
+the sharded path) process-pool startup, and the matching itself. This
+module splits that into three stages so each cost is paid exactly as
+often as its inputs change:
+
+1. **compile** — :func:`plan` validates the full configuration once and
+   returns an immutable :class:`MatchingPlan`: algorithm and backend
+   resolved against their registries, the shard fan-out decided, every
+   invalid combination rejected *before* any data is touched;
+2. **prepare** — :meth:`MatchingPlan.prepare` stages one object set and
+   returns a :class:`PreparedMatching` owning the warm state: the
+   capacity-expanded dataset, the staged problem (per-shard trees on
+   the sharded path — the parent tree is never bulk-loaded there), the
+   Hilbert partition, and a persistent
+   :class:`~repro.parallel.ShardWorkerPool` that spawns workers once;
+3. **serve** — :meth:`PreparedMatching.run` matches one preference
+   workload against the warm state, with results cached in a keyed LRU
+   (config fingerprint × objects version × preference digest; see
+   :mod:`repro.engine.cache`) that dynamic-session events invalidate.
+
+:class:`~repro.engine.facade.MatchingEngine` and :func:`repro.match`
+are thin wrappers over this pipeline, so every existing entry point
+produces pair-identical results routed through the same code.
+
+Examples
+--------
+>>> import repro
+>>> objects = repro.generate_independent(n=150, dims=2, seed=21)
+>>> plan = repro.plan(algorithm="sb", backend="memory")
+>>> prepared = plan.prepare(objects)
+>>> prefs = repro.generate_preferences(n=5, dims=2, seed=22)
+>>> warm = prepared.run(prefs)
+>>> warm.as_set() == repro.match(objects, prefs, backend="memory").as_set()
+True
+>>> prepared.run(prefs) is warm      # identical workload: a cache hit
+True
+>>> prepared.cache.info()["hits"]
+1
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.capacity import expand_capacities
+from ..core.problem import MatchingProblem
+from ..core.result import MatchPair
+from ..data import Dataset
+from ..errors import MatchingError
+from ..storage import DiskManager
+from ..storage.stats import SearchStats
+from .backends import StorageBackend, get_backend
+from .cache import ResultCache, config_fingerprint, prefs_digest
+from .config import MatchingConfig
+from .registry import (
+    algorithm_aliases,
+    algorithm_supports_repair,
+    create_matcher,
+)
+from .result import MatchResult
+
+#: Sharded-run counters always reported together (zeros included) so
+#: ``result.stats`` lookups are reliable whenever ``shards_used`` exists.
+_SHARD_COUNTERS = (
+    "shards_used", "merge_displaced", "repair_chains", "repair_steals",
+    "shard_stagings",
+)
+
+#: Process-wide staging-epoch tokens for the worker-side shard caches.
+_STAGING_TOKENS = itertools.count(1)
+
+
+class _DeferredState:
+    """Shared lazy staging behind every :class:`_DeferredProblem` view.
+
+    Holds what a real staging would need (backend, expanded objects,
+    config) plus an inert I/O counter that stands in for the parent
+    problem's simulated disk while no parent tree exists. If anything
+    does force the tree (the degenerate sharded paths), the problem is
+    materialized once and cached here, shared by all views.
+    """
+
+    def __init__(self, backend: StorageBackend, objects: Dataset,
+                 config: MatchingConfig) -> None:
+        self.backend = backend
+        self.objects = objects
+        self.config = config
+        self.real: Optional[MatchingProblem] = None
+        # Inert: pages are never allocated; the counters exist so shard
+        # outcomes have a live sink to aggregate into.
+        self.disk = DiskManager()
+
+    def materialize(self) -> MatchingProblem:
+        if self.real is None:
+            self.real = self.backend.build_problem(
+                self.objects, [], self.config
+            )
+        return self.real
+
+
+class _DeferredProblem:
+    """A problem whose parent R-tree is never built unless demanded.
+
+    The sharded execution path reads only ``problem.objects`` and
+    ``problem.functions``: shard workers bulk-load their own sub-trees,
+    and the cross-shard merge/repair operates purely on the matching
+    maps (see :class:`~repro.dynamic.repair.RepairEngine` — its ``tree``
+    is resolved lazily). Staging the parent workload as a deferred
+    problem therefore skips the full-dataset bulk load entirely; the
+    tree materializes transparently only if some path truly needs it.
+    """
+
+    def __init__(self, state: _DeferredState,
+                 functions: Sequence = ()) -> None:
+        self._state = state
+        self.objects = state.objects
+        self.functions = list(functions)
+        for function in self.functions:
+            if function.dims != self.objects.dims:
+                from ..errors import DimensionalityError
+
+                raise DimensionalityError(
+                    self.objects.dims, function.dims, "function weights"
+                )
+        fids = [function.fid for function in self.functions]
+        if len(set(fids)) != len(fids):
+            raise MatchingError("function ids must be unique")
+
+    @property
+    def dims(self) -> int:
+        return self.objects.dims
+
+    @property
+    def tree_built(self) -> bool:
+        """Whether the parent tree was ever actually bulk-loaded."""
+        return self._state.real is not None
+
+    @property
+    def tree(self):
+        return self._state.materialize().tree
+
+    @property
+    def io_stats(self):
+        if self._state.real is not None:
+            return self._state.real.io_stats
+        return self._state.disk.stats
+
+    def reset_io(self) -> None:
+        if self._state.real is not None:
+            self._state.real.reset_io()
+        else:
+            self._state.disk.stats.reset()
+
+    def with_functions(self, functions: Sequence) -> "_DeferredProblem":
+        """A sibling view over the same (still deferred) staging."""
+        return _DeferredProblem(self._state, functions)
+
+    def __getattr__(self, name: str):
+        # Anything beyond the deferred surface (buffer, disk, rebuild,
+        # ...) belongs to the real problem; materialize and delegate.
+        return getattr(self._state.materialize(), name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        built = "built" if self.tree_built else "deferred"
+        return (
+            f"_DeferredProblem(|O|={len(self.objects)}, "
+            f"|F|={len(self.functions)}, tree={built})"
+        )
+
+
+class MatchingPlan:
+    """A compiled, immutable matching configuration.
+
+    Compiling resolves every registry lookup and cross-field constraint
+    once, so configuration mistakes surface here — with the same error
+    messages the late-binding path used — rather than mid-request:
+
+    * the algorithm name must be registered (aliases resolve);
+    * the backend name must be registered;
+    * a sharded plan's base algorithm must support displacement-chain
+      repair (the cross-shard merge depends on it).
+
+    The plan itself holds no data and is freely shareable; call
+    :meth:`prepare` per object set to obtain warm, runnable state.
+
+    Examples
+    --------
+    >>> import repro
+    >>> plan = repro.plan(algorithm="skyline", backend="memory")
+    >>> (plan.algorithm, plan.backend_name, plan.shards)
+    ('sb', 'memory', 1)
+    >>> repro.plan(algorithm="sharded-sb").shards
+    4
+    >>> repro.plan(algorithm="oracle")   # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    repro.errors.MatchingError: unknown algorithm 'oracle'; ...
+    """
+
+    def __init__(self, config: Optional[MatchingConfig] = None,
+                 **overrides) -> None:
+        if config is None:
+            config = MatchingConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+
+        aliases = algorithm_aliases()
+        normalized = config.algorithm.strip().lower()
+        canonical = aliases.get(normalized)
+        if canonical is None:
+            from .registry import available_algorithms
+
+            raise MatchingError(
+                f"unknown algorithm {config.algorithm!r}; available "
+                f"algorithms: {', '.join(available_algorithms())}"
+            )
+        #: Canonical algorithm name (aliases resolved).
+        self.algorithm = canonical
+        # Resolving the backend validates the name (instances are cheap
+        # and stateless; prepare() obtains a fresh one).
+        #: Canonical backend name.
+        self.backend_name = get_backend(config.backend).name
+
+        sharded_by_name = canonical.startswith("sharded")
+        if sharded_by_name:
+            from ..parallel import DEFAULT_SHARDS
+
+            #: Resolved shard fan-out (1 = single-process).
+            self.shards = config.shards if config.shards > 1 else DEFAULT_SHARDS
+            #: The algorithm each shard runs on the sharded path.
+            self.base_algorithm = "sb"
+        else:
+            self.shards = config.shards
+            self.base_algorithm = canonical
+        if self.shards > 1 and not algorithm_supports_repair(
+            self.base_algorithm
+        ):
+            raise MatchingError(
+                f"algorithm {self.base_algorithm!r} cannot run sharded: "
+                f"the cross-shard merge repairs with displacement "
+                f"chains, which requires a canonical linear-preference "
+                f"matcher (one whose matcher sets supports_repair)"
+            )
+        #: Stable cache-key component (see :mod:`repro.engine.cache`).
+        self.fingerprint = config_fingerprint(config)
+
+    @property
+    def backend(self) -> StorageBackend:
+        """A fresh instance of the plan's storage backend."""
+        return get_backend(self.config.backend)
+
+    @property
+    def is_sharded(self) -> bool:
+        """Whether serving fans out over shard workers."""
+        return self.shards > 1
+
+    def prepare(self, objects: Dataset) -> "PreparedMatching":
+        """Stage one object set into warm, servable state."""
+        return PreparedMatching(self, objects)
+
+    def open_session(self, objects: Dataset, functions: Sequence,
+                     on_change=None):
+        """Open a dynamic session under this plan's configuration.
+
+        Same contract as :meth:`repro.MatchingEngine.open_session` (the
+        facade delegates here): 1-1 only, single-process only, and the
+        algorithm must support incremental repair. ``on_change`` is
+        forwarded to the session (used by
+        :meth:`PreparedMatching.open_session` for cache invalidation).
+        """
+        from ..dynamic import DynamicMatcher
+
+        config = self.config
+        if config.capacities is not None:
+            raise MatchingError(
+                "dynamic sessions do not support capacitated matching; "
+                "open the session without capacities"
+            )
+        if config.shards > 1:
+            raise MatchingError(
+                "dynamic sessions are single-process; open the session "
+                "with shards=1 (sharded matching is for one-shot match())"
+            )
+        if not algorithm_supports_repair(config.algorithm):
+            raise MatchingError(
+                f"algorithm {config.algorithm!r} does not support "
+                f"incremental repair; choose one whose matcher sets "
+                f"supports_repair"
+            )
+        # The session owns all physical tree churn: matchers must not
+        # delete objects out from under it.
+        session_config = config.replace(deletion_mode="filter")
+        problem = get_backend(session_config.backend).build_problem(
+            objects, functions, session_config
+        )
+        return DynamicMatcher(
+            problem, session_config, backend_name=self.backend_name,
+            on_change=on_change,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fan_out = f", shards={self.shards}" if self.is_sharded else ""
+        return (
+            f"MatchingPlan(algorithm={self.algorithm!r}, "
+            f"backend={self.backend_name!r}{fan_out}, "
+            f"fingerprint={self.fingerprint!r})"
+        )
+
+
+class PreparedMatching:
+    """Warm, servable state for one plan × one object set.
+
+    Owns everything a repeated request should not re-pay:
+
+    * the capacity-expanded dataset and virtual-owner fold-back map;
+    * the staged problem — a real backend staging on the single-process
+      path, a *deferred* one on the sharded path (shard workers build
+      their own trees; the parent tree is never bulk-loaded);
+    * the precomputed Hilbert partition and a persistent
+      :class:`~repro.parallel.ShardWorkerPool` (workers spawn once, and
+      their shard stagings are cached worker-side across runs);
+    * the keyed LRU result cache (:class:`~repro.engine.cache.ResultCache`).
+
+    Obtain via :meth:`MatchingPlan.prepare`; serve with :meth:`run`.
+    A bound dynamic session (:meth:`open_session`) keeps the prepared
+    state honest: object events bump :attr:`objects_version` — which
+    invalidates every cached result for the old object state — and the
+    next :meth:`run` restages from the session's surviving objects.
+    """
+
+    def __init__(self, plan: MatchingPlan, objects: Dataset) -> None:
+        self.plan = plan
+        config = plan.config
+        #: The caller's object set (pre-expansion; capacity fold-back
+        #: reports against these ids).
+        self.objects = objects
+        #: Cache-key component: bumped whenever the served object set
+        #: changes (session events, restages from a session).
+        self.objects_version = 0
+        #: Problem stagings performed (1 after construction; +1 per
+        #: restage after destructive-matcher damage or session churn).
+        self.stagings = 0
+        self.cache = ResultCache(config.cache_size)
+        self._pool = None
+        self._session = None
+        self._session_dirty = False
+        self._closed = False
+        self._stage(objects)
+
+    # ------------------------------------------------------------------
+    # Staging
+    # ------------------------------------------------------------------
+    def _stage(self, objects: Dataset) -> None:
+        """(Re)stage the object set into backend + partition state."""
+        config = self.plan.config
+        self._virtual_owner: Optional[List[int]] = None
+        expanded = objects
+        if config.capacities is not None:
+            expanded, self._virtual_owner = expand_capacities(
+                objects, config.capacities
+            )
+        self._expanded = expanded
+        backend = self.plan.backend
+        self._sharded = self.plan.is_sharded and len(expanded) > 1
+        if self._sharded:
+            from ..parallel import hilbert_ranges
+
+            self._problem = _DeferredProblem(
+                _DeferredState(backend, expanded, config)
+            )
+            self._parts = hilbert_ranges(
+                list(expanded.items()), self.plan.shards
+            )
+        else:
+            self._problem = backend.build_problem(expanded, [], config)
+            self._parts = None
+        self._drop_worker_stagings()
+        self._token = next(_STAGING_TOKENS)
+        self.stagings += 1
+
+    def _drop_worker_stagings(self) -> None:
+        """Free this staging epoch's in-process worker shard caches."""
+        token = getattr(self, "_token", None)
+        if token is not None:
+            from ..parallel.shard import purge_staged_shards
+
+            purge_staged_shards(token)
+
+    def _ensure_fresh(self) -> None:
+        """Restage when the warm state went stale.
+
+        Two staleness sources: a bound session's object churn (restage
+        from the surviving objects), and a ``deletion_mode="delete"``
+        matcher having consumed part of the staged tree on the previous
+        run (rebuild it, exactly like the facade's historical staged
+        cache did).
+        """
+        if self._session is not None and self._session_dirty:
+            self.objects = self._session.objects()  # flushes the session
+            self._stage(self.objects)
+            self._session_dirty = False
+            return
+        problem = self._problem
+        if self._sharded:
+            return  # the parent tree (if any) is never mutated
+        if problem.tree.num_objects != len(problem.objects):
+            self._problem = problem.rebuild()
+            self.stagings += 1
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    @property
+    def pool(self):
+        """The persistent shard worker pool (created on first use)."""
+        if self._pool is None:
+            from ..parallel import ShardWorkerPool
+
+            config = self.plan.config
+            self._pool = ShardWorkerPool(
+                executor=config.executor, max_workers=config.max_workers,
+            )
+        return self._pool
+
+    @property
+    def parent_tree_built(self) -> bool:
+        """Whether a full-dataset parent tree was ever bulk-loaded.
+
+        ``False`` on the warm sharded path — the ROADMAP's "skip the
+        parent-problem bulk load" — since merge/repair read only
+        ``problem.objects``.
+        """
+        if isinstance(self._problem, _DeferredProblem):
+            return self._problem.tree_built
+        return True
+
+    def _create_matcher(self, problem,
+                        search_stats: Optional[SearchStats] = None):
+        config = self.plan.config
+        if self.plan.is_sharded:
+            # Even degenerate workloads (one object, no functions) route
+            # through the sharded matcher, whose delegation path keeps
+            # the result's name and counter set consistent.
+            from ..parallel import ShardedMatcher
+
+            return ShardedMatcher(
+                problem, config,
+                base_algorithm=self.plan.base_algorithm,
+                shards=self.plan.shards,
+                search_stats=search_stats,
+                pool=self.pool, staging_token=self._token,
+                parts=self._parts,
+            )
+        return create_matcher(
+            self.plan.algorithm, problem, config,
+            search_stats=search_stats,
+        )
+
+    def run(self, functions: Sequence) -> MatchResult:
+        """Serve one preference workload against the warm state.
+
+        Pair-identical to a cold ``repro.match(objects, functions,
+        config=...)`` on the current object set. Repeated identical
+        workloads are answered from the result cache (the *same*
+        :class:`~repro.engine.result.MatchResult` object is returned —
+        treat served results as immutable).
+        """
+        if self._closed:
+            raise MatchingError("PreparedMatching is closed")
+        functions = list(functions)
+        # The key is correct before any restage: session events bump
+        # objects_version at submission time, so a stale staging can
+        # only ever be consulted by a key that misses.
+        key = (
+            self.plan.fingerprint, self.objects_version,
+            prefs_digest(functions),
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        self._ensure_fresh()
+        result = self._run_cold(functions)
+        self.cache.put(key, result)
+        return result
+
+    def _run_cold(self, functions: List) -> MatchResult:
+        """One actual matching run (the facade's historical hot loop)."""
+        config = self.plan.config
+        problem = self._problem.with_functions(functions)
+        problem.reset_io()
+        matcher = self._create_matcher(problem)
+
+        start = time.perf_counter()
+        pairs = list(matcher.pairs())
+        cpu_seconds = time.perf_counter() - start
+
+        capacities = None
+        if self._virtual_owner is not None:
+            virtual_owner = self._virtual_owner
+            pairs = [
+                MatchPair(
+                    pair.function_id, virtual_owner[pair.object_id],
+                    pair.score, round=pair.round, rank=pair.rank,
+                )
+                for pair in pairs
+            ]
+            capacities = {
+                object_id: int(config.capacities.get(object_id, 1))
+                for object_id, _ in self.objects.items()
+            }
+        matched = {pair.function_id for pair in pairs}
+        unmatched = [
+            function.fid for function in functions
+            if function.fid not in matched
+        ]
+        stats = {"rounds": getattr(matcher, "rounds", 0)}
+        for counter in ("top1_searches", "reverse_top1_queries"):
+            value = getattr(matcher, counter, 0)
+            if value:
+                stats[counter] = value
+        if getattr(matcher, "shards_used", 0):
+            for counter in _SHARD_COUNTERS:
+                stats[counter] = getattr(matcher, counter, 0)
+        return MatchResult(
+            pairs,
+            unmatched_functions=unmatched,
+            unmatched_objects_count=len(problem.objects) - len(pairs),
+            algorithm=getattr(matcher, "name", config.algorithm),
+            backend=self.plan.backend_name,
+            capacities=capacities,
+            io=problem.io_stats.snapshot(),
+            cpu_seconds=cpu_seconds,
+            seed=config.seed,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic integration
+    # ------------------------------------------------------------------
+    def open_session(self, functions: Sequence):
+        """Open a dynamic session bound to this prepared state.
+
+        The session maintains its own matching under streaming events
+        (see :class:`~repro.dynamic.DynamicMatcher`); binding it here
+        additionally keeps the serving cache honest: every
+        ``insert_object``/``delete_object`` event bumps
+        :attr:`objects_version` — so cached results for the old object
+        state can never be served again — and the next :meth:`run`
+        restages from the session's surviving objects. Function-only
+        events (``add_function``/``remove_function``) change nothing a
+        served workload depends on and leave the cache intact.
+        """
+        session = self.plan.open_session(
+            self.objects, functions, on_change=self._on_session_event,
+        )
+        self._session = session
+        self._session_dirty = False
+        return session
+
+    def _on_session_event(self, event) -> None:
+        from ..dynamic.events import DeleteObject, InsertObject
+
+        if isinstance(event, (InsertObject, DeleteObject)):
+            self.objects_version += 1
+            self._session_dirty = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Manually mark every cached result stale (version bump)."""
+        self.objects_version += 1
+
+    def close(self) -> None:
+        """Release warm state; further :meth:`run` calls error.
+
+        Shuts the worker pool down (process workers' shard caches die
+        with it) and purges this staging's entries from the in-process
+        shard cache the serial/thread executors share.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._drop_worker_stagings()
+        self._closed = True
+
+    def __enter__(self) -> "PreparedMatching":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PreparedMatching(|O|={len(self.objects)}, "
+            f"plan={self.plan.algorithm!r}@{self.plan.backend_name!r}, "
+            f"version={self.objects_version}, cache={self.cache.info()})"
+        )
+
+
+def plan(config: Optional[MatchingConfig] = None, **overrides) -> MatchingPlan:
+    """Compile a matching configuration into a :class:`MatchingPlan`.
+
+    The serving-path front door: accepts exactly the surface of
+    :class:`~repro.engine.config.MatchingConfig` (a full ``config=``, or
+    keyword fields, or both — keywords win) and fails fast on anything
+    a run could not execute.
+
+    Examples
+    --------
+    >>> import repro
+    >>> plan = repro.plan(algorithm="chain", backend="memory")
+    >>> objects = repro.generate_independent(n=100, dims=2, seed=31)
+    >>> prepared = plan.prepare(objects)
+    >>> prefs = repro.generate_preferences(n=4, dims=2, seed=32)
+    >>> len(prepared.run(prefs))
+    4
+    """
+    return MatchingPlan(config, **overrides)

@@ -1,0 +1,152 @@
+"""`MatchingService`: the request-level serving API.
+
+Where :func:`repro.match` is a batch call and
+:class:`~repro.engine.plan.PreparedMatching` is the warm machinery, a
+:class:`MatchingService` is the thing you put in front of traffic: one
+object set behind one compiled plan, answering a *stream* of preference
+workloads through :meth:`MatchingService.submit` with per-request
+accounting (cache hits, cold runs, wall time) and a bound dynamic
+session for object churn.
+
+The service adds no matching semantics of its own — every answer is
+pair-identical to a cold ``repro.match()`` on the current object set —
+it only decides *what work can be skipped*: staging is paid once at
+construction, shard workers are spawned once, and repeated workloads
+are answered from the keyed LRU cache.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence
+
+from ..data import Dataset
+from .config import MatchingConfig
+from .plan import MatchingPlan, PreparedMatching
+from .result import MatchResult
+
+
+class MatchingService:
+    """A serving endpoint: one prepared object set, many workloads.
+
+    Parameters
+    ----------
+    objects:
+        The object set to serve (staged once, at construction).
+    config / overrides:
+        The run configuration, exactly as :func:`repro.match` accepts
+        it; alternatively pass a pre-compiled ``plan=``.
+    plan:
+        An existing :class:`~repro.engine.plan.MatchingPlan` to serve
+        under (mutually exclusive with ``config``/overrides).
+
+    Examples
+    --------
+    >>> import repro
+    >>> objects = repro.generate_independent(n=200, dims=2, seed=41)
+    >>> service = repro.MatchingService(objects, algorithm="sb",
+    ...                                 backend="memory")
+    >>> prefs = repro.generate_preferences(n=6, dims=2, seed=42)
+    >>> first = service.submit(prefs)
+    >>> second = service.submit(prefs)        # served from cache
+    >>> second is first
+    True
+    >>> info = service.stats
+    >>> (info["requests"], info["cache_hits"], info["cold_runs"])
+    (2, 1, 1)
+    >>> service.submit(prefs).as_set() == repro.match(
+    ...     objects, prefs, backend="memory").as_set()
+    True
+    >>> service.close()
+    """
+
+    def __init__(self, objects: Dataset,
+                 config: Optional[MatchingConfig] = None, *,
+                 plan: Optional[MatchingPlan] = None, **overrides) -> None:
+        if plan is not None and (config is not None or overrides):
+            raise ValueError(
+                "pass either a compiled plan= or config/keyword "
+                "overrides, not both"
+            )
+        if plan is None:
+            plan = MatchingPlan(config, **overrides)
+        #: The compiled plan this service runs under.
+        self.plan = plan
+        #: The warm state serving every request.
+        self.prepared: PreparedMatching = plan.prepare(objects)
+        #: Requests answered (hits and cold runs alike).
+        self.requests = 0
+        #: Cumulative wall seconds inside :meth:`submit`.
+        self.serve_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(self, functions: Sequence) -> MatchResult:
+        """Answer one preference workload.
+
+        Returns the stable matching of ``functions`` against the
+        service's current object set — from the result cache when this
+        exact workload (and object state) was served before, via a warm
+        run otherwise. Served results are shared objects: treat them as
+        immutable.
+        """
+        start = time.perf_counter()
+        result = self.prepared.run(functions)
+        self.serve_seconds += time.perf_counter() - start
+        self.requests += 1
+        return result
+
+    @property
+    def stats(self) -> Dict[str, float]:
+        """Serving counters: requests, cache hits/misses, stagings.
+
+        ``cold_runs`` counts requests that executed a matcher;
+        ``cache_hits`` the ones answered from the LRU. ``stagings`` is
+        how many times the object set was (re)staged — 1 until churn or
+        a destructive matcher forces a rebuild.
+        """
+        cache = self.prepared.cache.info()
+        return {
+            "requests": self.requests,
+            "cache_hits": cache["hits"],
+            "cold_runs": cache["misses"],
+            "cache_size": cache["size"],
+            "cache_evictions": cache["evictions"],
+            "stagings": self.prepared.stagings,
+            "objects_version": self.prepared.objects_version,
+            "serve_seconds": self.serve_seconds,
+        }
+
+    # ------------------------------------------------------------------
+    # Object churn
+    # ------------------------------------------------------------------
+    def open_session(self, functions: Sequence):
+        """Open a dynamic session bound to this service's object set.
+
+        Events on the session (object inserts/deletes) invalidate the
+        service's cached results and make the next :meth:`submit`
+        serve the surviving object set. See
+        :meth:`~repro.engine.plan.PreparedMatching.open_session`.
+        """
+        return self.prepared.open_session(functions)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release warm state (worker pool); the service stops serving."""
+        self.prepared.close()
+
+    def __enter__(self) -> "MatchingService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MatchingService(plan={self.plan.algorithm!r}"
+            f"@{self.plan.backend_name!r}, |O|={len(self.prepared.objects)}, "
+            f"requests={self.requests})"
+        )

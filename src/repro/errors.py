@@ -22,6 +22,14 @@ class PageNotFoundError(StorageError):
         super().__init__(f"page {page_id} does not exist on the simulated disk")
         self.page_id = page_id
 
+    def __reduce__(self):
+        # Rebuild from the original arguments: the default exception
+        # reduction passes ``self.args`` (the message) back into this
+        # multi-argument __init__, which breaks unpickling — and an
+        # exception that cannot unpickle kills a process pool instead
+        # of propagating from the worker that raised it.
+        return (type(self), (self.page_id,))
+
 
 class PageSizeError(StorageError):
     """Raised when page payloads do not fit the configured page size."""
@@ -37,6 +45,11 @@ class EntryNotFoundError(RTreeError):
     def __init__(self, object_id: int) -> None:
         super().__init__(f"object {object_id} is not stored in the R-tree")
         self.object_id = object_id
+
+    def __reduce__(self):
+        # See PageNotFoundError.__reduce__: keep worker-raised
+        # instances picklable across process-pool boundaries.
+        return (type(self), (self.object_id,))
 
 
 class SerializationError(RTreeError):
@@ -56,6 +69,12 @@ class DimensionalityError(ReproError):
         )
         self.expected = expected
         self.got = got
+        self.what = what
+
+    def __reduce__(self):
+        # See PageNotFoundError.__reduce__: keep worker-raised
+        # instances picklable across process-pool boundaries.
+        return (type(self), (self.expected, self.got, self.what))
 
 
 class MatchingError(ReproError):

@@ -31,7 +31,7 @@ backend; only the wall clock changes. Use it through the facade::
     engine = repro.MatchingEngine(shards=8, executor="process")
 """
 
-from .executors import available_executors, run_shard_tasks
+from .executors import ShardWorkerPool, available_executors, run_shard_tasks
 from .matcher import DEFAULT_SHARDS, ShardedMatcher, is_sharded_algorithm
 from .merge import cross_shard_repair, merge_shard_pairs
 from .partition import hilbert_ranges
@@ -41,6 +41,7 @@ __all__ = [
     "DEFAULT_SHARDS",
     "ShardOutcome",
     "ShardTask",
+    "ShardWorkerPool",
     "ShardedMatcher",
     "available_executors",
     "cross_shard_repair",

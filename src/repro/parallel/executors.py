@@ -37,47 +37,154 @@ def available_executors() -> tuple:
     return tuple(EXECUTORS)
 
 
-def _run_pool(tasks: Sequence[ShardTask], pool_class,
-              max_workers: int) -> List[ShardOutcome]:
-    with pool_class(max_workers=max_workers) as pool:
-        return list(pool.map(run_shard_task, tasks))
+class ShardWorkerPool:
+    """A persistent shard executor, reused across matching runs.
 
+    ``run_shard_tasks`` spins a pool up and tears it down per call —
+    fine for a one-shot ``match()``, pure overhead for a serving path
+    that fans out the same shards every request (process startup alone
+    can rival a small shard's matching time). A ``ShardWorkerPool`` is
+    owned by a :class:`~repro.engine.plan.PreparedMatching`: the
+    underlying executor is created on first use and reused for every
+    subsequent run until :meth:`close`.
 
-def run_shard_tasks(tasks: Sequence[ShardTask], executor: str = "process",
-                    max_workers: Optional[int] = None,
-                    ) -> List[ShardOutcome]:
-    """Run every shard task under the named executor, in shard order."""
-    if executor not in EXECUTORS:
-        raise MatchingError(
-            f"executor must be one of {EXECUTORS}, got {executor!r}"
+    ``spawn_count`` records how many times an underlying pool was
+    actually constructed — the serving tests assert it stays at 1 across
+    repeated runs. The process executor degrades to serial execution
+    (permanently, with a warning) on platforms that cannot spawn
+    workers, exactly like :func:`run_shard_tasks`.
+    """
+
+    def __init__(self, executor: str = "process",
+                 max_workers: Optional[int] = None) -> None:
+        if executor not in EXECUTORS:
+            raise MatchingError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise MatchingError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.executor = executor
+        self.max_workers = max_workers
+        self._pool = None
+        #: Underlying executor constructions (1 after the first parallel
+        #: run; stays 1 for the pool's whole life).
+        self.spawn_count = 0
+        #: Task batches served (parallel or serial alike).
+        self.runs = 0
+        self._closed = False
+
+    def _ensure_pool(self, num_tasks: int):
+        if self._pool is None:
+            workers = (
+                self.max_workers if self.max_workers is not None
+                else num_tasks
+            )
+            workers = max(1, workers)
+            if self.executor == "thread":
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._pool = ThreadPoolExecutor(max_workers=workers)
+            else:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(max_workers=workers)
+            self.spawn_count += 1
+        return self._pool
+
+    def run(self, tasks: Sequence[ShardTask]) -> List[ShardOutcome]:
+        """Run one batch of shard tasks, in shard order."""
+        if self._closed:
+            raise MatchingError("ShardWorkerPool is closed")
+        tasks = list(tasks)
+        self.runs += 1
+        if not tasks:
+            return []
+        workers = (
+            self.max_workers if self.max_workers is not None else len(tasks)
         )
-    tasks = list(tasks)
-    if not tasks:
-        return []
-    workers = max_workers if max_workers is not None else len(tasks)
-    workers = max(1, min(workers, len(tasks)))
-    if executor == "serial" or workers == 1 or len(tasks) == 1:
-        return [run_shard_task(task) for task in tasks]
-    if executor == "thread":
-        from concurrent.futures import ThreadPoolExecutor
-
-        return _run_pool(tasks, ThreadPoolExecutor, workers)
-    try:
-        from concurrent.futures import ProcessPoolExecutor
-        from concurrent.futures.process import BrokenProcessPool
-
+        if (self.executor == "serial" or len(tasks) == 1
+                or max(1, workers) == 1):
+            return [run_shard_task(task) for task in tasks]
+        if self.executor == "thread":
+            pool = self._ensure_pool(len(tasks))
+            return list(pool.map(run_shard_task, tasks))
         try:
-            return _run_pool(tasks, ProcessPoolExecutor, workers)
-        except (BrokenProcessPool, OSError, PermissionError) as error:
+            from concurrent.futures.process import BrokenProcessPool
+        except ImportError:  # pragma: no cover - exotic platforms
+            BrokenProcessPool = OSError
+        try:
+            pool = self._ensure_pool(len(tasks))
+            return list(pool.map(run_shard_task, tasks))
+        except (BrokenProcessPool, OSError, PermissionError,
+                ImportError) as error:
+            # Platform-level pool failure only: a task-level error —
+            # bad input, a bug — must propagate, not silently degrade
+            # the pool to serial for the rest of its life.
+            self._abandon_pool()
+            self.executor = "serial"
             warnings.warn(
                 f"process executor unavailable ({error!r}); "
                 f"falling back to serial shard execution",
                 RuntimeWarning, stacklevel=2,
             )
-    except ImportError as error:  # pragma: no cover - exotic platforms
-        warnings.warn(
-            f"process pools not importable ({error!r}); "
-            f"falling back to serial shard execution",
-            RuntimeWarning, stacklevel=2,
+            return [run_shard_task(task) for task in tasks]
+
+    def _abandon_pool(self, wait: bool = False) -> None:
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=wait)
+            except Exception:  # pragma: no cover - defensive
+                pass
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut the underlying executor down (idempotent).
+
+        Waits for the workers to exit — an abandoned half-shutdown
+        executor leaves interpreter-exit hooks poking closed pipes.
+        The no-wait teardown is reserved for the fallback path and GC.
+        """
+        self._abandon_pool(wait=True)
+        self._closed = True
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self._abandon_pool()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else (
+            "live" if self._pool is not None else "idle"
         )
-    return [run_shard_task(task) for task in tasks]
+        return (
+            f"ShardWorkerPool(executor={self.executor!r}, {state}, "
+            f"spawns={self.spawn_count}, runs={self.runs})"
+        )
+
+
+def run_shard_tasks(tasks: Sequence[ShardTask], executor: str = "process",
+                    max_workers: Optional[int] = None,
+                    ) -> List[ShardOutcome]:
+    """Run every shard task under the named executor, in shard order.
+
+    One-shot convenience over :class:`ShardWorkerPool` — the pool is
+    created and torn down around the single batch, so both the one-shot
+    and the persistent serving path share one copy of the dispatch and
+    platform-fallback policy.
+    """
+    tasks = list(tasks)
+    workers = max_workers if max_workers is not None else len(tasks)
+    with ShardWorkerPool(
+        executor=executor,
+        max_workers=max(1, min(workers, max(1, len(tasks)))),
+    ) as pool:
+        return pool.run(tasks)

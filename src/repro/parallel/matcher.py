@@ -70,7 +70,9 @@ class ShardedMatcher(Matcher):
                  base_algorithm: Optional[str] = None,
                  shards: Optional[int] = None,
                  executor: Optional[str] = None,
-                 search_stats: Optional[SearchStats] = None) -> None:
+                 search_stats: Optional[SearchStats] = None,
+                 pool=None, staging_token: Optional[int] = None,
+                 parts=None) -> None:
         super().__init__(problem, search_stats=search_stats)
         if base_algorithm is None:
             base_algorithm = config.algorithm
@@ -109,6 +111,16 @@ class ShardedMatcher(Matcher):
         self.shards = shards
         self.executor = executor if executor is not None else config.executor
         self.config = config
+        #: Optional persistent :class:`~repro.parallel.ShardWorkerPool`
+        #: (plan-scoped); ``None`` spins an executor up per run.
+        self.pool = pool
+        #: Staging epoch for the worker-side shard-problem cache; tasks
+        #: carry ``(token, shard index)`` keys so workers reuse their
+        #: bulk-loaded trees across runs of the same prepared matching.
+        self.staging_token = staging_token
+        #: Precomputed Hilbert partition (a serving-path warm asset);
+        #: ``None`` partitions on the fly.
+        self._parts = parts
         # Aggregated counters, populated when pairs() is consumed.
         self.rounds = 0
         self.top1_searches = 0
@@ -117,6 +129,7 @@ class ShardedMatcher(Matcher):
         self.merge_displaced = 0
         self.repair_chains = 0
         self.repair_steals = 0
+        self.shard_stagings = 0
         self.shard_outcomes: List[ShardOutcome] = []
         self.shard_seconds: List[float] = []
         self.merge_seconds = 0.0
@@ -161,19 +174,29 @@ class ShardedMatcher(Matcher):
             self.shards_used = 1
             return
 
-        parts = hilbert_ranges(items, self.shards)
+        parts = (
+            self._parts if self._parts is not None
+            else hilbert_ranges(items, self.shards)
+        )
         tasks = [
             ShardTask(
                 index=index, dims=problem.objects.dims,
                 items=tuple(part), functions=functions,
                 config=worker_config,
+                staging_key=(
+                    (self.staging_token, index)
+                    if self.staging_token is not None else None
+                ),
             )
             for index, part in enumerate(parts) if part
         ]
-        outcomes = run_shard_tasks(
-            tasks, executor=self.executor,
-            max_workers=self.config.max_workers,
-        )
+        if self.pool is not None:
+            outcomes = self.pool.run(tasks)
+        else:
+            outcomes = run_shard_tasks(
+                tasks, executor=self.executor,
+                max_workers=self.config.max_workers,
+            )
 
         merge_start = time.perf_counter()
         merged, displaced = merge_shard_pairs(
@@ -189,6 +212,9 @@ class ShardedMatcher(Matcher):
         self.shard_outcomes = outcomes
         self.shard_seconds = [outcome.seconds for outcome in outcomes]
         self.shards_used = len(outcomes)
+        self.shard_stagings = sum(
+            1 for outcome in outcomes if outcome.staged
+        )
         self.merge_displaced = len(displaced)
         self.repair_chains = repair.stats.chains
         self.repair_steals = repair.stats.steals

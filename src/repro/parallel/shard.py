@@ -31,13 +31,23 @@ Point = Tuple[float, ...]
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One shard's staging-and-matching assignment (picklable)."""
+    """One shard's staging-and-matching assignment (picklable).
+
+    ``staging_key`` (optional) is a ``(staging token, shard index)``
+    pair identifying one staging epoch of one prepared matching. Workers
+    keep the shard problem they staged for a key and reuse it — tree
+    bulk-loaded once, matched many times — until a task arrives with a
+    different token (the prepared matching restaged: its objects
+    changed), at which point stale entries are dropped. ``None`` keeps
+    the classic stage-per-call behaviour.
+    """
 
     index: int
     dims: int
     items: Tuple[Tuple[int, Point], ...]
     functions: Tuple[LinearPreference, ...]
     config: MatchingConfig
+    staging_key: Optional[Tuple[int, int]] = None
 
 
 @dataclass
@@ -54,24 +64,74 @@ class ShardOutcome:
     reverse_top1_queries: int = 0
     seconds: float = 0.0
     num_objects: int = 0
+    #: Whether this run bulk-loaded the shard tree (False: a warm,
+    #: worker-cached staging was reused).
+    staged: bool = True
 
 
-def run_shard_task(task: ShardTask) -> ShardOutcome:
-    """Stage one shard on its backend and run the base algorithm.
+#: Worker-resident staging cache: ``staging_key -> staged problem``.
+#: Lives for the worker's lifetime (the persistent pool's point).
+#: Entries are grouped by staging token (one token per prepared
+#: matching per staging epoch); the most recently *used* tokens are
+#: kept, so several live prepared matchings sharing one process
+#: (serial/thread executors) do not thrash each other's warm trees.
+#: Memory: one token's shards partition one dataset, so a token costs
+#: about one staged copy of its dataset per process; the token LRU
+#: bounds the total at :data:`_MAX_STAGED_TOKENS` datasets. (Process
+#: pools have no task→worker affinity, so a worker warms a shard only
+#: once it has staged it — reuse there improves over successive runs
+#: rather than being total; serial/thread reuse is deterministic.)
+_STAGED_SHARDS: dict = {}
 
-    Empty shards (no objects) and empty function sets short-circuit to
-    an empty outcome without touching the storage layer.
+#: Recently-used staging tokens, oldest first (values unused). Bounds
+#: how many prepared matchings' shard trees one worker keeps warm.
+_STAGED_TOKENS: dict = {}
+_MAX_STAGED_TOKENS = 4
+
+
+def _touch_token(token: int) -> None:
+    """Mark a token used; evict entire stale token generations."""
+    _STAGED_TOKENS.pop(token, None)
+    _STAGED_TOKENS[token] = None
+    while len(_STAGED_TOKENS) > _MAX_STAGED_TOKENS:
+        # next(iter(...)) under the GIL; tolerate a concurrent pop.
+        try:
+            stale = next(iter(_STAGED_TOKENS))
+        except StopIteration:  # pragma: no cover - concurrent drain
+            break
+        purge_staged_shards(stale)
+
+
+def purge_staged_shards(token: int) -> None:
+    """Drop one token's cached shard problems from *this* process.
+
+    Called on token eviction and by ``PreparedMatching.close()`` (where
+    it frees the serial/thread executors' in-process cache; process
+    workers free theirs when the pool shuts down). Snapshot + pop so
+    concurrent thread-pool workers can insert or evict safely.
     """
-    # Imported here (not at module top) to keep the worker import
-    # footprint honest under spawn-style pools.
+    _STAGED_TOKENS.pop(token, None)
+    for key in [k for k in list(_STAGED_SHARDS) if k[0] == token]:
+        _STAGED_SHARDS.pop(key, None)
+
+
+def _staged_problem(task: ShardTask):
+    """The shard's staged problem: worker-cached when the task has a
+    staging key, freshly built otherwise. Returns ``(problem, staged)``
+    where ``staged`` says whether a bulk load was paid."""
     from ..engine.backends import get_backend
-    from ..engine.registry import create_matcher
 
-    outcome = ShardOutcome(index=task.index, num_objects=len(task.items))
-    if not task.items or not task.functions:
-        return outcome
-
-    start = time.perf_counter()
+    if task.staging_key is not None:
+        _touch_token(task.staging_key[0])
+        cached = _STAGED_SHARDS.get(task.staging_key)
+        if cached is not None:
+            if cached.tree.num_objects != len(cached.objects):
+                # A deletion_mode="delete" base matcher consumed the
+                # warm tree on the previous run; restore it.
+                cached = cached.rebuild()
+                _STAGED_SHARDS[task.staging_key] = cached
+                return cached, True
+            return cached, False
     dataset = Dataset.from_mapping(
         {object_id: point for object_id, point in task.items},
         task.dims, name=f"shard-{task.index}",
@@ -79,6 +139,28 @@ def run_shard_task(task: ShardTask) -> ShardOutcome:
     problem = get_backend(task.config.backend).build_problem(
         dataset, list(task.functions), task.config
     )
+    if task.staging_key is not None:
+        _STAGED_SHARDS[task.staging_key] = problem
+    return problem, True
+
+
+def run_shard_task(task: ShardTask) -> ShardOutcome:
+    """Stage (or reuse) one shard on its backend and run the matcher.
+
+    Empty shards (no objects) and empty function sets short-circuit to
+    an empty outcome without touching the storage layer.
+    """
+    # Imported here (not at module top) to keep the worker import
+    # footprint honest under spawn-style pools.
+    from ..engine.registry import create_matcher
+
+    outcome = ShardOutcome(index=task.index, num_objects=len(task.items))
+    if not task.items or not task.functions:
+        return outcome
+
+    start = time.perf_counter()
+    staged, outcome.staged = _staged_problem(task)
+    problem = staged.with_functions(list(task.functions))
     problem.reset_io()
     matcher = create_matcher(
         task.config.algorithm, problem, task.config,

@@ -52,23 +52,43 @@ def sfs_skyline(items: Sequence[Tuple[int, Point]],
     """Sort-filter-skyline; output sorted by object id.
 
     Points are visited in decreasing coordinate-sum order (ties by id), so
-    a point's dominators always precede it: a single weak-dominance pass
-    against the accumulated window suffices, with no evictions.
+    a point's dominators precede it and a single weak-dominance pass
+    against the accumulated window suffices — *almost*: strict dominance
+    guarantees a strictly greater sum in real arithmetic, but the float
+    sum can round the two equal (a subnormal coordinate vanishing into
+    1.0, say), letting a dominator sort *after* its victim. Because
+    float addition is monotone, a dominator's sum can never round below
+    its victim's — so an admitted point checks for members to evict
+    only among exact sum ties, and the classic no-eviction fast path is
+    untouched everywhere else.
     """
     ordered = sorted(
         items, key=lambda pair: (-sum(pair[1]), pair[0])
     )
-    window: List[Tuple[int, Point]] = []
+    window: List[Tuple[int, Point, float]] = []
     for object_id, point in ordered:
         point = tuple(point)
+        point_sum = sum(point)
         dominated = False
-        for _, member in window:
+        for _, member, _member_sum in window:
             if stats is not None:
                 stats.dominance_checks += 1
             if weakly_dominates(member, point):
                 dominated = True
                 break
-        if not dominated:
-            window.append((object_id, point))
-    window.sort(key=lambda pair: pair[0])
-    return window
+        if dominated:
+            continue
+        if window and window[-1][2] == point_sum:
+            survivors = []
+            for member_id, member, member_sum in window:
+                if member_sum == point_sum:
+                    if stats is not None:
+                        stats.dominance_checks += 1
+                    if dominates(point, member):
+                        continue
+                survivors.append((member_id, member, member_sum))
+            window = survivors
+        window.append((object_id, point, point_sum))
+    result = [(object_id, point) for object_id, point, _ in window]
+    result.sort(key=lambda pair: pair[0])
+    return result

@@ -116,9 +116,15 @@ def recompute_with_pruning(tree: RTree, state: SkylineState,
         if is_point:
             # Drop members this point dominates (float key-tie corner
             # case; see bbs._admit_point). Without plists they are simply
-            # rediscovered by the next re-traversal.
+            # rediscovered by the next re-traversal. A victim admitted
+            # earlier in this same pass is no longer a member, so it
+            # must leave the admitted list too.
             for victim in state.dominated_members(entry.mbr.low):
                 state.remove(victim)
+                try:
+                    admitted.remove(victim)
+                except ValueError:
+                    pass
             state.add(child, entry.mbr.low)
             admitted.append(child)
             continue

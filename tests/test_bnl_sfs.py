@@ -77,3 +77,17 @@ def test_mixed_duplicates_and_dominance():
     assert [oid for oid, _ in want] == [2, 3, 4]
     assert bnl_skyline(items) == want
     assert sfs_skyline(items) == want
+
+
+def test_sfs_evicts_on_float_sum_collapse():
+    # Strict dominance guarantees a strictly greater coordinate sum in
+    # real arithmetic, but the float sum can round equal (a subnormal
+    # vanishing into 1.0), making the dominator sort *after* its victim
+    # in SFS's order. Regression: SFS must evict the victim anyway.
+    tiny = 1.1125369292536007e-308
+    items = [(0, (0.0, 1.0, 0.0)), (1, (0.0, 1.0, tiny))]
+    assert sum(items[0][1]) == sum(items[1][1])  # the collapse
+    want = canonical_skyline_naive(items)
+    assert [oid for oid, _ in want] == [1]
+    assert bnl_skyline(items) == want
+    assert sfs_skyline(items) == want

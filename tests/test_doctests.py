@@ -9,6 +9,7 @@ the documentation silently stopped being executable).
 """
 
 import doctest
+import importlib
 import inspect
 
 import pytest
@@ -19,10 +20,19 @@ import repro.engine.config
 import repro.engine.facade
 import repro.parallel.partition
 
+# importlib guarantees the actual submodules (immune to any package
+# attribute shadowing a submodule's name).
+engine_cache = importlib.import_module("repro.engine.cache")
+engine_plan = importlib.import_module("repro.engine.plan")
+engine_service = importlib.import_module("repro.engine.service")
+
 DOCUMENTED_MODULES = [
     repro,
     repro.engine.facade,
     repro.engine.config,
+    engine_cache,
+    engine_plan,
+    engine_service,
     repro.dynamic,
     repro.parallel.partition,
 ]

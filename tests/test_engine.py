@@ -308,8 +308,11 @@ def test_staged_reuse_with_capacities_keeps_expansion():
 
 
 def test_staged_cache_detects_in_place_function_replacement():
-    # Regression: the cache must not serve a stale problem when the
-    # caller mutates the functions list between calls.
+    # Regression: the engine must not serve a stale result when the
+    # caller mutates the functions list between calls. The prepared
+    # result cache keys workloads by function *content*, so the staging
+    # is reused (objects unchanged) while the changed workload runs
+    # fresh.
     objects, functions = tiny_workload(seed=85)
     functions = list(functions)
     engine = MatchingEngine(algorithm="sb", backend="memory")
@@ -319,7 +322,7 @@ def test_staged_cache_detects_in_place_function_replacement():
     )
     functions[0] = replacement
     result = engine.match(objects, functions)
-    assert engine.stagings == 2
+    assert engine.stagings == 1  # same objects: staged exactly once
     matched = {pair.function_id for pair in result.pairs}
     assert 999 in matched
 

@@ -85,6 +85,15 @@ def test_streaming_session_runs(capsys):
     assert "verified: session matching == from-scratch match()" in out
 
 
+def test_serving_runs(capsys):
+    module = load_example("serving")
+    module.main(n_listings=600, n_buyers=20, n_requests=15)
+    out = capsys.readouterr().out
+    assert "cache hits:" in out
+    assert "verified: served results == from-scratch repro.match()" in out
+    assert "cache invalidated" in out
+
+
 def test_examples_have_docstrings_and_main_guard():
     for path in sorted(EXAMPLES_DIR.glob("*.py")):
         source = path.read_text()

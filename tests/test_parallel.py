@@ -210,6 +210,54 @@ def test_open_session_rejects_sharded_configs():
 
 
 # ----------------------------------------------------------------------
+# Parent-problem bulk load is skipped on the sharded path
+# ----------------------------------------------------------------------
+def test_sharded_match_skips_parent_bulk_load(monkeypatch):
+    # The merge/repair pass reads only problem.objects, so the serving
+    # pipeline stages the parent problem *deferred*: only the K shard
+    # trees are ever bulk-loaded — and the result stays pair-identical.
+    objects, functions = tiny_workload(seed=66)
+    single = repro.match(objects, functions, backend="memory")
+
+    from repro.rtree import RTree
+
+    loads = []
+    original = RTree.bulk_load.__func__
+
+    def counting_bulk_load(cls, store, dims, items, **kwargs):
+        items = list(items)
+        loads.append(len(items))
+        return original(cls, store, dims, items, **kwargs)
+
+    monkeypatch.setattr(RTree, "bulk_load",
+                        classmethod(counting_bulk_load))
+    sharded = repro.match(objects, functions, backend="memory",
+                          shards=3, executor="serial")
+    assert assignments(sharded) == assignments(single)
+    # Three shard trees, no parent tree: 3 loads covering |O| once.
+    assert len(loads) == 3
+    assert sum(loads) == len(objects)
+
+
+def test_engine_sharded_serving_reuses_pool_and_shard_trees():
+    objects, _ = tiny_workload(seed=67)
+    engine = MatchingEngine(backend="memory", shards=3, executor="thread")
+    reference = MatchingEngine(backend="memory")
+    prefs = generate_preferences(10, 3, seed=400)
+    for round_number in range(5):
+        warm = engine.match(objects, prefs)
+        assert assignments(warm) == assignments(
+            reference.match(objects, prefs)
+        )
+    prepared = engine._prepared
+    assert not prepared.parent_tree_built
+    # One cold fan-out, then four cache hits — the pool spawned at most
+    # once and the shard trees were staged exactly once.
+    assert prepared.pool.spawn_count <= 1
+    assert prepared.cache.info()["hits"] == 4
+
+
+# ----------------------------------------------------------------------
 # ShardedMatcher guards
 # ----------------------------------------------------------------------
 def test_sharded_matcher_rejects_non_canonical_base():

@@ -14,10 +14,18 @@ import repro
 from repro.data import Dataset
 from repro.prefs import LinearPreference
 
-# Coarse grids maximize exact score ties and duplicate points.
+# Coarse grids maximize exact score ties and duplicate points. Fine
+# coordinates are rounded to 6 decimals: the library's canonical-tie
+# discipline assumes general position (score ties only between exact
+# duplicate points — see repro.dynamic.repair), and raw floats can
+# break it spuriously (a subnormal coordinate makes one point dominate
+# another while rounding their scores float-identical, a state no exact
+# arithmetic produces). A 1e-6 grid keeps differences representable
+# through every score sum while still exercising dense data and, after
+# rounding, exact duplicates.
 coarse = st.integers(min_value=0, max_value=3).map(lambda v: v / 3)
 fine = st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
-                 allow_infinity=False)
+                 allow_infinity=False).map(lambda v: round(v, 6))
 coordinate = st.one_of(coarse, fine)
 positive = st.floats(min_value=1e-6, max_value=1.0, allow_nan=False)
 
