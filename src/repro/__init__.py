@@ -39,6 +39,14 @@ state with a keyed result cache:
     >>> service.submit(prefs) is service.submit(prefs)  # cached repeats
     True
 
+Batches of requests share work — duplicates are computed once and
+linear misses are scored in one vectorized pass (``repro.plan`` and
+``MatchingRequest`` expose the lower-level knobs):
+
+    >>> batch = service.submit_many([prefs, prefs])
+    >>> batch[0] is batch[1]                # fanned-out, not recomputed
+    True
+
 ``repro.match`` accepts any registered algorithm
 (:func:`repro.available_algorithms`) and storage backend
 (:func:`repro.available_backends`); the lower-level classes
@@ -67,12 +75,15 @@ from .core import (
     verify_stable_matching,
 )
 from .engine import (
+    AsyncMatchingService,
     MatchingConfig,
     MatchingEngine,
     MatchingPlan,
+    MatchingRequest,
     MatchingService,
     MatchResult,
     PreparedMatching,
+    ServiceStats,
     algorithm_supports_repair,
     available_algorithms,
     available_backends,
@@ -114,12 +125,15 @@ __all__ = [
     "ChainMatcher",
     "GaleShapleyMatcher",
     "GenericSkylineMatcher",
+    "AsyncMatchingService",
     "MatchingConfig",
     "MatchingEngine",
     "MatchingPlan",
+    "MatchingRequest",
     "MatchingService",
     "MatchResult",
     "PreparedMatching",
+    "ServiceStats",
     "algorithm_supports_repair",
     "available_algorithms",
     "available_backends",

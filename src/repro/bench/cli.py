@@ -35,7 +35,8 @@ _PANELS = {
 
 
 def _expand(figure: str) -> List[str]:
-    if figure in ("ablations", "dynamic", "parallel", "serving"):
+    if figure in ("ablations", "dynamic", "parallel", "serving",
+                  "throughput"):
         return [figure]
     if figure == "all":
         return list(_PANELS)
@@ -45,7 +46,7 @@ def _expand(figure: str) -> List[str]:
         return [figure]
     raise SystemExit(
         f"unknown figure {figure!r}; choose from "
-        f"{['all', '2', '3', 'ablations', 'dynamic', 'parallel', 'serving'] + list(_PANELS)}"
+        f"{['all', '2', '3', 'ablations', 'dynamic', 'parallel', 'serving', 'throughput'] + list(_PANELS)}"
     )
 
 
@@ -60,9 +61,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "'dynamic' (incremental repair vs full "
                              "recompute under streaming updates), "
                              "'parallel' (sharded matching speedup over "
-                             "shard counts), or 'serving' (cold match() "
+                             "shard counts), 'serving' (cold match() "
                              "vs prepared.run() across algorithms x "
-                             "backends) (default: all)")
+                             "backends), or 'throughput' (batched "
+                             "submit_many vs looped submit across "
+                             "batch sizes) (default: all)")
     parser.add_argument("--scale", type=float, default=None,
                         help="workload scale vs the paper's cardinalities "
                              "(default: REPRO_BENCH_SCALE or 0.05)")
@@ -79,6 +82,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "unless one is forced here)")
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also save each sweep as JSON into DIR")
+    parser.add_argument("--batch-sizes", default="1,8,32", metavar="SIZES",
+                        help="comma-separated batch sizes for "
+                             "--figure throughput (default: 1,8,32)")
     parser.add_argument("--shards", default="1,2,4", metavar="COUNTS",
                         help="comma-separated shard counts for "
                              "--figure parallel (default: 1,2,4)")
@@ -109,7 +115,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     dynamic_results = []
     parallel_results = []
     serving_result = None
+    throughput_result = None
     for panel in panels:
+        if panel == "throughput":
+            from .throughput import (
+                format_throughput_table,
+                throughput_sweep,
+            )
+
+            try:
+                batch_sizes = [
+                    int(token) for token in args.batch_sizes.split(",")
+                    if token
+                ]
+            except ValueError:
+                raise SystemExit(
+                    f"--batch-sizes must be comma-separated integers, "
+                    f"got {args.batch_sizes!r}"
+                )
+            if not batch_sizes or min(batch_sizes) < 1:
+                raise SystemExit(
+                    f"--batch-sizes requires counts >= 1, "
+                    f"got {args.batch_sizes!r}"
+                )
+            throughput_result = throughput_sweep(
+                scale=scale, seed=args.seed,
+                batch_sizes=batch_sizes,
+                algorithms=requested or ["SB"],
+                backends=(
+                    (args.backend,) if args.backend is not None
+                    else ("memory",)
+                ),
+            )
+            print()
+            print(format_throughput_table(throughput_result))
+            continue
         if panel == "serving":
             from .serving import format_serving_table, serving_sweep
 
@@ -236,6 +276,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             target = directory / "serving.json"
             save_serving_json(serving_result, target)
+            print(f"# wrote {target}")
+        if throughput_result is not None:
+            from .throughput import save_throughput_json
+
+            target = directory / "throughput.json"
+            save_throughput_json(throughput_result, target)
             print(f"# wrote {target}")
     return 0
 

@@ -1,0 +1,234 @@
+"""Batched-serving throughput benchmark: ``submit_many`` vs looped ``submit``.
+
+The acceptance measurement of the batched request path
+(:meth:`~repro.engine.service.MatchingService.submit_many`): for each
+batch size × algorithm × backend cell, a stream of *distinct* preference
+workloads (all cache misses — the regime where batching must earn its
+keep) is answered two ways —
+
+``looped``
+    One ``service.submit()`` call per workload: the per-request tree
+    path, staging amortized but every workload paying its own matcher
+    run. This is what a deployment without batching achieves.
+``batched``
+    The same workloads in ``submit_many`` batches of the given size:
+    linear misses are stacked and scored in one vectorized numpy pass
+    per chunk (:mod:`repro.engine.batch`).
+
+Every cell re-verifies that the batched answers are pair-identical to
+the looped answers before any rate is reported, so the speedup table
+can never report a wrong matching as a win. Matchers run
+tree-preserving (``deletion_mode="filter"``), the serving configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..data import generate_independent
+from ..engine import MatchingConfig, MatchingService
+from ..errors import MatchingError
+from ..prefs import generate_preferences
+from .runner import bench_scale
+
+#: Unscaled workload cardinalities: a big catalog, small per-request
+#: workloads — the serving regime (see bench.serving for the rationale).
+THROUGHPUT_NUM_OBJECTS = 40_000
+
+#: Functions per request (small: one user cohort per request).
+THROUGHPUT_FUNCTIONS_PER_REQUEST = 16
+
+#: Distinct requests measured per cell (scaled up to cover the largest
+#: batch size at least twice).
+THROUGHPUT_NUM_REQUESTS = 64
+
+#: Batch sizes swept by default (1 = submit_many degenerating to the
+#: per-request path; 32 = the CI acceptance point).
+DEFAULT_BATCH_SIZES = (1, 8, 32)
+
+
+@dataclass
+class ThroughputPoint:
+    """One batch size × algorithm × backend cell."""
+
+    algorithm: str
+    backend: str
+    batch_size: int
+    n_objects: int
+    n_functions: int
+    n_requests: int
+    looped_rps: float
+    batched_rps: float
+    vectorized_requests: int
+
+    @property
+    def speedup(self) -> float:
+        """Batched / looped requests-per-second."""
+        return self.batched_rps / max(1e-9, self.looped_rps)
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "batch_size": self.batch_size,
+            "n_objects": self.n_objects,
+            "n_functions": self.n_functions,
+            "n_requests": self.n_requests,
+            "looped_rps": self.looped_rps,
+            "batched_rps": self.batched_rps,
+            "vectorized_requests": self.vectorized_requests,
+            "speedup": self.speedup,
+        }
+
+
+@dataclass
+class ThroughputSweep:
+    """The full matrix plus workload provenance."""
+
+    variant: str
+    dims: int
+    seed: int
+    points: List[ThroughputPoint] = field(default_factory=list)
+
+    name = "throughput"
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": "throughput-1",
+            "name": self.name,
+            "variant": self.variant,
+            "dims": self.dims,
+            "seed": self.seed,
+            "points": [point.as_dict() for point in self.points],
+        }
+
+
+def _service(objects, base_config: MatchingConfig,
+             backend: str) -> MatchingService:
+    return MatchingService(
+        objects,
+        base_config.replace(backend=backend, deletion_mode="filter"),
+    )
+
+
+def run_throughput_point(objects, workloads: Sequence,
+                         base_config: MatchingConfig,
+                         batch_size: int,
+                         backend: str = "memory",
+                         label: Optional[str] = None) -> ThroughputPoint:
+    """Measure one cell: looped submit vs submit_many at ``batch_size``.
+
+    Both modes run against a *fresh* service (so neither inherits the
+    other's cache warmth) over the same distinct workloads; the batched
+    results are verified pair-identical to the looped ones.
+    """
+    if not workloads:
+        raise MatchingError("run_throughput_point needs workloads")
+    if batch_size < 1:
+        raise MatchingError(f"batch_size must be >= 1, got {batch_size}")
+
+    with _service(objects, base_config, backend) as service:
+        start = time.perf_counter()
+        looped = [service.submit(functions) for functions in workloads]
+        looped_seconds = time.perf_counter() - start
+
+    with _service(objects, base_config, backend) as service:
+        start = time.perf_counter()
+        batched = []
+        for offset in range(0, len(workloads), batch_size):
+            batched.extend(
+                service.submit_many(workloads[offset:offset + batch_size])
+            )
+        batched_seconds = time.perf_counter() - start
+        vectorized = int(service.snapshot().vectorized_requests)
+
+    for one, other in zip(looped, batched):
+        if one.as_set() != other.as_set():
+            raise MatchingError(
+                f"batched serving diverged from looped submit for "
+                f"{label or base_config.algorithm!r} on {backend!r} "
+                f"at batch size {batch_size}"
+            )
+
+    return ThroughputPoint(
+        algorithm=label or base_config.algorithm,
+        backend=backend,
+        batch_size=batch_size,
+        n_objects=len(objects),
+        n_functions=len(workloads[0]),
+        n_requests=len(workloads),
+        looped_rps=len(workloads) / max(1e-9, looped_seconds),
+        batched_rps=len(workloads) / max(1e-9, batched_seconds),
+        vectorized_requests=vectorized,
+    )
+
+
+def throughput_sweep(scale: Optional[float] = None, seed: int = 42,
+                     batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+                     algorithms: Optional[Sequence[str]] = None,
+                     backends: Sequence[str] = ("memory",),
+                     dims: int = 4,
+                     num_requests: Optional[int] = None,
+                     ) -> ThroughputSweep:
+    """The full matrix: batch size × algorithm × backend."""
+    from .runner import BENCH_CONFIGS
+
+    scale = bench_scale() if scale is None else scale
+    if algorithms is None:
+        algorithms = ["SB"]
+    n_objects = max(800, int(THROUGHPUT_NUM_OBJECTS * scale))
+    if num_requests is None:
+        num_requests = max(2 * max(batch_sizes), THROUGHPUT_NUM_REQUESTS)
+    objects = generate_independent(n_objects, dims, seed=seed)
+    workloads = [
+        generate_preferences(THROUGHPUT_FUNCTIONS_PER_REQUEST, dims,
+                             seed=seed + 1 + request)
+        for request in range(num_requests)
+    ]
+
+    sweep = ThroughputSweep(variant="independent", dims=dims, seed=seed)
+    for panel in algorithms:
+        base = BENCH_CONFIGS[panel]
+        for backend in backends:
+            for batch_size in batch_sizes:
+                sweep.points.append(
+                    run_throughput_point(
+                        objects, workloads, base, batch_size,
+                        backend=backend, label=panel,
+                    )
+                )
+    return sweep
+
+
+def format_throughput_table(sweep: ThroughputSweep) -> str:
+    """Render the sweep as a GitHub-flavored Markdown table."""
+    head = sweep.points[0] if sweep.points else None
+    lines = [
+        f"Batched serving throughput: submit_many vs looped submit "
+        f"({sweep.variant}, D={sweep.dims}, "
+        f"|O|={head.n_objects if head else 0}, "
+        f"|F|={head.n_functions if head else 0} per request, "
+        f"{head.n_requests if head else 0} distinct requests)",
+        "| algorithm | backend | batch | looped req/s | batched req/s "
+        "| speedup | vectorized |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for point in sweep.points:
+        lines.append(
+            f"| {point.algorithm} | {point.backend} "
+            f"| {point.batch_size} "
+            f"| {point.looped_rps:.1f} "
+            f"| {point.batched_rps:.1f} "
+            f"| {point.speedup:.2f}x "
+            f"| {point.vectorized_requests} |"
+        )
+    return "\n".join(lines)
+
+
+def save_throughput_json(sweep: ThroughputSweep, path) -> None:
+    """Write the sweep to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(sweep.as_dict(), indent=2) + "\n")

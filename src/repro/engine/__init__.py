@@ -35,7 +35,9 @@ from .facade import MatchingEngine, match, open_session
 # repro.engine.plan) — re-binding it here would shadow the
 # repro.engine.plan submodule attribute.
 from .plan import MatchingPlan, PreparedMatching
-from .service import MatchingService
+from .request import MatchingRequest
+from .service import MatchingService, ServiceStats
+from .async_service import AsyncMatchingService
 from .registry import (
     algorithm_aliases,
     algorithm_supports_repair,
@@ -57,10 +59,13 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "AsyncMatchingService",
     "MatchingConfig",
     "MatchingEngine",
     "MatchingPlan",
+    "MatchingRequest",
     "MatchingService",
+    "ServiceStats",
     "PreparedMatching",
     "ResultCache",
     "config_fingerprint",

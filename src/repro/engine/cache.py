@@ -32,6 +32,7 @@ the LRU naturally.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
 
@@ -120,10 +121,17 @@ def prefs_digest(functions: Sequence) -> Hashable:
 
 
 class ResultCache:
-    """A keyed LRU with hit/miss/eviction counters.
+    """A keyed, thread-safe LRU with hit/miss/eviction counters.
 
     ``maxsize=0`` disables caching entirely (every :meth:`get` misses,
     :meth:`put` is a no-op) — the serving path stays correct, just cold.
+
+    Every public method holds one internal :class:`threading.RLock`
+    around the LRU mutation *and* the counters, because the serving path
+    consults one cache from many threads at once (concurrent
+    ``MatchingService.submit``/``submit_many`` calls, the asyncio
+    front-end's executor): an unlocked ``OrderedDict.move_to_end``
+    racing a ``popitem`` corrupts the recency list.
     """
 
     def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
@@ -131,15 +139,18 @@ class ResultCache:
             raise ValueError(f"maxsize must be >= 0, got {maxsize}")
         self.maxsize = maxsize
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value, refreshed as most-recently-used; else None.
@@ -148,49 +159,54 @@ class ResultCache:
         miss — the serving path stays correct, that workload is just
         never cached.
         """
-        if self.maxsize == 0:
-            self.misses += 1
-            return None
-        try:
-            value = self._entries[key]
-        except (KeyError, TypeError):
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            if self.maxsize == 0:
+                self.misses += 1
+                return None
+            try:
+                value = self._entries[key]
+            except (KeyError, TypeError):
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting the least recently used."""
-        if self.maxsize == 0:
-            return
-        try:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-            self._entries[key] = value
-        except TypeError:
-            return  # unhashable key: uncacheable workload
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if self.maxsize == 0:
+                return
+            try:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                self._entries[key] = value
+            except TypeError:
+                return  # unhashable key: uncacheable workload
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def keys(self) -> Tuple[Hashable, ...]:
         """The live keys, least recently used first."""
-        return tuple(self._entries)
+        with self._lock:
+            return tuple(self._entries)
 
     def info(self) -> Dict[str, int]:
         """Counters snapshot: hits, misses, evictions, size, maxsize."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -29,6 +29,9 @@ DELETION_MODES = ("delete", "filter")
 #: ``repro.parallel``, so config validation needs no circular import).
 EXECUTORS = ("process", "thread", "serial")
 
+#: Admission policies understood by the serving layer.
+ADMISSION_POLICIES = ("block", "reject")
+
 
 @dataclass(frozen=True)
 class MatchingConfig:
@@ -99,6 +102,17 @@ class MatchingConfig:
         LRU cache (``0`` disables result caching entirely). One-shot
         :func:`repro.match` calls never observe the cache; only
         repeated runs against the same prepared state do.
+    max_inflight:
+        Serving path: admission bound of a
+        :class:`~repro.engine.service.MatchingService` — at most this
+        many requests may be concurrently admitted (queued batches wait
+        or are rejected per ``admission``). ``None`` (the default)
+        disables admission control.
+    admission:
+        What happens to requests beyond ``max_inflight``: ``"block"``
+        (wait for capacity, bounded by each request's ``timeout``) or
+        ``"reject"`` (raise
+        :class:`~repro.errors.ServiceOverloadedError` immediately).
 
     Examples
     --------
@@ -141,6 +155,8 @@ class MatchingConfig:
     max_workers: Optional[int] = None
     # Serving-path switches.
     cache_size: int = 128
+    max_inflight: Optional[int] = None
+    admission: str = "block"
 
     def __post_init__(self) -> None:
         if self.buffer_policy not in BUFFER_POLICIES:
@@ -198,6 +214,16 @@ class MatchingConfig:
         if self.cache_size < 0:
             raise MatchingError(
                 f"cache_size must be >= 0, got {self.cache_size}"
+            )
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise MatchingError(
+                f"max_inflight must be >= 1 (or None to disable "
+                f"admission control), got {self.max_inflight}"
+            )
+        if self.admission not in ADMISSION_POLICIES:
+            raise MatchingError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
             )
 
     def replace(self, **overrides) -> "MatchingConfig":

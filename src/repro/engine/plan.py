@@ -46,8 +46,9 @@ True
 from __future__ import annotations
 
 import itertools
+import threading
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 from ..core.capacity import expand_capacities
 from ..core.problem import MatchingProblem
@@ -353,6 +354,12 @@ class PreparedMatching:
         self._session = None
         self._session_dirty = False
         self._closed = False
+        # Serializes staging and tree-touching cold runs: the staged
+        # problem (tree, buffer pool) is shared mutable state, so
+        # concurrent submit()/submit_many() callers take turns on it.
+        # The vectorized batch path only snapshots the object matrix
+        # under this lock and scores outside it.
+        self._serve_lock = threading.RLock()
         self._stage(objects)
 
     # ------------------------------------------------------------------
@@ -476,20 +483,89 @@ class PreparedMatching:
         if self._closed:
             raise MatchingError("PreparedMatching is closed")
         functions = list(functions)
-        # The key is correct before any restage: session events bump
-        # objects_version at submission time, so a stale staging can
-        # only ever be consulted by a key that misses.
-        key = (
-            self.plan.fingerprint, self.objects_version,
-            prefs_digest(functions),
-        )
+        key = self.request_key(functions)
         cached = self.cache.get(key)
         if cached is not None:
             return cached
-        self._ensure_fresh()
-        result = self._run_cold(functions)
+        return self.run_miss(key, functions)
+
+    def request_key(self, functions: Sequence) -> Tuple[str, int, Hashable]:
+        """The cache key one workload would be served under, right now.
+
+        The key is correct before any restage: session events bump
+        ``objects_version`` at submission time, so a stale staging can
+        only ever be consulted by a key that misses.
+        """
+        return (
+            self.plan.fingerprint, self.objects_version,
+            prefs_digest(functions),
+        )
+
+    def run_miss(self, key: Hashable, functions: Sequence) -> MatchResult:
+        """Serve one known cache miss through the per-request tree path.
+
+        The batched entry points partition their requests against the
+        cache up front (counting each exactly once) and route the
+        misses here, so the cache is not consulted a second time. The
+        result is always published under ``key`` — even a request that
+        opted out of *reading* the cache refreshes it for later
+        submitters (the documented ``use_cache=False`` contract).
+        """
+        with self._serve_lock:
+            self._ensure_fresh()
+            result = self._run_cold(list(functions))
         self.cache.put(key, result)
         return result
+
+    # ------------------------------------------------------------------
+    # Vectorized batch serving
+    # ------------------------------------------------------------------
+    def vectorized_eligible(self, functions: Sequence) -> bool:
+        """Whether a workload may use the linear batch-scoring fast path.
+
+        Three gates, all conservative: the plan must be non-capacitated
+        (fold-back belongs to the per-request path), the (base)
+        algorithm must advertise ``supports_repair`` — the documented
+        marker for matchers that produce the canonical greedy matching
+        over linear preferences, which is exactly what the vectorized
+        scorer computes — and every function must be *exactly* a
+        :class:`~repro.prefs.LinearPreference`.
+        """
+        from .batch import is_linear_workload
+
+        if self.plan.config.capacities is not None:
+            return False
+        if not algorithm_supports_repair(self.plan.base_algorithm):
+            return False
+        return is_linear_workload(functions)
+
+    def run_vectorized_batch(self, workloads: Sequence[Sequence],
+                             ) -> List[MatchResult]:
+        """Serve a batch of linear workloads in one vectorized pass.
+
+        Every workload must satisfy :meth:`vectorized_eligible`. The
+        staged object matrix is snapshotted under the serve lock (after
+        any pending restage), then scored outside it — the scorer only
+        reads, so concurrent batches can overlap. Results are
+        pair-identical to :meth:`run` (bitwise-equal scores, same
+        pairs); provenance records the batched execution
+        (``algorithm="batched-<plan algorithm>"``). The result cache is
+        *not* consulted or filled here — the batched entry points own
+        that partitioning.
+        """
+        from .batch import linear_batch_results
+
+        if self._closed:
+            raise MatchingError("PreparedMatching is closed")
+        with self._serve_lock:
+            self._ensure_fresh()
+            expanded = self._expanded
+        return linear_batch_results(
+            expanded, workloads,
+            algorithm=f"batched-{self.plan.algorithm}",
+            backend=self.plan.backend_name,
+            seed=self.plan.config.seed,
+        )
 
     def _run_cold(self, functions: List) -> MatchResult:
         """One actual matching run (the facade's historical hot loop)."""

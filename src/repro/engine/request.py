@@ -1,0 +1,110 @@
+"""First-class serving requests: :class:`MatchingRequest`.
+
+The serving entry points (:meth:`~repro.engine.service.MatchingService.submit`,
+:meth:`~repro.engine.service.MatchingService.submit_many`, the asyncio
+front-end) all accept either a plain sequence of preference functions —
+the historical shape — or a :class:`MatchingRequest`, which carries the
+workload plus the per-request serving intents a bare function list
+cannot express:
+
+``tags``
+    Free-form labels echoed back to the caller (a tenant id, a trace
+    id); the service never interprets them.
+``priority``
+    A scheduling hint: within one batch, higher-priority misses are
+    computed first. Results always come back in submission order.
+``timeout``
+    Seconds this request may wait for *admission* when the service has
+    a ``max_inflight`` bound with the blocking policy (and, on the
+    asyncio front-end, for its result). Execution itself is never
+    interrupted mid-matching.
+``use_cache``
+    ``False`` forces a fresh computation — the request neither reads
+    the result cache nor lets batch-mates read it for this workload;
+    the fresh result still refreshes the cache for later requests.
+
+Requests are immutable (a frozen dataclass holding a tuple of
+functions), so they can be retried, fanned out, and shared across
+threads freely.
+
+Examples
+--------
+>>> import repro
+>>> from repro.engine.request import MatchingRequest
+>>> prefs = repro.generate_preferences(n=3, dims=2, seed=5)
+>>> request = MatchingRequest(prefs, tags=("tenant-a",), priority=2)
+>>> (len(request.functions), request.priority, request.use_cache)
+(3, 2, True)
+>>> MatchingRequest.of(prefs).functions == request.functions
+True
+>>> MatchingRequest.of(request) is request     # already a request
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..errors import MatchingError
+
+
+@dataclass(frozen=True)
+class MatchingRequest:
+    """One immutable serving request: a workload plus serving intents."""
+
+    #: The preference workload (stored as a tuple; any sequence accepted).
+    functions: Tuple = ()
+    #: Free-form labels echoed back to the caller, never interpreted.
+    tags: Tuple[str, ...] = ()
+    #: Scheduling hint: higher runs earlier among one batch's misses.
+    priority: int = 0
+    #: Seconds the request may wait for admission (None = forever).
+    timeout: Optional[float] = None
+    #: False forces a fresh computation (cache is refreshed, not read).
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "functions", tuple(self.functions))
+        object.__setattr__(
+            self, "tags", tuple(str(tag) for tag in self.tags)
+        )
+        if not isinstance(self.priority, int) or isinstance(
+            self.priority, bool
+        ):
+            raise MatchingError(
+                f"priority must be an int, got {self.priority!r}"
+            )
+        if self.timeout is not None and not self.timeout > 0:
+            raise MatchingError(
+                f"timeout must be > 0 seconds (or None), "
+                f"got {self.timeout!r}"
+            )
+
+    @classmethod
+    def of(cls, value) -> "MatchingRequest":
+        """Coerce ``value`` into a request.
+
+        A :class:`MatchingRequest` passes through unchanged (requests
+        are immutable, so sharing is safe); any other iterable is taken
+        as a bare preference workload with default intents.
+        """
+        if isinstance(value, cls):
+            return value
+        return cls(functions=tuple(value))
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        extras = []
+        if self.tags:
+            extras.append(f"tags={self.tags!r}")
+        if self.priority:
+            extras.append(f"priority={self.priority}")
+        if self.timeout is not None:
+            extras.append(f"timeout={self.timeout}")
+        if not self.use_cache:
+            extras.append("use_cache=False")
+        suffix = (", " + ", ".join(extras)) if extras else ""
+        return f"MatchingRequest(|F|={len(self.functions)}{suffix})"

@@ -81,6 +81,16 @@ class MatchingError(ReproError):
     """Raised for inconsistent matching-problem configurations."""
 
 
+class ServiceOverloadedError(MatchingError):
+    """Raised when a serving request cannot be admitted.
+
+    A :class:`~repro.engine.service.MatchingService` with a
+    ``max_inflight`` bound either rejects excess requests immediately
+    (``admission="reject"``) or blocks until capacity frees; a blocked
+    request whose ``timeout`` expires before admission raises this too.
+    """
+
+
 class DatasetError(ReproError):
     """Raised for malformed datasets (NaNs, out-of-range values, bad shape)."""
 

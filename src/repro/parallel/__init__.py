@@ -31,13 +31,19 @@ backend; only the wall clock changes. Use it through the facade::
     engine = repro.MatchingEngine(shards=8, executor="process")
 """
 
-from .executors import ShardWorkerPool, available_executors, run_shard_tasks
+from .executors import (
+    BoundedThreadPool,
+    ShardWorkerPool,
+    available_executors,
+    run_shard_tasks,
+)
 from .matcher import DEFAULT_SHARDS, ShardedMatcher, is_sharded_algorithm
 from .merge import cross_shard_repair, merge_shard_pairs
 from .partition import hilbert_ranges
 from .shard import ShardOutcome, ShardTask, run_shard_task
 
 __all__ = [
+    "BoundedThreadPool",
     "DEFAULT_SHARDS",
     "ShardOutcome",
     "ShardTask",

@@ -24,6 +24,7 @@ order, so the merge is deterministic.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from typing import List, Optional, Sequence
 
@@ -169,6 +170,85 @@ class ShardWorkerPool:
             f"ShardWorkerPool(executor={self.executor!r}, {state}, "
             f"spawns={self.spawn_count}, runs={self.runs})"
         )
+
+
+class BoundedThreadPool:
+    """A lazily-created, bounded thread pool with ordered fan-out.
+
+    The serving layer's dispatch primitive for *in-process* concurrent
+    work: vectorized batch-scoring chunks (numpy releases the GIL, so
+    threads genuinely overlap) and anything else that reads shared warm
+    state. Unlike :class:`ShardWorkerPool` it is task-shape-agnostic —
+    :meth:`map_ordered` runs any callable over items and returns results
+    in submission order — and it never spawns processes, so there is
+    nothing to pickle and no platform fallback to manage.
+
+    The underlying :class:`concurrent.futures.ThreadPoolExecutor` is
+    created on the first call that actually needs it (a single-item or
+    single-worker map runs inline) and reused until :meth:`close`, which
+    waits for in-flight work — the deterministic drain the serving
+    ``close()`` contract needs.
+    """
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise MatchingError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = max_workers
+        self._pool = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _ensure_pool(self):
+        with self._lock:
+            # Re-checked under the lock: a close() racing map_ordered
+            # past its unlocked fast check must not resurrect a fresh
+            # (and then never shut down) executor.
+            if self._closed:
+                raise MatchingError("BoundedThreadPool is closed")
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers
+                )
+            return self._pool
+
+    def map_ordered(self, fn, items: Sequence) -> List:
+        """``[fn(item) for item in items]``, concurrently, in order.
+
+        Exceptions propagate exactly as the inline loop would raise
+        them (the first failing item's error, remaining work is still
+        awaited by the executor).
+        """
+        items = list(items)
+        if self._closed:
+            raise MatchingError("BoundedThreadPool is closed")
+        if len(items) <= 1 or self.max_workers == 1:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        return list(pool.map(fn, items))
+
+    def close(self) -> None:
+        """Shut the executor down, waiting for in-flight work (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "BoundedThreadPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else (
+            "live" if self._pool is not None else "idle"
+        )
+        return f"BoundedThreadPool(max_workers={self.max_workers}, {state})"
 
 
 def run_shard_tasks(tasks: Sequence[ShardTask], executor: str = "process",

@@ -4,6 +4,7 @@ from .functions import (
     WEIGHT_SUM_TOLERANCE,
     LinearPreference,
     canonical_score,
+    canonical_score_matrix,
     generate_preferences,
     generate_segmented_preferences,
     weights_matrix,
@@ -26,6 +27,7 @@ __all__ = [
     "WEIGHT_SUM_TOLERANCE",
     "LinearPreference",
     "canonical_score",
+    "canonical_score_matrix",
     "generate_preferences",
     "generate_segmented_preferences",
     "weights_matrix",

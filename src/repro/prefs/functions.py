@@ -163,6 +163,49 @@ def generate_segmented_preferences(
     return functions, segment_of
 
 
+def canonical_score_matrix(weights: np.ndarray,
+                           points: np.ndarray) -> np.ndarray:
+    """Score every function against every point, bitwise-canonically.
+
+    Returns the ``(|F|, |O|)`` matrix whose ``[i, j]`` entry equals
+    ``canonical_score(weights[i], points[j])`` *bit for bit*: the sum is
+    accumulated dimension by dimension (``total += w_d * x_d``), exactly
+    the left-to-right order of :func:`canonical_score`, using only
+    element-wise IEEE-754 multiplies and adds — never a BLAS dot
+    product, whose pairwise summation could differ in the last bit and
+    flip a tie. This is what lets the serving path's vectorized batch
+    scorer (:mod:`repro.engine.batch`) produce matchings pair-identical
+    to the tree-traversal matchers.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.prefs import canonical_score, canonical_score_matrix
+    >>> weights = np.array([[0.3, 0.7], [0.5, 0.5]])
+    >>> points = np.array([[0.11, 0.97], [0.42, 0.13], [0.5, 0.5]])
+    >>> scores = canonical_score_matrix(weights, points)
+    >>> all(scores[i, j] == canonical_score(weights[i], points[j])
+    ...     for i in range(2) for j in range(3))
+    True
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    points = np.asarray(points, dtype=np.float64)
+    if weights.ndim != 2 or points.ndim != 2:
+        raise PreferenceError(
+            f"weights and points must be 2-d, got shapes "
+            f"{weights.shape} and {points.shape}"
+        )
+    if weights.shape[0] and points.shape[0] \
+            and weights.shape[1] != points.shape[1]:
+        raise DimensionalityError(
+            weights.shape[1], points.shape[1], "points"
+        )
+    scores = np.zeros((weights.shape[0], points.shape[0]))
+    for d in range(weights.shape[1] if points.shape[0] else 0):
+        scores += weights[:, d, None] * points[None, :, d]
+    return scores
+
+
 def weights_matrix(functions: Sequence[LinearPreference]) -> Tuple[np.ndarray, List[int]]:
     """Stack function weights into ``(matrix, fids)`` for vectorized math."""
     if not functions:

@@ -1,0 +1,144 @@
+"""The asyncio micro-batching front-end: coalescing, identity with the
+synchronous path, timeouts, and lifecycle."""
+
+import asyncio
+
+import pytest
+
+import repro
+from repro.engine.async_service import AsyncMatchingService
+from repro.engine.request import MatchingRequest
+from repro.errors import MatchingError
+from repro.prefs import generate_preferences
+
+
+@pytest.fixture(scope="module")
+def serving():
+    objects = repro.generate_independent(n=250, dims=3, seed=95)
+    service = repro.MatchingService(objects, algorithm="sb",
+                                    backend="memory",
+                                    deletion_mode="filter")
+    yield objects, service
+    service.close()
+
+
+def test_burst_is_coalesced_and_pair_identical(serving):
+    objects, service = serving
+    workloads = [generate_preferences(5, 3, seed=100 + s % 4)
+                 for s in range(20)]
+
+    async def burst():
+        async with AsyncMatchingService(service, max_batch=16,
+                                        max_wait_ms=20) as front:
+            results = await asyncio.gather(
+                *[front.submit(functions) for functions in workloads]
+            )
+            return results, front.batches_dispatched, \
+                front.requests_coalesced
+
+    results, batches, coalesced = asyncio.run(burst())
+    assert coalesced == len(workloads)
+    # 20 near-simultaneous arrivals with a 20ms window and max_batch=16
+    # must land in far fewer submit_many calls than requests.
+    assert batches <= 4
+    for result, functions in zip(results, workloads):
+        cold = repro.match(objects, functions, backend="memory")
+        assert result.as_set() == cold.as_set()
+    # Coalesced duplicates (seeds repeat mod 4) share result objects.
+    assert results[0] is results[4] or results[0].as_set() == \
+        results[4].as_set()
+
+
+def test_async_submit_accepts_requests_and_sequences(serving):
+    _, service = serving
+    prefs = generate_preferences(4, 3, seed=120)
+
+    async def one():
+        async with AsyncMatchingService(service, max_wait_ms=0) as front:
+            from_sequence = await front.submit(prefs)
+            from_request = await front.submit(MatchingRequest(prefs))
+            return from_sequence, from_request
+
+    from_sequence, from_request = asyncio.run(one())
+    assert from_sequence is from_request       # second was a cache hit
+
+
+def test_async_timeout_cancels_the_waiter_not_the_batch(serving):
+    _, service = serving
+    prefs = generate_preferences(4, 3, seed=121)
+
+    async def run():
+        front = AsyncMatchingService(service, max_wait_ms=0)
+        with pytest.raises(asyncio.TimeoutError):
+            # An impossible deadline: the matching takes longer.
+            await front.submit(
+                MatchingRequest(generate_preferences(40, 3, seed=122),
+                                timeout=1e-9)
+            )
+        # The front-end keeps serving afterwards.
+        result = await front.submit(prefs)
+        await front.aclose()
+        return result
+
+    result = asyncio.run(run())
+    assert result.as_set() == service.submit(prefs).as_set()
+
+
+def test_aclose_is_idempotent_and_rejects_new_work(serving):
+    _, service = serving
+
+    async def run():
+        front = AsyncMatchingService(service)
+        result = await front.submit(generate_preferences(3, 3, seed=123))
+        await front.aclose()
+        await front.aclose()
+        with pytest.raises(MatchingError):
+            await front.submit(generate_preferences(3, 3, seed=123))
+        return result
+
+    assert len(asyncio.run(run())) == 3
+
+
+def test_aclose_can_close_the_wrapped_service():
+    objects = repro.generate_independent(n=60, dims=2, seed=96)
+    service = repro.MatchingService(objects, algorithm="sb",
+                                    backend="memory")
+
+    async def run():
+        front = AsyncMatchingService(service)
+        await front.submit(generate_preferences(3, 2, seed=97))
+        await front.aclose(close_service=True)
+
+    asyncio.run(run())
+    with pytest.raises(MatchingError):
+        service.submit(generate_preferences(3, 2, seed=97))
+
+
+def test_constructor_validates_knobs(serving):
+    _, service = serving
+    with pytest.raises(MatchingError):
+        AsyncMatchingService(service, max_batch=0)
+    with pytest.raises(MatchingError):
+        AsyncMatchingService(service, max_wait_ms=-1)
+
+
+def test_service_errors_propagate_to_every_waiter():
+    objects = repro.generate_independent(n=60, dims=2, seed=98)
+    service = repro.MatchingService(objects, algorithm="sb",
+                                    backend="memory")
+    service.close()                      # submissions will raise
+
+    async def run():
+        front = AsyncMatchingService(service, max_batch=4, max_wait_ms=20)
+        workloads = [generate_preferences(3, 2, seed=99 + s)
+                     for s in range(3)]
+        outcomes = await asyncio.gather(
+            *[front.submit(functions) for functions in workloads],
+            return_exceptions=True,
+        )
+        await front.aclose()
+        return outcomes
+
+    outcomes = asyncio.run(run())
+    assert len(outcomes) == 3
+    assert all(isinstance(outcome, MatchingError) for outcome in outcomes)

@@ -25,6 +25,10 @@ import repro.parallel.partition
 engine_cache = importlib.import_module("repro.engine.cache")
 engine_plan = importlib.import_module("repro.engine.plan")
 engine_service = importlib.import_module("repro.engine.service")
+engine_request = importlib.import_module("repro.engine.request")
+engine_batch = importlib.import_module("repro.engine.batch")
+engine_async = importlib.import_module("repro.engine.async_service")
+prefs_functions = importlib.import_module("repro.prefs.functions")
 
 DOCUMENTED_MODULES = [
     repro,
@@ -33,6 +37,10 @@ DOCUMENTED_MODULES = [
     engine_cache,
     engine_plan,
     engine_service,
+    engine_request,
+    engine_batch,
+    engine_async,
+    prefs_functions,
     repro.dynamic,
     repro.parallel.partition,
 ]

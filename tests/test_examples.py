@@ -94,6 +94,16 @@ def test_serving_runs(capsys):
     assert "cache invalidated" in out
 
 
+def test_batch_serving_runs(capsys):
+    module = load_example("batch_serving")
+    module.main(n_listings=800, n_buyers=10, n_requests=24, n_cohorts=5)
+    out = capsys.readouterr().out
+    assert "batched submit_many" in out
+    assert "verified: batched results == from-scratch repro.match()" in out
+    assert "micro-batches" in out
+    assert "verified: async results == from-scratch repro.match()" in out
+
+
 def test_examples_have_docstrings_and_main_guard():
     for path in sorted(EXAMPLES_DIR.glob("*.py")):
         source = path.read_text()
