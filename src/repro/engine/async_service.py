@@ -45,7 +45,11 @@ True
 from __future__ import annotations
 
 import asyncio
-from typing import List, Optional, Tuple
+import functools
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import ThreadPoolExecutor
 
 from ..errors import MatchingError
 from .request import MatchingRequest
@@ -102,7 +106,7 @@ class AsyncMatchingService:
         self.requests_coalesced = 0
         self._queue: Optional[asyncio.Queue] = None
         self._collector: Optional[asyncio.Task] = None
-        self._executor = None
+        self._executor: Optional["ThreadPoolExecutor"] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -203,6 +207,9 @@ class AsyncMatchingService:
 
         The wrapped service is left serving unless ``close_service``;
         pending submissions queued before the close are still answered.
+        The blocking teardown steps (executor join, service drain) run
+        on the loop's default executor, so concurrent coroutines keep
+        making progress while a slow in-flight batch drains.
         """
         if self._closed:
             return
@@ -210,17 +217,21 @@ class AsyncMatchingService:
         if self._collector is not None and self._queue is not None:
             await self._queue.put(_SHUTDOWN)
             await self._collector
+        loop = asyncio.get_running_loop()
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+            executor, self._executor = self._executor, None
+            await loop.run_in_executor(
+                None, functools.partial(executor.shutdown, wait=True)
+            )
         if close_service:
-            self.service.close()
+            await loop.run_in_executor(None, self.service.close)
 
     async def __aenter__(self) -> "AsyncMatchingService":
         self._ensure_started()
         return self
 
-    async def __aexit__(self, exc_type, exc, tb) -> None:
+    async def __aexit__(self, exc_type: object, exc: object,
+                        tb: object) -> None:
         await self.aclose()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

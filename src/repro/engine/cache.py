@@ -138,11 +138,11 @@ class ResultCache:
         if maxsize < 0:
             raise ValueError(f"maxsize must be >= 0, got {maxsize}")
         self.maxsize = maxsize
-        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.RLock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.hits = 0        # guarded-by: _lock
+        self.misses = 0      # guarded-by: _lock
+        self.evictions = 0   # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:
@@ -209,7 +209,8 @@ class ResultCache:
             }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"ResultCache(size={len(self._entries)}/{self.maxsize}, "
-            f"hits={self.hits}, misses={self.misses})"
-        )
+        with self._lock:
+            return (
+                f"ResultCache(size={len(self._entries)}/{self.maxsize}, "
+                f"hits={self.hits}, misses={self.misses})"
+            )

@@ -176,7 +176,7 @@ class _DeferredProblem:
         )
 
 
-class MatchingPlan:
+class MatchingPlan:  # lint: frozen
     """A compiled, immutable matching configuration.
 
     Compiling resolves every registry lookup and cross-field constraint
@@ -345,14 +345,14 @@ class PreparedMatching:
         self.objects = objects
         #: Cache-key component: bumped whenever the served object set
         #: changes (session events, restages from a session).
-        self.objects_version = 0
+        self.objects_version = 0    # guarded-by: _serve_lock
         #: Problem stagings performed (1 after construction; +1 per
         #: restage after destructive-matcher damage or session churn).
         self.stagings = 0
         self.cache = ResultCache(config.cache_size)
         self._pool = None
         self._session = None
-        self._session_dirty = False
+        self._session_dirty = False  # guarded-by: _serve_lock
         self._closed = False
         # Serializes staging and tree-touching cold runs: the staged
         # problem (tree, buffer pool) is shared mutable state, so
@@ -401,8 +401,8 @@ class PreparedMatching:
 
             purge_staged_shards(token)
 
-    def _ensure_fresh(self) -> None:
-        """Restage when the warm state went stale.
+    def _ensure_fresh(self) -> None:  # lint: holds-lock=_serve_lock
+        """Restage when the warm state went stale (serve lock held).
 
         Two staleness sources: a bound session's object churn (restage
         from the surviving objects), and a ``deletion_mode="delete"``
@@ -494,10 +494,13 @@ class PreparedMatching:
 
         The key is correct before any restage: session events bump
         ``objects_version`` at submission time, so a stale staging can
-        only ever be consulted by a key that misses.
+        only ever be consulted by a key that misses. The version read
+        is deliberately lock-free — a concurrent bump simply makes this
+        key miss, which is the safe outcome.
         """
         return (
-            self.plan.fingerprint, self.objects_version,
+            self.plan.fingerprint,
+            self.objects_version,  # lint: disable=lock-guard
             prefs_digest(functions),
         )
 
@@ -637,23 +640,28 @@ class PreparedMatching:
         session = self.plan.open_session(
             self.objects, functions, on_change=self._on_session_event,
         )
-        self._session = session
-        self._session_dirty = False
+        with self._serve_lock:
+            self._session = session
+            self._session_dirty = False
         return session
 
     def _on_session_event(self, event) -> None:
         from ..dynamic.events import DeleteObject, InsertObject
 
         if isinstance(event, (InsertObject, DeleteObject)):
-            self.objects_version += 1
-            self._session_dirty = True
+            # Taken against concurrent submits: a half-observed bump
+            # could serve a pre-churn result under a post-churn key.
+            with self._serve_lock:
+                self.objects_version += 1
+                self._session_dirty = True
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
         """Manually mark every cached result stale (version bump)."""
-        self.objects_version += 1
+        with self._serve_lock:
+            self.objects_version += 1
 
     def close(self) -> None:
         """Release warm state; further :meth:`run` calls error.
@@ -674,7 +682,9 @@ class PreparedMatching:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+    # Racy-read repr by design: the serve lock is held across whole
+    # matching runs, and repr must never block behind one.
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic; lint: disable=lock-guard
         return (
             f"PreparedMatching(|O|={len(self.objects)}, "
             f"plan={self.plan.algorithm!r}@{self.plan.backend_name!r}, "

@@ -17,7 +17,7 @@ from ..errors import MatchingError
 from ..storage import IOSnapshot
 
 
-class MatchResult:
+class MatchResult:  # lint: frozen
     """Stable pairs plus provenance, for both 1-1 and capacitated runs.
 
     ``capacities`` is ``None`` for a 1-1 matching (every object may be

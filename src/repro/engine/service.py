@@ -173,29 +173,29 @@ class MatchingService:
         #: The warm state serving every request.
         self.prepared: PreparedMatching = plan.prepare(objects)
         #: Requests answered (hits, duplicates, and computed alike).
-        self.requests = 0
+        self.requests = 0           # guarded-by: _state_cv
         #: Batches served (a single submit counts as a batch of one).
-        self.batches = 0
+        self.batches = 0            # guarded-by: _state_cv
         #: Cumulative wall seconds inside submit/submit_many.
-        self.serve_seconds = 0.0
+        self.serve_seconds = 0.0    # guarded-by: _state_cv
         #: Admission bound (None = unbounded) and overflow policy.
         self.max_inflight = plan.config.max_inflight
         self.admission = plan.config.admission
 
-        self._hits = 0
-        self._duplicates = 0
-        self._misses = 0
-        self._vectorized = 0
-        self._fallback = 0
-        self._rejected = 0
-        self._inflight = 0
-        self._queued = 0
-        self._latencies: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
-        self._closed = False
+        self._hits = 0              # guarded-by: _state_cv
+        self._duplicates = 0        # guarded-by: _state_cv
+        self._misses = 0            # guarded-by: _state_cv
+        self._vectorized = 0        # guarded-by: _state_cv
+        self._fallback = 0          # guarded-by: _state_cv
+        self._rejected = 0          # guarded-by: _state_cv
+        self._inflight = 0          # guarded-by: _state_cv
+        self._queued = 0            # guarded-by: _state_cv
+        self._latencies: "deque[float]" = deque(maxlen=LATENCY_WINDOW)  # guarded-by: _state_cv
+        self._closed = False        # guarded-by: _state_cv
         # One lock + condition guards every counter above and the
         # admission/drain protocol; per-request work runs outside it.
         self._state_cv = threading.Condition()
-        self._batch_pool = None
+        self._batch_pool = None     # guarded-by: _state_cv
 
     # ------------------------------------------------------------------
     # Serving
@@ -506,8 +506,10 @@ class MatchingService:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._state_cv:
+            requests = self.requests
         return (
             f"MatchingService(plan={self.plan.algorithm!r}"
             f"@{self.plan.backend_name!r}, |O|={len(self.prepared.objects)}, "
-            f"requests={self.requests})"
+            f"requests={requests})"
         )

@@ -1,0 +1,59 @@
+"""Project-specific static analysis for the repro serving stack.
+
+The serving layers (PRs 3–5) each shipped with a hand-found bug of a
+*mechanically detectable* class: an unpicklable exception killing the
+shard worker pool, a thread-unsafe result cache, a blocking call
+reachable from a coroutine. This package turns those invariants into
+enforced tooling — an AST-based rule engine
+(:class:`~repro.lint.engine.LintEngine`) with six project-specific
+checkers:
+
+========================  ==============================================
+``lock-guard``            ``# guarded-by: <lock>`` attributes only
+                          touched under ``with self.<lock>``
+``lock-order``            nested lock acquisitions follow the canonical
+                          ``_state_cv → _serve_lock → _lock`` order
+``async-safety``          no blocking calls directly inside
+                          ``async def`` — route through an executor
+``picklability``          exceptions/objects crossing the shard-pool
+                          boundary reconstruct from positional args
+``frozen-mutation``       no post-``__init__`` assignment on frozen
+                          request/plan/result types
+``api-surface``           ``__all__`` exports exist and are documented;
+                          examples track the live registries
+========================  ==============================================
+
+Run it as ``python -m repro.lint`` (CI's ``lint`` job does, failing on
+any non-baselined finding) or via :func:`run_lint`; tier-1 enforces a
+clean tree through ``tests/test_lint_self.py``. Findings are silenced
+per line with ``# lint: disable=<rule>`` or grandfathered in
+``lint-baseline.json`` — see ``docs/guides/static-analysis.md`` for the
+full workflow.
+"""
+
+from .baseline import Baseline
+from .engine import DEFAULT_TARGETS, LintEngine, LintReport, run_lint
+from .findings import Finding
+from .rules import (
+    Rule,
+    available_rules,
+    create_rules,
+    register_rule,
+    rule_descriptions,
+)
+from .source import SourceFile
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_TARGETS",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "SourceFile",
+    "available_rules",
+    "create_rules",
+    "register_rule",
+    "rule_descriptions",
+    "run_lint",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` dispatches to :func:`repro.lint.cli.main`."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,103 @@
+"""The committed baseline: grandfathered findings that do not fail CI.
+
+A baseline lets a new rule land *enforcing* — the debt it discovered is
+frozen into ``lint-baseline.json`` at adoption time and burned down
+separately, while every **new** violation fails immediately. Entries
+match on ``(rule, path, symbol, message)`` — no line numbers, so
+unrelated edits do not churn the file — and matching is *consuming*:
+one baseline entry excuses one finding, and entries that no longer
+match anything are reported as stale so the file shrinks monotonically.
+
+The project's own baseline is empty by policy for the concurrency
+rules (lock-guard, async-safety, picklability, frozen-mutation):
+real findings in those classes get fixed, not grandfathered
+(``tests/test_lint_self.py`` enforces this).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..errors import MatchingError
+from .findings import Finding
+
+#: The baseline identity of one finding.
+BaselineKey = Tuple[str, str, str, str]
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings, keyed like :attr:`Finding.key`."""
+
+    #: Remaining un-consumed entry counts by key.
+    entries: Dict[BaselineKey, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file (a missing file is an empty baseline)."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise MatchingError(
+                f"baseline file {path} is not valid JSON: {exc}"
+            ) from exc
+        entries: Dict[BaselineKey, int] = {}
+        for item in payload.get("findings", []):
+            key = (
+                str(item.get("rule", "")),
+                str(item.get("path", "")),
+                str(item.get("symbol", "")),
+                str(item.get("message", "")),
+            )
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        """A baseline grandfathering exactly ``findings``."""
+        entries: Dict[BaselineKey, int] = {}
+        for finding in findings:
+            entries[finding.key] = entries.get(finding.key, 0) + 1
+        return cls(entries=entries)
+
+    def consume(self, finding: Finding) -> bool:
+        """Whether ``finding`` is grandfathered (uses up one entry)."""
+        remaining = self.entries.get(finding.key, 0)
+        if remaining <= 0:
+            return False
+        self.entries[finding.key] = remaining - 1
+        return True
+
+    def stale_keys(self) -> List[BaselineKey]:
+        """Entries that matched nothing this run (candidates to delete)."""
+        return sorted(
+            key for key, count in self.entries.items() if count > 0
+        )
+
+    @staticmethod
+    def save(path: Union[str, Path], findings: List[Finding]) -> None:
+        """Write ``findings`` as the new baseline file (sorted, stable)."""
+        items = sorted(
+            (
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "symbol": finding.symbol,
+                    "message": finding.message,
+                }
+                for finding in findings
+            ),
+            key=lambda item: (
+                item["rule"], item["path"], item["symbol"], item["message"]
+            ),
+        )
+        Path(path).write_text(
+            json.dumps({"findings": items}, indent=2) + "\n",
+            encoding="utf-8",
+        )

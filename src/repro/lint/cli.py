@@ -1,0 +1,147 @@
+"""``python -m repro.lint`` — the command-line front door.
+
+Exit status: 0 when clean (baselined findings do not fail), 1 when new
+findings exist (or a file fails to parse), 2 on usage errors.
+
+Typical invocations::
+
+    python -m repro.lint                       # lint the repo defaults
+    python -m repro.lint src/repro/engine      # one subtree
+    python -m repro.lint --list-rules          # the rule catalog
+    python -m repro.lint --json report.json    # machine-readable report
+    python -m repro.lint --write-baseline      # grandfather the current
+                                               # findings (adopting a
+                                               # new rule on old debt)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import Baseline
+from .engine import DEFAULT_TARGETS, LintEngine, LintReport
+from .rules import available_rules, rule_descriptions
+
+#: Default baseline filename, looked up relative to the lint root.
+BASELINE_NAME = "lint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Project-specific static analysis: lock discipline, "
+            "async-safety, picklability, frozen types, API surface."
+        ),
+    )
+    parser.add_argument(
+        "targets", nargs="*",
+        help=f"files/directories to lint (default: {DEFAULT_TARGETS})",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help=f"baseline file (default: ./{BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="also write the full report as JSON to PATH",
+    )
+    parser.add_argument(
+        "--root", help="repo root findings are reported relative to "
+        "(default: the current directory)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print only the summary line",
+    )
+    return parser
+
+
+def _print_report(report: LintReport, quiet: bool) -> None:
+    if not quiet:
+        for finding in report.findings:
+            print(finding.render())
+        for finding in report.baselined:
+            print(f"{finding.render()}  [baselined]")
+        for key in report.stale_baseline:
+            print(
+                f"stale baseline entry (fix landed? delete it): "
+                f"rule={key[0]} path={key[1]} symbol={key[2]}"
+            )
+    verdict = "OK" if report.ok else "FAIL"
+    print(
+        f"{verdict}: {report.files_checked} files, "
+        f"{len(report.findings)} new finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, description in rule_descriptions().items():
+            print(f"{name:16s} {description}")
+        return 0
+
+    root = Path(args.root).resolve() if args.root else Path.cwd()
+    rules: Optional[List[str]] = None
+    if args.rules:
+        rules = [part.strip() for part in args.rules.split(",")
+                 if part.strip()]
+        unknown = set(rules) - set(available_rules())
+        if unknown:
+            parser.error(
+                f"unknown rule(s): {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(available_rules())}"
+            )
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / BASELINE_NAME
+    )
+    baseline = Baseline.load(baseline_path)
+
+    engine = LintEngine(rules=rules, baseline=baseline, root=root)
+    report = engine.run(args.targets or None)
+
+    if args.write_baseline:
+        grandfathered = report.findings + report.baselined
+        Baseline.save(baseline_path, grandfathered)
+        print(
+            f"wrote {len(grandfathered)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    if args.json_path:
+        json_path = Path(args.json_path)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(
+            json.dumps(report.as_dict(), indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+    _print_report(report, args.quiet)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

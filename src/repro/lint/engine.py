@@ -1,0 +1,209 @@
+"""The lint engine: files → rules → suppressions → baseline → report.
+
+:class:`LintEngine` owns the run mechanics every rule shares: walking
+the target trees, parsing each file once into a
+:class:`~repro.lint.source.SourceFile`, fanning it through the active
+rules, and then filtering what fired through the two escape hatches —
+inline suppressions (``# lint: disable=<rule>``, function/class-scoped
+when placed on the ``def``/``class`` line, or ``disable-file=``) and
+the committed baseline. What survives is a *new* violation: the CLI
+exits non-zero and CI fails.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from .baseline import Baseline, BaselineKey
+from .findings import Finding
+from .rules import Rule, create_rules
+from .source import SourceFile
+from .suppress import disabled_rules, file_disabled_rules
+
+#: Directory names never descended into.
+SKIP_DIRS = {
+    "__pycache__", ".git", ".mypy_cache", ".pytest_cache", "build",
+    "dist", "site", ".eggs",
+}
+
+#: Default lint targets, relative to the repo root.
+DEFAULT_TARGETS = ("src/repro", "examples", "benchmarks")
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    #: New violations (fail the run).
+    findings: List[Finding] = field(default_factory=list)
+    #: Violations excused by the committed baseline.
+    baselined: List[Finding] = field(default_factory=list)
+    #: Violations silenced by inline/file suppressions.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing (ready to delete).
+    stale_baseline: List[BaselineKey] = field(default_factory=list)
+    #: Files actually parsed and checked.
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean (no new findings)."""
+        return not self.findings
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly report (the CI artifact payload)."""
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "findings": [f.as_dict() for f in self.findings],
+            "baselined": [f.as_dict() for f in self.baselined],
+            "suppressed_count": len(self.suppressed),
+            "stale_baseline": [list(key) for key in self.stale_baseline],
+        }
+
+
+def _suppression_spans(
+    source: SourceFile,
+) -> List[Tuple[int, int, Set[str]]]:
+    """Body-wide suppressions from ``disable=`` on def/class lines."""
+    spans: List[Tuple[int, int, Set[str]]] = []
+    if source.tree is None:
+        return spans
+    for node in ast.walk(source.tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        header_end = node.body[0].lineno if node.body else node.lineno
+        rules: Set[str] = set()
+        for line in range(node.lineno, header_end + 1):
+            rules |= disabled_rules(source.comment_on(line))
+        if rules:
+            end = getattr(node, "end_lineno", None) or header_end
+            spans.append((node.lineno, end, rules))
+    return spans
+
+
+class LintEngine:
+    """Run a set of rules over files, honoring suppressions + baseline."""
+
+    def __init__(self, rules: Optional[Sequence[str]] = None,
+                 baseline: Optional[Baseline] = None,
+                 root: Optional[Path] = None) -> None:
+        self.rules: List[Rule] = create_rules(rules)
+        self.baseline = baseline if baseline is not None else Baseline()
+        #: Paths in findings are reported relative to this root.
+        self.root = (root or Path.cwd()).resolve()
+
+    # ------------------------------------------------------------------
+    # File discovery
+    # ------------------------------------------------------------------
+    def discover(self, targets: Iterable[Union[str, Path]]) -> List[Path]:
+        """Every ``.py`` file under the targets, sorted, deduplicated."""
+        files: Set[Path] = set()
+        for target in targets:
+            path = Path(target)
+            if not path.is_absolute():
+                path = self.root / path
+            if path.is_file() and path.suffix == ".py":
+                files.add(path.resolve())
+            elif path.is_dir():
+                for candidate in path.rglob("*.py"):
+                    if not SKIP_DIRS.intersection(candidate.parts):
+                        files.add(candidate.resolve())
+        return sorted(files)
+
+    def _rel_path(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    def check_source(self, source: SourceFile) -> List[Finding]:
+        """Raw findings for one parsed file (suppressions not applied)."""
+        if source.tree is None:
+            error = source.error
+            line = error.lineno if error and error.lineno else 1
+            detail = error.msg if error else "unparseable file"
+            return [Finding(
+                rule="syntax", path=source.rel_path, line=line,
+                message=f"file does not parse: {detail}",
+            )]
+        findings: List[Finding] = []
+        for rule in self.rules:
+            findings.extend(rule.check(source))
+        return findings
+
+    def _apply_suppressions(
+        self, source: SourceFile, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        file_disabled = file_disabled_rules(source.comments)
+        spans = _suppression_spans(source)
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            rules_here = disabled_rules(source.comment_on(finding.line))
+            silenced = (
+                finding.rule in file_disabled
+                or "ALL" in file_disabled
+                or finding.rule in rules_here
+                or "ALL" in rules_here
+                or any(
+                    start <= finding.line <= end
+                    and (finding.rule in rules or "ALL" in rules)
+                    for start, end, rules in spans
+                )
+            )
+            (suppressed if silenced else kept).append(finding)
+        return kept, suppressed
+
+    def run(self, targets: Optional[Iterable[Union[str, Path]]] = None,
+            ) -> LintReport:
+        """Lint the targets (the repo defaults when none are given)."""
+        if targets is None:
+            targets = [
+                target for target in DEFAULT_TARGETS
+                if (self.root / target).exists()
+            ]
+        report = LintReport()
+        for path in self.discover(targets):
+            source = SourceFile.load(path, self._rel_path(path))
+            report.files_checked += 1
+            raw = self.check_source(source)
+            kept, suppressed = self._apply_suppressions(source, raw)
+            report.suppressed.extend(suppressed)
+            for finding in sorted(kept, key=lambda f: (f.line, f.rule)):
+                if self.baseline.consume(finding):
+                    report.baselined.append(finding)
+                else:
+                    report.findings.append(finding)
+        report.stale_baseline = self.baseline.stale_keys()
+        return report
+
+
+def run_lint(targets: Optional[Iterable[Union[str, Path]]] = None, *,
+             rules: Optional[Sequence[str]] = None,
+             baseline_path: Optional[Union[str, Path]] = None,
+             root: Optional[Union[str, Path]] = None) -> LintReport:
+    """One-call lint run: the programmatic equivalent of the CLI.
+
+    Examples
+    --------
+    >>> from repro.lint import run_lint
+    >>> report = run_lint(["src/repro/lint"])   # doctest: +SKIP
+    >>> report.ok                               # doctest: +SKIP
+    True
+    """
+    root_path = Path(root).resolve() if root is not None else Path.cwd()
+    baseline = (
+        Baseline.load(baseline_path) if baseline_path is not None
+        else Baseline()
+    )
+    engine = LintEngine(rules=rules, baseline=baseline, root=root_path)
+    return engine.run(targets)

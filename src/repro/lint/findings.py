@@ -1,0 +1,44 @@
+"""The lint toolkit's result type: one :class:`Finding` per violation.
+
+A finding identifies *what* fired (the rule), *where* (repo-relative
+path + line), and *on which symbol* (a dotted ``Class.attr`` or
+``Class.method`` name when the rule can say). The ``key`` — rule, path,
+symbol, message, deliberately **without** the line number — is the
+identity the baseline file matches on, so unrelated edits that shift
+code downward do not churn grandfathered entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Name of the rule that fired (``lock-guard``, ``async-safety``...).
+    rule: str
+    #: Repo-relative posix path of the offending file.
+    path: str
+    #: 1-indexed line the violation anchors to.
+    line: int
+    #: Human-readable statement of the violation (no line numbers —
+    #: the baseline keys on this text).
+    message: str
+    #: Dotted symbol the finding is about (``Class.attr``), when known.
+    symbol: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str, str]:
+        """Baseline identity: everything but the (churn-prone) line."""
+        return (self.rule, self.path, self.symbol, self.message)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly rendering (used by ``--json`` reports)."""
+        return asdict(self)
+
+    def render(self) -> str:
+        """The one-line terminal rendering: ``path:line: [rule] message``."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"

@@ -1,0 +1,299 @@
+"""api-surface: the public surface is real, documented, and unrotted.
+
+Three families of drift this rule catches mechanically:
+
+* **exports** — every name in a module's ``__all__`` must actually be
+  bound in that module, and every class/function *defined* there and
+  exported must carry a docstring (purely from the AST, so fixture
+  snippets work offline);
+* **live surface** — for the installed :mod:`repro` package itself,
+  each ``__all__`` entry must resolve and, when it is a class,
+  function, or module, must have a non-empty ``__doc__`` (checked by
+  import, because most exports are re-exports the AST cannot follow);
+* **examples drift** — files under ``examples/`` are the README's
+  executable face: every ``from repro import X`` / ``repro.X`` use must
+  resolve against the live package, and string literals passed as
+  ``algorithm=`` / ``backend=`` / ``executor=`` keywords must name
+  registered algorithms (aliases included), backends, and executors —
+  the exact checks that catch a renamed registry entry before a user
+  does.
+
+The import-based checks degrade silently when :mod:`repro` is not
+importable (linting a checkout without installing it): the AST checks
+still run.
+"""
+
+from __future__ import annotations
+
+import ast
+from types import ModuleType
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..findings import Finding
+from ..source import SourceFile
+from .base import Rule
+
+#: Call keywords validated against a live registry: keyword -> checker.
+_REGISTRY_KEYWORDS = ("algorithm", "backend", "executor")
+
+
+def _module_bindings(tree: ast.Module) -> Optional[Set[str]]:
+    """Names bound at module level (``None`` when a star-import hides them)."""
+    bound: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name in ast.walk(target):
+                    if isinstance(name, ast.Name):
+                        bound.add(name.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    return None
+                bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Conditional imports/defs: collect from every branch.
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)):
+                    bound.add(sub.name)
+                elif isinstance(sub, ast.Import):
+                    for alias in sub.names:
+                        bound.add(alias.asname or alias.name.split(".")[0])
+                elif isinstance(sub, ast.ImportFrom):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            bound.add(alias.asname or alias.name)
+    return bound
+
+
+def _exported_names(tree: ast.Module) -> Dict[str, int]:
+    """``{exported name: line}`` from a module-level ``__all__`` list."""
+    exports: Dict[str, int] = {}
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        value = node.value
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    exports[element.value] = element.lineno
+    return exports
+
+
+def _local_definitions(tree: ast.Module) -> Dict[str, ast.AST]:
+    """Module-level class/def nodes by name."""
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef))
+    }
+
+
+def _import_repro() -> Optional[ModuleType]:  # pragma: no cover - shim
+    try:
+        import repro
+
+        return repro
+    except Exception:
+        return None
+
+
+class ApiSurfaceRule(Rule):
+    """Exports resolve and are documented; examples track the registry."""
+
+    name = "api-surface"
+    description = (
+        "__all__ exports must exist and carry docstrings; examples "
+        "must use live repro names and registered algorithm/backend/"
+        "executor strings"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if source.tree is None:
+            return
+        yield from self._check_exports(source)
+        if source.rel_path.replace("\\", "/").endswith(
+            "src/repro/__init__.py"
+        ):
+            yield from self._check_live_surface(source)
+        if source.is_example:
+            yield from self._check_example(source)
+
+    # ------------------------------------------------------------------
+    # __all__ (pure AST)
+    # ------------------------------------------------------------------
+    def _check_exports(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        exports = _exported_names(source.tree)
+        if not exports:
+            return
+        bindings = _module_bindings(source.tree)
+        definitions = _local_definitions(source.tree)
+        for name, line in exports.items():
+            if bindings is not None and name not in bindings:
+                yield self.finding(
+                    source, line,
+                    f"__all__ exports {name!r} but the module never "
+                    f"binds it",
+                    symbol=name,
+                )
+                continue
+            node = definitions.get(name)
+            if node is not None and not ast.get_docstring(node):
+                kind = (
+                    "class" if isinstance(node, ast.ClassDef) else
+                    "function"
+                )
+                yield self.finding(
+                    source, node,
+                    f"exported {kind} {name!r} has no docstring; every "
+                    f"__all__ member is public API and must be "
+                    f"documented",
+                    symbol=name,
+                )
+
+    # ------------------------------------------------------------------
+    # The live package surface (import-based)
+    # ------------------------------------------------------------------
+    def _check_live_surface(self, source: SourceFile) -> Iterator[Finding]:
+        repro = _import_repro()
+        if repro is None:
+            return
+        assert source.tree is not None
+        exports = _exported_names(source.tree)
+        for name, line in exports.items():
+            if not hasattr(repro, name):
+                yield self.finding(
+                    source, line,
+                    f"repro.__all__ exports {name!r} but "
+                    f"'import repro; repro.{name}' fails",
+                    symbol=name,
+                )
+                continue
+            obj = getattr(repro, name)
+            if isinstance(obj, type) or callable(obj) or isinstance(
+                obj, type(ast)
+            ):
+                if not (getattr(obj, "__doc__", None) or "").strip():
+                    yield self.finding(
+                        source, line,
+                        f"public export repro.{name} has an empty "
+                        f"docstring",
+                        symbol=name,
+                    )
+
+    # ------------------------------------------------------------------
+    # Examples drift (import-based)
+    # ------------------------------------------------------------------
+    def _check_example(self, source: SourceFile) -> Iterator[Finding]:
+        repro = _import_repro()
+        if repro is None:
+            return
+        assert source.tree is not None
+        yield from self._check_example_names(source, repro)
+        yield from self._check_registry_strings(source, repro)
+
+    def _check_example_names(self, source: SourceFile,
+                             repro: ModuleType) -> Iterator[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom) and node.module and (
+                node.module == "repro" or node.module.startswith("repro.")
+            ):
+                target = self._resolve_module(node.module)
+                if target is None:
+                    yield self.finding(
+                        source, node,
+                        f"example imports missing module "
+                        f"{node.module!r}",
+                        symbol=node.module,
+                    )
+                    continue
+                for alias in node.names:
+                    if alias.name != "*" and not hasattr(
+                        target, alias.name
+                    ):
+                        yield self.finding(
+                            source, node,
+                            f"example imports {alias.name!r} from "
+                            f"{node.module!r}, which does not define it",
+                            symbol=f"{node.module}.{alias.name}",
+                        )
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name
+            ) and node.value.id == "repro":
+                if not hasattr(repro, node.attr):
+                    yield self.finding(
+                        source, node,
+                        f"example references 'repro.{node.attr}', "
+                        f"which the package does not export",
+                        symbol=node.attr,
+                    )
+
+    @staticmethod
+    def _resolve_module(dotted: str) -> Optional[ModuleType]:
+        import importlib
+
+        try:
+            return importlib.import_module(dotted)
+        except Exception:
+            return None
+
+    def _check_registry_strings(self, source: SourceFile,
+                                repro: ModuleType) -> Iterator[Finding]:
+        assert source.tree is not None
+        try:
+            from repro.engine.config import EXECUTORS
+            from repro.engine.registry import algorithm_aliases
+
+            algorithms = set(algorithm_aliases())
+            backends = {
+                name.lower() for name in repro.available_backends()
+            }
+            executors = set(EXECUTORS)
+        except Exception:  # pragma: no cover - partial installs
+            return
+        known = {
+            "algorithm": algorithms,
+            "backend": backends,
+            "executor": executors,
+        }
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg not in _REGISTRY_KEYWORDS:
+                    continue
+                value = keyword.value
+                if not (isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    continue
+                if value.value.strip().lower() not in known[keyword.arg]:
+                    registered = ", ".join(sorted(known[keyword.arg]))
+                    yield self.finding(
+                        source, value,
+                        f"example passes {keyword.arg}="
+                        f"{value.value!r}, which is not registered "
+                        f"(known: {registered})",
+                        symbol=f"{keyword.arg}={value.value}",
+                    )

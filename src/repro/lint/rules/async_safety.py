@@ -1,0 +1,142 @@
+"""async-safety: no blocking calls on the event loop.
+
+``AsyncMatchingService`` promises "the event loop never blocks on
+matching work" — every synchronous serving call must cross to a worker
+thread via ``loop.run_in_executor``. A single ``time.sleep``,
+``submit_many``, file read, or executor ``shutdown(wait=True)`` inside
+an ``async def`` silently stalls *every* coroutine on the loop, which
+is precisely the bug class PR 5 shipped and hand-fixed.
+
+This rule flags, inside ``async def`` bodies (nested synchronous
+``def``\\ s are skipped — they run wherever they are called):
+
+* known blocking library calls: ``time.sleep``, ``os.system``,
+  ``subprocess.run/call/check_call/check_output/Popen``, bare
+  ``open(...)`` / ``input(...)``;
+* the project's synchronous serving surface and thread-coordination
+  calls — ``submit_many``, ``map_ordered``, ``acquire``, ``wait``,
+  ``join``, ``shutdown``, ``close`` — when the call is **not** awaited
+  (awaited calls are their async counterparts: ``asyncio.Lock.acquire``,
+  ``aclose``-style coroutines, ...). Anything under the ``asyncio``
+  module itself is exempt.
+
+Routing through an executor never trips the rule, because the blocking
+callable is passed *uncalled* (``loop.run_in_executor(None,
+service.submit_many, batch)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Union
+
+from ..findings import Finding
+from ..source import SourceFile
+from .base import Rule, attribute_chain
+
+#: Bare-name calls that always block.
+BLOCKING_NAMES: Set[str] = {"open", "input"}
+
+#: ``module.function`` calls that always block.
+BLOCKING_QUALIFIED: Dict[str, Set[str]] = {
+    "time": {"sleep"},
+    "os": {"system"},
+    "subprocess": {"run", "call", "check_call", "check_output", "Popen"},
+    "socket": {"create_connection"},
+}
+
+#: Method names that are synchronous/blocking in this codebase when not
+#: awaited: the serving surface and thread-coordination primitives.
+BLOCKING_METHODS: Set[str] = {
+    "submit_many", "map_ordered", "acquire", "wait", "join",
+    "shutdown", "close", "read_text", "write_text",
+}
+
+_AnyFunc = Union[ast.FunctionDef, ast.Lambda]
+
+
+class _AsyncBodyChecker(ast.NodeVisitor):
+    """Walks one ``async def`` body looking for blocking call sites."""
+
+    def __init__(self, rule: "AsyncSafetyRule", source: SourceFile,
+                 func_name: str) -> None:
+        self.rule = rule
+        self.source = source
+        self.func_name = func_name
+        self.awaited: Set[int] = set()
+        self.findings: List[Finding] = []
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if isinstance(node.value, ast.Call):
+            self.awaited.add(id(node.value))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # a nested sync def runs wherever it is called, not here
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass  # checked as its own async scope by the rule driver
+
+    def _blocked_reason(self, node: ast.Call) -> str:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in BLOCKING_NAMES:
+            return f"'{func.id}(...)' performs blocking I/O"
+        chain = attribute_chain(func)
+        if chain:
+            head, _, tail = chain.partition(".")
+            if head == "asyncio":
+                return ""
+            if tail in BLOCKING_QUALIFIED.get(head, set()):
+                return f"'{chain}(...)' blocks the event loop"
+        if isinstance(func, ast.Attribute):
+            if (func.attr in BLOCKING_METHODS
+                    and id(node) not in self.awaited):
+                return (
+                    f"synchronous '.{func.attr}(...)' blocks the event "
+                    f"loop; route it through loop.run_in_executor"
+                )
+        return ""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        reason = self._blocked_reason(node)
+        if reason:
+            self.findings.append(self.rule.finding(
+                self.source, node,
+                f"blocking call inside 'async def {self.func_name}': "
+                f"{reason}",
+                symbol=self.func_name,
+            ))
+        self.generic_visit(node)
+
+
+class AsyncSafetyRule(Rule):
+    """Forbid blocking calls directly inside coroutine bodies."""
+
+    name = "async-safety"
+    description = (
+        "no time.sleep / blocking serving calls / file I/O directly "
+        "inside 'async def' — route work through an executor"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if source.tree is None:
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            checker = _AsyncBodyChecker(self, source, node.name)
+            # First pass: record which calls are awaited (an Await's
+            # operand is visited after the Await node itself, but a
+            # full pre-pass keeps order-independence explicit).
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Await) and isinstance(
+                    sub.value, ast.Call
+                ):
+                    checker.awaited.add(id(sub.value))
+            for statement in node.body:
+                checker.visit(statement)
+            for finding in checker.findings:
+                yield finding

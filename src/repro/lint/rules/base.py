@@ -1,0 +1,69 @@
+"""The rule contract: subclass :class:`Rule`, yield :class:`Finding`\\ s.
+
+A rule is a stateless object with a ``name``, a one-line
+``description`` (both shown by ``python -m repro.lint --list-rules``),
+and a :meth:`Rule.check` generator over one :class:`SourceFile`.
+Rules never filter their own output — suppression comments and the
+baseline are applied uniformly by the engine — so a rule's job is only
+to be *right* about what it reports.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from ..findings import Finding
+from ..source import SourceFile
+
+
+class Rule:
+    """Base class for one project-specific checker."""
+
+    #: Kebab-case rule identity (used in suppressions and baselines).
+    name: str = ""
+    #: One-line summary for ``--list-rules`` and the docs catalog.
+    description: str = ""
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``source``."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for typing
+
+    def finding(self, source: SourceFile,
+                node: Union[ast.AST, int], message: str,
+                symbol: str = "") -> Finding:
+        """Build a finding anchored at ``node`` (an AST node or a line)."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.name, path=source.rel_path, line=line,
+            message=message, symbol=symbol,
+        )
+
+
+def attribute_chain(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute/name chains ('' for anything else)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def is_self_attribute(node: ast.AST) -> bool:
+    """Whether ``node`` is exactly ``self.<attr>``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def def_header_lines(node: Union[ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef]) -> range:
+    """Line span of a definition's header (def/class line to body start)."""
+    body_start = node.body[0].lineno if node.body else node.lineno
+    return range(node.lineno, body_start + 1)

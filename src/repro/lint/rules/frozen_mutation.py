@@ -1,0 +1,118 @@
+"""frozen-mutation: immutable types stay immutable after construction.
+
+Served results are shared objects — ``submit_many`` fans one
+:class:`~repro.engine.result.MatchResult` out to every duplicate
+submitter, plans are shared across services, requests are retried and
+re-enqueued. The API contract is "treat these as immutable"; this rule
+makes the *implementation* honor it: inside a frozen class, no method
+other than the constructors may assign to ``self``.
+
+A class counts as frozen when it is decorated
+``@dataclass(frozen=True)`` (detected from the AST) or when its
+``class`` line carries a ``# lint: frozen`` marker (for hand-rolled
+immutables like ``MatchingPlan`` and ``MatchResult`` whose ``__init__``
+builds derived indexes).
+
+Flagged in any non-constructor method: ``self.x = ...``, ``self.x +=
+...``, ``del self.x``, ``object.__setattr__(self, ...)``, and
+``setattr(self, ...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from ..findings import Finding
+from ..source import SourceFile
+from ..suppress import marked_frozen
+from .base import Rule, attribute_chain, is_self_attribute
+
+#: Methods allowed to assign: construction and pickle plumbing.
+_CONSTRUCTORS = {
+    "__init__", "__post_init__", "__new__", "__setstate__",
+    "__deepcopy__", "__copy__", "__reduce__",
+}
+
+_AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = attribute_chain(decorator.func) or getattr(
+            decorator.func, "id", ""
+        )
+        if name.split(".")[-1] != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen" and isinstance(
+                keyword.value, ast.Constant
+            ) and keyword.value.value is True:
+                return True
+    return False
+
+
+def _is_marked_frozen(source: SourceFile, node: ast.ClassDef) -> bool:
+    return marked_frozen(source.comment_on(node.lineno))
+
+
+def _self_mutations(method: _AnyFunc) -> Iterator[ast.AST]:
+    """Every statement in ``method`` that assigns to ``self``."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign):
+            if any(is_self_attribute(target) for target in node.targets):
+                yield node
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if node.value is None and isinstance(node, ast.AnnAssign):
+                continue  # bare annotation, no assignment
+            if is_self_attribute(node.target):
+                yield node
+        elif isinstance(node, ast.Delete):
+            if any(is_self_attribute(target) for target in node.targets):
+                yield node
+        elif isinstance(node, ast.Call):
+            chain = attribute_chain(node.func) or getattr(
+                node.func, "id", ""
+            )
+            if chain in ("object.__setattr__", "setattr") and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Name) and first.id == "self":
+                    yield node
+
+
+class FrozenMutationRule(Rule):
+    """Forbid post-construction ``self`` assignment in frozen classes."""
+
+    name = "frozen-mutation"
+    description = (
+        "no attribute assignment outside __init__/__post_init__ on "
+        "frozen dataclasses and '# lint: frozen' classes"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if source.tree is None:
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not (_is_frozen_dataclass(node)
+                    or _is_marked_frozen(source, node)):
+                continue
+            for method in node.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if method.name in _CONSTRUCTORS:
+                    continue
+                for mutation in _self_mutations(method):
+                    yield self.finding(
+                        source, mutation,
+                        f"{node.name} is frozen but "
+                        f"{node.name}.{method.name} assigns to self; "
+                        f"frozen instances are shared across "
+                        f"threads and requests and must never mutate",
+                        symbol=f"{node.name}.{method.name}",
+                    )

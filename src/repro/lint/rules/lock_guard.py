@@ -1,0 +1,175 @@
+"""lock-guard: annotated attributes are only touched under their lock.
+
+The serving stack shares mutable counters and pools across threads
+(:class:`~repro.engine.service.MatchingService` counters under
+``_state_cv``, :class:`~repro.engine.cache.ResultCache` entries under
+``_lock``, ...). The discipline is declared in source::
+
+    self._hits = 0          # guarded-by: _state_cv
+
+and this rule enforces it lexically: inside the declaring class, every
+``self.<attr>`` read or write of a guarded attribute must appear inside
+a ``with self.<lock>:`` block (or in a method whose header carries
+``# lint: holds-lock=<lock>``, documenting that its callers acquire the
+lock). ``__init__``/``__post_init__``/``__new__`` are exempt — the
+object is not yet shared — as is ``__del__`` (acquiring locks during
+GC is its own hazard).
+
+The analysis is lexical by design: a helper that *really* runs under a
+caller's lock must say so with ``holds-lock``, which doubles as
+documentation of the locking contract. Deliberate lock-free fast-path
+reads carry an inline ``# lint: disable=lock-guard``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple, Union
+
+from ..findings import Finding
+from ..source import SourceFile
+from ..suppress import guarded_lock, held_locks
+from .base import Rule, def_header_lines, is_self_attribute
+
+_EXEMPT_METHODS = {"__init__", "__post_init__", "__new__", "__del__"}
+
+_AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _guarded_attributes(source: SourceFile,
+                        cls: ast.ClassDef) -> Dict[str, Tuple[str, int]]:
+    """``{attr: (lock, declaration line)}`` from guarded-by comments."""
+    guarded: Dict[str, Tuple[str, int]] = {}
+    for node in ast.walk(cls):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        end = getattr(node, "end_lineno", node.lineno) or node.lineno
+        locks = [
+            lock
+            for comment in source.comments_in(node.lineno, end)
+            for lock in [guarded_lock(comment)]
+            if lock is not None
+        ]
+        if not locks:
+            continue
+        for target in targets:
+            if is_self_attribute(target):
+                attr = target.attr  # type: ignore[attr-defined]
+                guarded[attr] = (locks[0], node.lineno)
+    return guarded
+
+
+class _MethodChecker(ast.NodeVisitor):
+    """Walks one method tracking which locks are lexically held."""
+
+    def __init__(self, rule: "LockGuardRule", source: SourceFile,
+                 cls_name: str, guarded: Dict[str, Tuple[str, int]],
+                 held: Set[str]) -> None:
+        self.rule = rule
+        self.source = source
+        self.cls_name = cls_name
+        self.guarded = guarded
+        self.held = set(held)
+        self.findings: List[Finding] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: Union[ast.With, ast.AsyncWith]) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            expr = item.context_expr
+            if is_self_attribute(expr):
+                acquired.append(expr.attr)  # type: ignore[attr-defined]
+            else:
+                self.visit(expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        before = set(self.held)
+        self.held |= set(acquired)
+        for statement in node.body:
+            self.visit(statement)
+        self.held = before
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if is_self_attribute(node) and node.attr in self.guarded:
+            lock, _ = self.guarded[node.attr]
+            if lock not in self.held:
+                action = (
+                    "written" if isinstance(node.ctx, (ast.Store, ast.Del))
+                    else "read"
+                )
+                self.findings.append(self.rule.finding(
+                    self.source, node,
+                    f"{self.cls_name}.{node.attr} is {action} outside "
+                    f"'with self.{lock}' (declared guarded-by: {lock})",
+                    symbol=f"{self.cls_name}.{node.attr}",
+                ))
+        self.generic_visit(node)
+
+    def _visit_nested(self, node: _AnyFunc) -> None:
+        # A nested def runs later, not under the lexically-enclosing
+        # lock; analyze its body with only its own holds-lock claims.
+        nested_held = set(held_locks(
+            self.source.comments, def_header_lines(node)
+        ))
+        saved, self.held = self.held, nested_held
+        for statement in node.body:
+            self.visit(statement)
+        self.held = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        saved, self.held = self.held, set()
+        self.visit(node.body)
+        self.held = saved
+
+
+class LockGuardRule(Rule):
+    """Enforce ``# guarded-by:`` attribute/lock annotations."""
+
+    name = "lock-guard"
+    description = (
+        "attributes annotated '# guarded-by: <lock>' may only be "
+        "touched inside 'with self.<lock>'"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if source.tree is None:
+            return
+        for cls in ast.walk(source.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            guarded = _guarded_attributes(source, cls)
+            if not guarded:
+                continue
+            for method in cls.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if method.name in _EXEMPT_METHODS:
+                    continue
+                held = set(held_locks(
+                    source.comments, def_header_lines(method)
+                ))
+                checker = _MethodChecker(
+                    self, source, cls.name, guarded, held
+                )
+                for statement in method.body:
+                    checker.visit(statement)
+                for finding in checker.findings:
+                    yield finding

@@ -1,0 +1,157 @@
+"""picklability: objects crossing process boundaries must reconstruct.
+
+The shard worker pool ships tasks and outcomes — and, when a worker
+fails, the *exception* — back through :mod:`pickle`. Python's default
+exception reduction re-calls ``Cls(*self.args)``, so an exception whose
+custom ``__init__`` signature differs from its ``args`` tuple raises
+``TypeError`` *during unpickling*, which a ``ProcessPoolExecutor``
+surfaces as a ``BrokenProcessPool`` that kills every queued task (the
+PR 4 bug class, hand-fixed three times in ``repro/errors.py``).
+
+Three checks:
+
+* an exception class (name or any base ending in ``Error`` /
+  ``Exception``) that defines a custom ``__init__`` must also define
+  ``__reduce__`` (rebuilding from positional args by construction);
+* a class marked ``# lint: pickled`` (the shard-boundary types) must be
+  a dataclass or define ``__reduce__`` / ``__getstate__`` — shapes the
+  default pickler reconstructs without a matching ``__init__`` call;
+* ``lambda``\\ s and nested functions must not be submitted to a
+  pool/executor (``<pool>.map/submit(lambda ...)``) — they cannot be
+  pickled by qualified name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Union
+
+from ..findings import Finding
+from ..source import SourceFile
+from ..suppress import marked_pickled
+from .base import Rule, attribute_chain
+
+_EXC_SUFFIXES = ("Error", "Exception")
+
+#: Pool method names whose callable argument crosses to workers.
+_POOL_METHODS: Set[str] = {"map", "submit", "map_ordered"}
+
+
+def _is_exception_class(node: ast.ClassDef) -> bool:
+    if node.name.endswith(_EXC_SUFFIXES):
+        return True
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else ""
+        )
+        if name.endswith(_EXC_SUFFIXES):
+            return True
+    return False
+
+
+def _method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == name:
+            return item
+    return None
+
+
+def _custom_init_params(init: ast.FunctionDef) -> int:
+    """Positional/keyword parameters beyond ``self`` (vararg excluded)."""
+    args = init.args
+    return (
+        len(args.posonlyargs) + len(args.args) - 1 + len(args.kwonlyargs)
+    )
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(
+            decorator, ast.Call
+        ) else decorator
+        name = attribute_chain(target) or getattr(target, "id", "")
+        if name.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def _receiver_is_pool(func: ast.Attribute) -> bool:
+    chain = attribute_chain(func.value).lower()
+    tail = chain.rsplit(".", 1)[-1]
+    return "pool" in tail or "executor" in tail
+
+
+class PicklabilityRule(Rule):
+    """Keep process-boundary objects reconstructible by construction."""
+
+    name = "picklability"
+    description = (
+        "exceptions with custom __init__ need __reduce__; "
+        "'# lint: pickled' classes must reconstruct; no lambdas into "
+        "pools"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if source.tree is None:
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(source, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_pool_call(source, node)
+
+    def _check_class(self, source: SourceFile,
+                     node: ast.ClassDef) -> Iterator[Finding]:
+        pickled_marker = any(
+            marked_pickled(comment)
+            for comment in source.comments_in(
+                node.lineno,
+                node.body[0].lineno if node.body else node.lineno,
+            )
+        )
+        init = _method(node, "__init__")
+        has_reduce = _method(node, "__reduce__") is not None
+        has_getstate = _method(node, "__getstate__") is not None
+
+        if _is_exception_class(node) and init is not None and not has_reduce:
+            detail = (
+                "its __init__ takes no arguments, so the default "
+                "args-based reconstruction calls it with the message"
+                if _custom_init_params(init) == 0 else
+                "the default reduction replays self.args into a "
+                "different __init__ signature"
+            )
+            yield self.finding(
+                source, node,
+                f"exception {node.name} defines __init__ without "
+                f"__reduce__: {detail}; unpicklable exceptions kill "
+                f"process pools instead of propagating",
+                symbol=node.name,
+            )
+        if pickled_marker and not (
+            _is_dataclass(node) or has_reduce or has_getstate
+        ):
+            yield self.finding(
+                source, node,
+                f"{node.name} is marked '# lint: pickled' but is "
+                f"neither a dataclass nor defines "
+                f"__reduce__/__getstate__",
+                symbol=node.name,
+            )
+
+    def _check_pool_call(self, source: SourceFile,
+                         node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in _POOL_METHODS or not _receiver_is_pool(func):
+            return
+        for arg in node.args:
+            if isinstance(arg, ast.Lambda):
+                yield self.finding(
+                    source, node,
+                    f"lambda passed to '.{func.attr}' on a pool/"
+                    f"executor: lambdas cannot be pickled across a "
+                    f"process boundary; use a module-level function",
+                    symbol=func.attr,
+                )

@@ -1,0 +1,66 @@
+"""One parsed source file, shared by every rule.
+
+A :class:`SourceFile` bundles what a rule needs — the AST, the raw
+lines, and the comment map — so each file is read, tokenized, and
+parsed exactly once per lint run regardless of how many rules inspect
+it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .suppress import extract_comments
+
+
+@dataclass
+class SourceFile:
+    """A parsed module plus the side-channel data rules consume."""
+
+    #: Absolute path on disk.
+    path: Path
+    #: Repo-relative posix path — what findings and baselines carry.
+    rel_path: str
+    #: Full source text.
+    text: str
+    #: Parsed module (``None`` when the file does not parse).
+    tree: Optional[ast.Module]
+    #: ``{line: comment}`` map (tokenize-accurate).
+    comments: Dict[int, str] = field(default_factory=dict)
+    #: The syntax error, when ``tree`` is ``None``.
+    error: Optional[SyntaxError] = None
+
+    @classmethod
+    def load(cls, path: Path, rel_path: str) -> "SourceFile":
+        """Read, tokenize, and parse one file (never raises on bad code)."""
+        text = path.read_text(encoding="utf-8")
+        tree: Optional[ast.Module] = None
+        error: Optional[SyntaxError] = None
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            error = exc
+        return cls(
+            path=path, rel_path=rel_path, text=text, tree=tree,
+            comments=extract_comments(text), error=error,
+        )
+
+    def comment_on(self, line: int) -> str:
+        """The comment on ``line`` ('' when there is none)."""
+        return self.comments.get(line, "")
+
+    def comments_in(self, first: int, last: int) -> List[str]:
+        """Comments on lines ``first..last`` inclusive, in order."""
+        return [
+            self.comments[line]
+            for line in range(first, last + 1)
+            if line in self.comments
+        ]
+
+    @property
+    def is_example(self) -> bool:
+        """Whether this file lives under an ``examples/`` directory."""
+        return "examples" in Path(self.rel_path).parts

@@ -1,0 +1,101 @@
+"""Comment parsing: suppressions and in-source lint markers.
+
+The analyzer is driven by the AST, but three pieces of its contract
+live in comments (which the AST does not carry):
+
+* ``# lint: disable=rule-a,rule-b`` — suppress those rules' findings on
+  this line; on a ``def``/``class`` line, for the whole body;
+* ``# lint: disable-file=rule-a`` — suppress for the entire file;
+* markers that *feed* rules — ``# guarded-by: <lock>`` (lock-guard),
+  ``# lint: holds-lock=<lock>`` (lock-guard: callers hold the lock),
+  ``# lint: frozen`` (frozen-mutation), ``# lint: pickled``
+  (picklability).
+
+This module extracts comments with :mod:`tokenize` (so strings that
+merely *contain* a ``#`` never count) and exposes the small parsers the
+engine and rules share.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Iterable, List, Optional, Set
+
+#: ``lint: disable=a,b`` (set ``ALL`` to silence every rule).
+_DISABLE_RE = re.compile(r"lint:\s*disable\s*=\s*([\w\-,\s]+)")
+#: ``lint: disable-file=a,b`` — file-scoped suppression.
+_DISABLE_FILE_RE = re.compile(r"lint:\s*disable-file\s*=\s*([\w\-,\s]+)")
+#: ``guarded-by: <lock>`` — attribute-to-lock annotation.
+_GUARDED_RE = re.compile(r"guarded-by:\s*([A-Za-z_]\w*)")
+#: ``lint: holds-lock=<lock>`` — the enclosing callable runs under it.
+_HOLDS_RE = re.compile(r"lint:\s*holds-lock\s*=\s*([A-Za-z_]\w*)")
+#: ``lint: frozen`` — the class is immutable after construction.
+_FROZEN_RE = re.compile(r"lint:\s*frozen\b")
+#: ``lint: pickled`` — instances cross a process boundary.
+_PICKLED_RE = re.compile(r"lint:\s*pickled\b")
+
+
+def extract_comments(text: str) -> Dict[int, str]:
+    """``{line: comment text}`` for every comment in ``text``.
+
+    Tolerates tokenization failures (the engine reports the syntax
+    error separately) by returning what was collected so far.
+    """
+    comments: Dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        pass
+    return comments
+
+
+def _split_rules(blob: str) -> Set[str]:
+    return {part.strip() for part in blob.split(",") if part.strip()}
+
+
+def disabled_rules(comment: str) -> Set[str]:
+    """Rule names suppressed by one line's comment (``ALL`` = every rule)."""
+    match = _DISABLE_RE.search(comment)
+    return _split_rules(match.group(1)) if match else set()
+
+
+def file_disabled_rules(comments: Dict[int, str]) -> Set[str]:
+    """Rule names suppressed for the whole file."""
+    disabled: Set[str] = set()
+    for comment in comments.values():
+        match = _DISABLE_FILE_RE.search(comment)
+        if match:
+            disabled |= _split_rules(match.group(1))
+    return disabled
+
+
+def guarded_lock(comment: str) -> Optional[str]:
+    """The lock name of a ``guarded-by:`` annotation, if present."""
+    match = _GUARDED_RE.search(comment)
+    return match.group(1) if match else None
+
+
+def held_locks(comments: Dict[int, str], lines: Iterable[int]) -> List[str]:
+    """Locks declared held (``holds-lock=``) on any of ``lines``."""
+    held = []
+    for line in lines:
+        comment = comments.get(line)
+        if comment:
+            match = _HOLDS_RE.search(comment)
+            if match:
+                held.append(match.group(1))
+    return held
+
+
+def marked_frozen(comment: str) -> bool:
+    """Whether a ``lint: frozen`` marker is present."""
+    return bool(_FROZEN_RE.search(comment))
+
+
+def marked_pickled(comment: str) -> bool:
+    """Whether a ``lint: pickled`` marker is present."""
+    return bool(_PICKLED_RE.search(comment))

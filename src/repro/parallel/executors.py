@@ -26,7 +26,10 @@ from __future__ import annotations
 
 import threading
 import warnings
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Executor, ThreadPoolExecutor as _TPE
 
 from ..engine.config import EXECUTORS
 from ..errors import MatchingError
@@ -68,7 +71,7 @@ class ShardWorkerPool:
             )
         self.executor = executor
         self.max_workers = max_workers
-        self._pool = None
+        self._pool: Optional["Executor"] = None
         #: Underlying executor constructions (1 after the first parallel
         #: run; stays 1 for the pool's whole life).
         self.spawn_count = 0
@@ -76,7 +79,7 @@ class ShardWorkerPool:
         self.runs = 0
         self._closed = False
 
-    def _ensure_pool(self, num_tasks: int):
+    def _ensure_pool(self, num_tasks: int) -> "Executor":
         if self._pool is None:
             workers = (
                 self.max_workers if self.max_workers is not None
@@ -153,7 +156,7 @@ class ShardWorkerPool:
     def __enter__(self) -> "ShardWorkerPool":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
@@ -196,11 +199,11 @@ class BoundedThreadPool:
                 f"max_workers must be >= 1, got {max_workers}"
             )
         self.max_workers = max_workers
-        self._pool = None
+        self._pool: Optional["_TPE"] = None  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._closed = False
+        self._closed = False        # guarded-by: _lock
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> "_TPE":
         with self._lock:
             # Re-checked under the lock: a close() racing map_ordered
             # past its unlocked fast check must not resurrect a fresh
@@ -215,7 +218,7 @@ class BoundedThreadPool:
                 )
             return self._pool
 
-    def map_ordered(self, fn, items: Sequence) -> List:
+    def map_ordered(self, fn: Callable, items: Sequence) -> List:
         """``[fn(item) for item in items]``, concurrently, in order.
 
         Exceptions propagate exactly as the inline loop would raise
@@ -223,7 +226,9 @@ class BoundedThreadPool:
         awaited by the executor).
         """
         items = list(items)
-        if self._closed:
+        # Deliberate lock-free fast check: _ensure_pool re-checks under
+        # the lock before any executor can be (re)created.
+        if self._closed:  # lint: disable=lock-guard
             raise MatchingError("BoundedThreadPool is closed")
         if len(items) <= 1 or self.max_workers == 1:
             return [fn(item) for item in items]
@@ -241,10 +246,12 @@ class BoundedThreadPool:
     def __enter__(self) -> "BoundedThreadPool":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+    # Racy-read repr by design: repr must never block on (or deadlock
+    # through) the non-reentrant pool lock.
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic; lint: disable=lock-guard
         state = "closed" if self._closed else (
             "live" if self._pool is not None else "idle"
         )

@@ -30,7 +30,7 @@ Point = Tuple[float, ...]
 
 
 @dataclass(frozen=True)
-class ShardTask:
+class ShardTask:  # lint: pickled
     """One shard's staging-and-matching assignment (picklable).
 
     ``staging_key`` (optional) is a ``(staging token, shard index)``
@@ -51,7 +51,7 @@ class ShardTask:
 
 
 @dataclass
-class ShardOutcome:
+class ShardOutcome:  # lint: pickled
     """One shard's matching and cost counters (picklable)."""
 
     index: int

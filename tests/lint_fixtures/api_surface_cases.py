@@ -1,0 +1,32 @@
+"""api-surface fixtures: __all__ hygiene, checked purely from the AST."""
+
+__all__ = [
+    "documented_function",
+    "DocumentedClass",
+    "reexported_name",
+    "missing_name",  # EXPECT: api-surface
+    "undocumented_function",
+    "UndocumentedClass",
+]
+
+from collections import OrderedDict as reexported_name  # noqa: E402,F401
+
+
+def documented_function():
+    """Exported and documented: silent."""
+
+
+class DocumentedClass:
+    """Exported and documented: silent."""
+
+
+def undocumented_function():  # EXPECT: api-surface
+    return None
+
+
+class UndocumentedClass:  # EXPECT: api-surface
+    pass
+
+
+def _private_helper_needs_no_docstring():
+    return None

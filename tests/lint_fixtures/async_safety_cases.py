@@ -1,0 +1,50 @@
+"""async-safety fixtures: blocking calls inside coroutine bodies."""
+
+import asyncio
+import subprocess
+import time
+
+
+async def bad_sleep():
+    time.sleep(0.1)  # EXPECT: async-safety
+
+
+async def bad_file_read(path):
+    return open(path).read()  # EXPECT: async-safety
+
+
+async def bad_subprocess():
+    subprocess.run(["true"])  # EXPECT: async-safety
+
+
+async def bad_sync_serve(service, batch):
+    return service.submit_many(batch)  # EXPECT: async-safety
+
+
+async def bad_executor_teardown(executor):
+    executor.shutdown(wait=True)  # EXPECT: async-safety
+
+
+async def good_sleep():
+    await asyncio.sleep(0.1)
+
+
+async def good_serve(loop, service, batch):
+    return await loop.run_in_executor(None, service.submit_many, batch)
+
+
+async def good_awaited_coordination(lock, front):
+    await lock.acquire()
+    await front.close()
+
+
+async def good_nested_sync_helper():
+    def helper():
+        time.sleep(0.1)
+        return open("somewhere")
+    return helper
+
+
+def good_plain_sync(service, batch):
+    time.sleep(0.0)
+    return service.submit_many(batch)

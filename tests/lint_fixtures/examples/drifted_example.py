@@ -1,0 +1,26 @@
+"""api-surface drift fixture: an ``examples/``-style script using both
+live and rotted repro names. Parse-only, never executed."""
+
+import repro
+from repro import match  # a real export: silent
+from repro import definitely_not_an_export  # EXPECT: api-surface
+from repro.engine import no_such_submodule_name  # EXPECT: api-surface
+
+
+def main():
+    objects = repro.generate_independent(n=10, dims=2, seed=1)
+    functions = repro.generate_preferences(n=2, dims=2, seed=2)
+
+    ok = match(objects, functions, algorithm="sb", backend="memory")
+    also_ok = repro.match(objects, functions, algorithm="skyline")
+
+    rotted = repro.match(
+        objects, functions,
+        algorithm="simulated-annealing",  # EXPECT: api-surface
+    )
+    wrong_backend = repro.match(
+        objects, functions,
+        backend="postgres",  # EXPECT: api-surface
+    )
+    gone = repro.renamed_entry_point(objects)  # EXPECT: api-surface
+    return ok, also_ok, rotted, wrong_backend, gone

@@ -1,0 +1,67 @@
+"""frozen-mutation fixtures: immutable types mutated (or not) after
+construction."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BadFrozenCounter:
+    """Positive: a frozen dataclass sneaking writes past the freeze."""
+
+    count: int = 0
+
+    def bump(self):
+        object.__setattr__(self, "count", self.count + 1)  # EXPECT: frozen-mutation
+
+    def reset(self):
+        setattr(self, "count", 0)  # EXPECT: frozen-mutation
+
+
+class BadMarkedResult:  # lint: frozen
+    """Positive: a hand-rolled immutable whose method reassigns."""
+
+    def __init__(self, pairs):
+        self.pairs = tuple(pairs)
+
+    def extend(self, more):
+        self.pairs = self.pairs + tuple(more)  # EXPECT: frozen-mutation
+
+    def grow(self, n):
+        self.total = n  # EXPECT: frozen-mutation
+
+
+@dataclass(frozen=True)
+class GoodFrozenCounter:
+    """Negative: constructors may assign; methods return new values."""
+
+    count: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "count", int(self.count))
+
+    def bumped(self):
+        return GoodFrozenCounter(self.count + 1)
+
+
+class GoodMarkedResult:  # lint: frozen
+    """Negative: __init__ builds derived state, nothing mutates later."""
+
+    def __init__(self, pairs):
+        self.pairs = tuple(pairs)
+        self.by_id = {pair[0]: pair for pair in self.pairs}
+
+    def lookup(self, key):
+        return self.by_id.get(key)
+
+    def __reduce__(self):
+        return (self.__class__, (self.pairs,))
+
+
+@dataclass
+class MutableOutcome:
+    """Negative: not frozen, not marked — free to mutate."""
+
+    total: int = 0
+
+    def bump(self):
+        self.total += 1

@@ -1,0 +1,50 @@
+"""lock-guard fixtures: guarded attributes touched with and without
+their declared lock. Never imported — parse-only."""
+
+import threading
+
+
+class BadCounter:
+    """Positive cases: guarded attribute touched lock-free."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: _lock
+
+    def bump(self):
+        self.value += 1  # EXPECT: lock-guard
+
+    def peek(self):
+        return self.value  # EXPECT: lock-guard
+
+    def deferred(self):
+        def later():
+            return self.value  # EXPECT: lock-guard
+        with self._lock:
+            return later
+
+
+class GoodCounter:
+    """Negative cases: the lock held, claimed, or explicitly waived."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def snapshot(self):
+        with self._lock:
+            local = self.value
+        return local
+
+    def helper(self):  # lint: holds-lock=_lock
+        return self.value
+
+    def fast_peek(self):
+        return self.value  # lint: disable=lock-guard
+
+    def __del__(self):
+        self.value = -1

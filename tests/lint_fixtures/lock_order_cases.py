@@ -1,0 +1,51 @@
+"""lock-order fixtures: nested acquisitions with and against the
+canonical ``_state_cv -> _serve_lock -> _lock`` hierarchy."""
+
+import threading
+
+
+class Hierarchy:
+    """One holder of all three ranked locks."""
+
+    def __init__(self):
+        self._state_cv = threading.Condition()
+        self._serve_lock = threading.RLock()
+        self._lock = threading.RLock()
+        self._other = threading.Lock()
+
+    def canonical(self):
+        with self._state_cv:
+            with self._serve_lock:
+                with self._lock:
+                    return True
+
+    def skipping_a_rank_is_fine(self):
+        with self._state_cv:
+            with self._lock:
+                return True
+
+    def reentrant_same_lock(self):
+        with self._serve_lock:
+            with self._serve_lock:
+                return True
+
+    def unranked_locks_are_ignored(self):
+        with self._other:
+            with self._state_cv:
+                return True
+
+    def nested_callable_starts_fresh(self):
+        with self._lock:
+            def later():
+                with self._serve_lock:
+                    return True
+            return later
+
+    def inverted(self):
+        with self._lock:
+            with self._serve_lock:  # EXPECT: lock-order
+                return True
+
+    def inverted_multi_item(self):
+        with self._serve_lock, self._state_cv:  # EXPECT: lock-order
+            return True

@@ -1,0 +1,72 @@
+"""picklability fixtures: process-boundary objects that do / do not
+reconstruct under the default pickler."""
+
+from dataclasses import dataclass
+
+
+class BadShardError(Exception):  # EXPECT: picklability
+    """Custom __init__ signature, no __reduce__: unpickling replays
+    self.args into the wrong signature and kills the process pool."""
+
+    def __init__(self, shard, reason):
+        super().__init__(f"shard {shard} failed: {reason}")
+        self.shard = shard
+
+
+class GoodShardError(Exception):
+    """Same shape, but reconstructs from positional args."""
+
+    def __init__(self, shard, reason):
+        super().__init__(f"shard {shard} failed: {reason}")
+        self.shard = shard
+        self.reason = reason
+
+    def __reduce__(self):
+        return (self.__class__, (self.shard, self.reason))
+
+
+class PlainMessageError(Exception):
+    """No custom __init__ at all: default reduction just works."""
+
+
+class BadBoundary:  # lint: pickled; EXPECT: picklability
+    """Marked as crossing the process boundary, but neither a
+    dataclass nor reconstructible."""
+
+    def __init__(self, payload):
+        self.payload = payload
+
+
+@dataclass
+class GoodBoundary:  # lint: pickled
+    """Dataclasses round-trip under the default pickler."""
+
+    payload: int = 0
+
+
+class GoodStatefulBoundary:  # lint: pickled
+    """Hand-rolled, but pickle-aware via __getstate__."""
+
+    def __init__(self, payload):
+        self.payload = payload
+
+    def __getstate__(self):
+        return {"payload": self.payload}
+
+
+def bad_fan_out(pool, items):
+    return pool.map(lambda item: item + 1, items)  # EXPECT: picklability
+
+
+def _work(item):
+    return item + 1
+
+
+def good_fan_out(pool, executor, items):
+    ordered = pool.map(_work, items)
+    executor.submit(_work, items[0])
+    return ordered
+
+
+def non_pool_receivers_are_ignored(stream, items):
+    return stream.map(lambda item: item + 1, items)

@@ -1,0 +1,26 @@
+"""Type-check the strict-tier packages with mypy, when available.
+
+The container used for tier-1 runs does not ship mypy, so this test
+skips itself there; CI's ``lint`` job installs mypy and runs the same
+configuration (``mypy.ini``) as a hard gate. Keeping the invocation in
+the test suite means any environment *with* mypy enforces the policy
+without remembering a separate command.
+"""
+
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_strict_tier_packages_type_check():
+    from mypy import api
+
+    stdout, stderr, status = api.run([
+        "--config-file", str(REPO_ROOT / "mypy.ini"),
+        str(REPO_ROOT / "src" / "repro"),
+    ])
+    assert status == 0, f"mypy failed:\n{stdout}\n{stderr}"
