@@ -53,7 +53,11 @@ linear misses are scored in one vectorized pass (``repro.plan`` and
 (:class:`MatchingProblem`, :class:`SkylineMatcher`, ...) stay available
 for streaming pairs and custom instrumentation, and
 :func:`repro.open_session` keeps a matching alive under streaming
-updates. The full documentation site lives in ``docs/`` (build it with
+updates. The same serving stack crosses machine boundaries through
+:mod:`repro.net`: :class:`MatchingServer`/:class:`MatchingClient` put
+the service behind a socket, and ``executor="remote"`` fans shard
+tasks out to :class:`ShardWorkerServer` processes. The full
+documentation site lives in ``docs/`` (build it with
 ``mkdocs build`` after ``pip install -e .[docs]``).
 """
 
@@ -103,6 +107,16 @@ from .dynamic import (
 
 # Importing the parallel package registers the "sharded-sb" algorithm.
 from .parallel import ShardedMatcher, available_executors, hilbert_ranges
+
+# The network layer sits on top of both the engine and the parallel
+# package, so it imports last.
+from .net import (
+    AsyncMatchingClient,
+    MatchingClient,
+    MatchingServer,
+    RemoteExecutor,
+    ShardWorkerServer,
+)
 from .data import (
     Dataset,
     generate_anticorrelated,
@@ -150,6 +164,11 @@ __all__ = [
     "ShardedMatcher",
     "available_executors",
     "hilbert_ranges",
+    "MatchingServer",
+    "MatchingClient",
+    "AsyncMatchingClient",
+    "ShardWorkerServer",
+    "RemoteExecutor",
     "MatchingReport",
     "match_with_capacities",
     "summarize",

@@ -36,7 +36,7 @@ _PANELS = {
 
 def _expand(figure: str) -> List[str]:
     if figure in ("ablations", "dynamic", "parallel", "serving",
-                  "throughput"):
+                  "throughput", "net"):
         return [figure]
     if figure == "all":
         return list(_PANELS)
@@ -46,7 +46,7 @@ def _expand(figure: str) -> List[str]:
         return [figure]
     raise SystemExit(
         f"unknown figure {figure!r}; choose from "
-        f"{['all', '2', '3', 'ablations', 'dynamic', 'parallel', 'serving', 'throughput'] + list(_PANELS)}"
+        f"{['all', '2', '3', 'ablations', 'dynamic', 'parallel', 'serving', 'throughput', 'net'] + list(_PANELS)}"
     )
 
 
@@ -63,9 +63,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "'parallel' (sharded matching speedup over "
                              "shard counts), 'serving' (cold match() "
                              "vs prepared.run() across algorithms x "
-                             "backends), or 'throughput' (batched "
+                             "backends), 'throughput' (batched "
                              "submit_many vs looped submit across "
-                             "batch sizes) (default: all)")
+                             "batch sizes), or 'net' (loopback "
+                             "server/worker subprocesses vs in-process "
+                             "serving) (default: all)")
     parser.add_argument("--scale", type=float, default=None,
                         help="workload scale vs the paper's cardinalities "
                              "(default: REPRO_BENCH_SCALE or 0.05)")
@@ -116,7 +118,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     parallel_results = []
     serving_result = None
     throughput_result = None
+    net_result = None
     for panel in panels:
+        if panel == "net":
+            from .net import format_net_table, net_sweep
+
+            try:
+                batch_sizes = [
+                    int(token) for token in args.batch_sizes.split(",")
+                    if token
+                ]
+            except ValueError:
+                raise SystemExit(
+                    f"--batch-sizes must be comma-separated integers, "
+                    f"got {args.batch_sizes!r}"
+                )
+            if not batch_sizes or min(batch_sizes) < 1:
+                raise SystemExit(
+                    f"--batch-sizes requires counts >= 1, "
+                    f"got {args.batch_sizes!r}"
+                )
+            net_result = net_sweep(
+                scale=scale, seed=args.seed,
+                batch_sizes=batch_sizes,
+            )
+            print()
+            print(format_net_table(net_result))
+            continue
         if panel == "throughput":
             from .throughput import (
                 format_throughput_table,
@@ -282,6 +310,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             target = directory / "throughput.json"
             save_throughput_json(throughput_result, target)
+            print(f"# wrote {target}")
+        if net_result is not None:
+            from .net import save_net_json
+
+            target = directory / "net.json"
+            save_net_json(net_result, target)
             print(f"# wrote {target}")
     return 0
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Tuple
 
 from ..errors import MatchingError
 from ..storage import DEFAULT_PAGE_SIZE
@@ -27,7 +27,9 @@ DELETION_MODES = ("delete", "filter")
 
 #: Executors understood by the sharded parallel layer (kept here, not in
 #: ``repro.parallel``, so config validation needs no circular import).
-EXECUTORS = ("process", "thread", "serial")
+#: ``"remote"`` dispatches shard tasks to :mod:`repro.net` shard worker
+#: servers over sockets.
+EXECUTORS = ("process", "thread", "serial", "remote")
 
 #: Admission policies understood by the serving layer.
 ADMISSION_POLICIES = ("block", "reject")
@@ -91,11 +93,20 @@ class MatchingConfig:
     executor:
         How shard matchings run: ``"process"`` (a
         :class:`concurrent.futures.ProcessPoolExecutor`, the true
-        multi-core path), ``"thread"``, or ``"serial"`` (in-line, for
-        debugging and deterministic tests).
+        multi-core path), ``"thread"``, ``"serial"`` (in-line, for
+        debugging and deterministic tests), or ``"remote"`` (shard
+        tasks shipped to :class:`~repro.net.ShardWorkerServer`
+        processes over sockets — the cross-node path; results are
+        pair-identical to every other executor).
     max_workers:
-        Worker cap for the process/thread executors (default: one per
-        shard, bounded by the scheduler's own limits).
+        Worker cap for the process/thread executors and the remote
+        executor's concurrent connections (default: one per shard,
+        bounded by the scheduler's own limits).
+    remote_workers:
+        ``"host:port"`` addresses of shard worker servers for
+        ``executor="remote"`` (falls back to the
+        ``REPRO_REMOTE_WORKERS`` environment variable, comma-separated,
+        when unset). Ignored by the local executors.
     cache_size:
         Serving path: how many results a
         :class:`~repro.engine.plan.PreparedMatching` keeps in its keyed
@@ -153,6 +164,7 @@ class MatchingConfig:
     shards: int = 1
     executor: str = "process"
     max_workers: Optional[int] = None
+    remote_workers: Optional[Tuple[str, ...]] = None
     # Serving-path switches.
     cache_size: int = 128
     max_inflight: Optional[int] = None
@@ -211,6 +223,21 @@ class MatchingConfig:
             raise MatchingError(
                 f"max_workers must be >= 1, got {self.max_workers}"
             )
+        if self.remote_workers is not None:
+            addresses = tuple(str(a) for a in self.remote_workers)
+            if not addresses:
+                raise MatchingError(
+                    "remote_workers must name at least one "
+                    "'host:port' address (or be None)"
+                )
+            for address in addresses:
+                host, _, port = address.rpartition(":")
+                if not host or not port.isdigit():
+                    raise MatchingError(
+                        f"remote_workers entries must look like "
+                        f"'host:port', got {address!r}"
+                    )
+            object.__setattr__(self, "remote_workers", addresses)
         if self.cache_size < 0:
             raise MatchingError(
                 f"cache_size must be >= 0, got {self.cache_size}"

@@ -434,6 +434,7 @@ class PreparedMatching:
             config = self.plan.config
             self._pool = ShardWorkerPool(
                 executor=config.executor, max_workers=config.max_workers,
+                remote_workers=config.remote_workers,
             )
         return self._pool
 

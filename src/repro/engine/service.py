@@ -130,6 +130,32 @@ class ServiceStats:
 
         return asdict(self)
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot, suitable for a stats endpoint.
+
+        Every value is a plain int, float, str, ``None``, or dict of
+        ints — ``json.dumps`` round-trips it losslessly, which is the
+        contract the :mod:`repro.net` ``stats`` RPC relies on.
+
+        Examples
+        --------
+        >>> import json
+        >>> import repro
+        >>> objects = repro.generate_independent(n=80, dims=2, seed=3)
+        >>> service = repro.MatchingService(objects, backend="memory")
+        >>> _ = service.submit(
+        ...     repro.generate_preferences(n=2, dims=2, seed=4))
+        >>> snap = service.snapshot().to_dict()
+        >>> (snap["requests"], snap["misses"], snap["cache_hits"])
+        (1, 1, 0)
+        >>> sorted(key for key in snap if key.startswith("latency"))
+        ['latency_p50_ms', 'latency_p95_ms']
+        >>> json.loads(json.dumps(snap)) == snap
+        True
+        >>> service.close()
+        """
+        return self.as_dict()
+
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile of an already-sorted sample (0 if empty)."""

@@ -91,6 +91,67 @@ class ServiceOverloadedError(MatchingError):
     """
 
 
+class NetworkError(ReproError):
+    """Base class for the :mod:`repro.net` socket serving layer."""
+
+
+class CodecError(NetworkError):
+    """Raised when a request or result cannot cross the wire.
+
+    The JSON codec is exact only for :class:`~repro.prefs.LinearPreference`
+    workloads; any other preference type (monotone functions, ad-hoc
+    callables) has no faithful wire form and is rejected with this error
+    instead of being silently approximated.
+    """
+
+
+class ConnectionRetriesExceededError(NetworkError):
+    """Raised when a client exhausts its connect retry budget.
+
+    Carries how many ``attempts`` were made and the ``last_error`` the
+    final attempt raised, so callers can distinguish a down server from
+    a misconfigured address without parsing the message.
+    """
+
+    def __init__(self, address: str, attempts: int,
+                 last_error: object = None) -> None:
+        super().__init__(
+            f"could not connect to {address} after {attempts} attempt(s): "
+            f"{last_error!r}"
+        )
+        self.address = address
+        self.attempts = attempts
+        self.last_error = last_error
+
+    def __reduce__(self):
+        # See PageNotFoundError.__reduce__: keep worker-raised
+        # instances picklable across process-pool boundaries.
+        return (type(self), (self.address, self.attempts, self.last_error))
+
+
+class RemoteError(NetworkError):
+    """A server-side failure surfaced to a network client.
+
+    ``code`` is the HTTP-flavoured status the server attached to the
+    error frame (400 bad request, 429 overloaded, 500 internal, 503
+    draining, 504 timed out); ``remote_type`` names the exception class
+    the server actually raised. Errors with exact local counterparts
+    (overload, codec) are re-raised as those types instead of this one.
+    """
+
+    def __init__(self, code: int, remote_type: str, message: str) -> None:
+        super().__init__(f"[{code} {remote_type}] {message}")
+        self.code = code
+        self.remote_type = remote_type
+        self.remote_message = message
+
+    def __reduce__(self):
+        # See PageNotFoundError.__reduce__: keep worker-raised
+        # instances picklable across process-pool boundaries.
+        return (type(self), (self.code, self.remote_type,
+                             self.remote_message))
+
+
 class DatasetError(ReproError):
     """Raised for malformed datasets (NaNs, out-of-range values, bad shape)."""
 

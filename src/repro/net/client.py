@@ -1,0 +1,386 @@
+"""Network clients: the remote face of ``service.submit``.
+
+Two clients over the same wire protocol, mirroring the in-process
+serving API:
+
+:class:`MatchingClient`
+    Synchronous, for scripts, benchmarks, and thread-based callers.
+    One blocking socket per client; :meth:`MatchingClient.submit_many`
+    pipelines a whole batch over the single connection (all request
+    frames written before any response is read), which is what lets
+    the server coalesce the batch into one vectorized
+    ``submit_many`` pass.
+:class:`AsyncMatchingClient`
+    The same surface for asyncio callers, over an
+    :class:`asyncio.StreamReader`/``Writer`` pair.
+
+Both connect lazily with bounded exponential-backoff retries
+(:class:`~repro.errors.ConnectionRetriesExceededError` carries the
+attempt count and the last socket error when the budget is spent), and
+both convert error frames back into typed exceptions: a 429 frame
+raises the same :class:`~repro.errors.ServiceOverloadedError` an
+in-process caller would see, a codec rejection raises
+:class:`~repro.errors.CodecError`, anything else raises
+:class:`~repro.errors.RemoteError` with the server's status code.
+
+Per-request timeouts ride inside the request itself
+(:class:`~repro.engine.request.MatchingRequest` ``timeout``) and are
+enforced server-side (a 504 frame comes back); the client-level
+``timeout`` bounds socket I/O.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..engine.request import MatchingRequest
+from ..engine.result import MatchResult
+from ..errors import (
+    CodecError,
+    NetworkError,
+    RemoteError,
+    ServiceOverloadedError,
+)
+from .codec import decode_result, encode_request
+from .frames import (
+    DEFAULT_BACKOFF_SECONDS,
+    DEFAULT_CONNECT_ATTEMPTS,
+    connect_with_retry,
+    read_frame_async,
+    recv_frame,
+    send_frame,
+    start_closing,
+    write_frame_async,
+)
+
+__all__ = ["MatchingClient", "AsyncMatchingClient"]
+
+
+def raise_error_frame(error: Dict[str, Any]) -> None:
+    """Convert one error frame back into its typed local exception."""
+    code = int(error.get("code", 500))
+    remote_type = str(error.get("type", "Exception"))
+    message = str(error.get("message", ""))
+    if code == 429 or remote_type == "ServiceOverloadedError":
+        raise ServiceOverloadedError(message)
+    if remote_type == "CodecError":
+        raise CodecError(message)
+    raise RemoteError(code, remote_type, message)
+
+
+def _decode_response(frame: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(frame.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise NetworkError(f"malformed response frame: {error}")
+    if not isinstance(message, dict) or "id" not in message:
+        raise NetworkError("malformed response frame: no request id")
+    return message
+
+
+def _collect(responses: Dict[Any, Dict[str, Any]],
+             wanted: Sequence[Any]) -> List[MatchResult]:
+    """Order responses by submission; raise the first error in order."""
+    results: List[MatchResult] = []
+    for message_id in wanted:
+        message = responses[message_id]
+        if not message.get("ok"):
+            raise_error_frame(message.get("error") or {})
+        results.append(decode_result(message.get("payload") or {}))
+    return results
+
+
+class MatchingClient:
+    """A synchronous client for one :class:`~repro.net.MatchingServer`.
+
+    Parameters
+    ----------
+    host / port:
+        The server address.
+    timeout:
+        Socket timeout in seconds for connect and I/O (``None`` blocks
+        indefinitely — per-request deadlines belong on the requests).
+    connect_attempts / backoff:
+        Connect retry budget and initial backoff (doubled per retry).
+
+    Not thread-safe: one client per thread (clients are cheap — one
+    socket each).
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: Optional[float] = None,
+                 connect_attempts: int = DEFAULT_CONNECT_ATTEMPTS,
+                 backoff: float = DEFAULT_BACKOFF_SECONDS) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connect_attempts = connect_attempts
+        self.backoff = backoff
+        self._sock: Optional[socket.socket] = None
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        """Connect now (otherwise the first call connects lazily)."""
+        if self._sock is None:
+            self._sock = connect_with_retry(
+                self.host, self.port,
+                attempts=self.connect_attempts, backoff=self.backoff,
+                timeout=self.timeout,
+            )
+
+    def close(self) -> None:
+        """Close the connection (idempotent; the client is reusable —
+        the next call reconnects)."""
+        if self._sock is not None:
+            sock, self._sock = self._sock, None
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - teardown
+                pass
+
+    def __enter__(self) -> "MatchingClient":
+        self.connect()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The wire exchange
+    # ------------------------------------------------------------------
+    def _exchange(self, messages: List[Dict[str, Any]],
+                  ) -> List[Dict[str, Any]]:
+        """Pipeline request frames, demultiplex responses by id."""
+        self.connect()
+        assert self._sock is not None
+        wanted = [message["id"] for message in messages]
+        try:
+            for message in messages:
+                send_frame(self._sock,
+                           json.dumps(message).encode("utf-8"))
+            responses: Dict[Any, Dict[str, Any]] = {}
+            outstanding = set(wanted)
+            while outstanding:
+                frame = recv_frame(self._sock)
+                if frame is None:
+                    raise NetworkError(
+                        f"server closed the connection with "
+                        f"{len(outstanding)} response(s) outstanding"
+                    )
+                message = _decode_response(frame)
+                if message["id"] in outstanding:
+                    outstanding.discard(message["id"])
+                    responses[message["id"]] = message
+            return [responses[message_id] for message_id in wanted]
+        except (OSError, NetworkError):
+            # The stream is no longer frame-aligned; drop it so the
+            # next call reconnects cleanly.
+            self.close()
+            raise
+
+    def _call(self, op: str,
+              payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        message = {"id": next(self._ids), "op": op,
+                   "payload": payload or {}}
+        (response,) = self._exchange([message])
+        if not response.get("ok"):
+            raise_error_frame(response.get("error") or {})
+        return response.get("payload") or {}
+
+    # ------------------------------------------------------------------
+    # The serving surface
+    # ------------------------------------------------------------------
+    def submit(self, request: Any) -> MatchResult:
+        """Answer one workload remotely (mirrors ``service.submit``)."""
+        return self.submit_many([request])[0]
+
+    def submit_many(self, requests: Sequence[Any]) -> List[MatchResult]:
+        """Answer a batch, pipelined over the one connection.
+
+        All frames are written before any response is read, so the
+        server's micro-batcher sees the whole batch at once. Results
+        come back in submission order; the first failed request's typed
+        error is raised (after all responses are drained, so the
+        connection survives).
+        """
+        batch = [MatchingRequest.of(request) for request in requests]
+        if not batch:
+            return []
+        messages = [
+            {"id": next(self._ids), "op": "match",
+             "payload": encode_request(request)}
+            for request in batch
+        ]
+        responses = self._exchange(messages)
+        by_id = {message["id"]: message for message in responses}
+        return _collect(by_id, [message["id"] for message in messages])
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's :class:`~repro.engine.service.ServiceStats`
+        snapshot as a plain dict (the ``stats`` RPC)."""
+        return self._call("stats")
+
+    def health(self) -> Dict[str, Any]:
+        """The server's liveness/drain state (the ``health`` RPC)."""
+        return self._call("health")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "connected" if self._sock is not None else "idle"
+        return f"MatchingClient({self.host}:{self.port}, {state})"
+
+
+class AsyncMatchingClient:
+    """The asyncio twin of :class:`MatchingClient`.
+
+    Same surface (``submit`` / ``submit_many`` / ``stats`` /
+    ``health``), same retry and error conversion, over asyncio streams.
+    Calls are serialized on an internal lock; to exploit server-side
+    coalescing from one client, pipeline with
+    :meth:`AsyncMatchingClient.submit_many`.
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 connect_attempts: int = DEFAULT_CONNECT_ATTEMPTS,
+                 backoff: float = DEFAULT_BACKOFF_SECONDS) -> None:
+        self.host = host
+        self.port = port
+        self.connect_attempts = connect_attempts
+        self.backoff = backoff
+        self._reader: Optional[Any] = None
+        self._writer: Optional[Any] = None
+        self._lock: Optional[Any] = None
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    async def connect(self) -> None:
+        """Connect with bounded retry/backoff (idempotent)."""
+        import asyncio
+
+        if self._writer is not None:
+            return
+        if self._lock is None:
+            self._lock = asyncio.Lock()
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.connect_attempts):
+            if attempt:
+                await asyncio.sleep(
+                    self.backoff * (2 ** (attempt - 1))
+                )
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                return
+            except OSError as error:
+                last_error = error
+        from ..errors import ConnectionRetriesExceededError
+
+        raise ConnectionRetriesExceededError(
+            f"{self.host}:{self.port}", self.connect_attempts, last_error
+        )
+
+    async def aclose(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._writer is not None:
+            writer, self._writer = self._writer, None
+            self._reader = None
+            start_closing(writer)
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def __aenter__(self) -> "AsyncMatchingClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, exc_type: object, exc: object,
+                        tb: object) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # The wire exchange
+    # ------------------------------------------------------------------
+    async def _exchange(self, messages: List[Dict[str, Any]],
+                        ) -> List[Dict[str, Any]]:
+        await self.connect()
+        assert self._lock is not None
+        async with self._lock:
+            assert self._reader is not None and self._writer is not None
+            wanted = [message["id"] for message in messages]
+            try:
+                for message in messages:
+                    await write_frame_async(
+                        self._writer,
+                        json.dumps(message).encode("utf-8"),
+                    )
+                responses: Dict[Any, Dict[str, Any]] = {}
+                outstanding = set(wanted)
+                while outstanding:
+                    frame = await read_frame_async(self._reader)
+                    if frame is None:
+                        raise NetworkError(
+                            f"server closed the connection with "
+                            f"{len(outstanding)} response(s) outstanding"
+                        )
+                    message = _decode_response(frame)
+                    if message["id"] in outstanding:
+                        outstanding.discard(message["id"])
+                        responses[message["id"]] = message
+                return [responses[message_id] for message_id in wanted]
+            except (OSError, NetworkError):
+                await self.aclose()
+                raise
+
+    async def _call(self, op: str,
+                    payload: Optional[Dict[str, Any]] = None,
+                    ) -> Dict[str, Any]:
+        message = {"id": next(self._ids), "op": op,
+                   "payload": payload or {}}
+        (response,) = await self._exchange([message])
+        if not response.get("ok"):
+            raise_error_frame(response.get("error") or {})
+        return response.get("payload") or {}
+
+    # ------------------------------------------------------------------
+    # The serving surface
+    # ------------------------------------------------------------------
+    async def submit(self, request: Any) -> MatchResult:
+        """Answer one workload remotely (mirrors ``front.submit``)."""
+        results = await self.submit_many([request])
+        return results[0]
+
+    async def submit_many(self,
+                          requests: Sequence[Any]) -> List[MatchResult]:
+        """Answer a batch, pipelined over the one connection."""
+        batch = [MatchingRequest.of(request) for request in requests]
+        if not batch:
+            return []
+        messages = [
+            {"id": next(self._ids), "op": "match",
+             "payload": encode_request(request)}
+            for request in batch
+        ]
+        responses = await self._exchange(messages)
+        by_id = {message["id"]: message for message in responses}
+        return _collect(by_id, [message["id"] for message in messages])
+
+    async def stats(self) -> Dict[str, Any]:
+        """The server's stats snapshot (the ``stats`` RPC)."""
+        return await self._call("stats")
+
+    async def health(self) -> Dict[str, Any]:
+        """The server's liveness/drain state (the ``health`` RPC)."""
+        return await self._call("health")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "connected" if self._writer is not None else "idle"
+        return f"AsyncMatchingClient({self.host}:{self.port}, {state})"

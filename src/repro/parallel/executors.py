@@ -1,6 +1,6 @@
 """Shard executors: how the per-shard matchings actually run.
 
-Three strategies behind one function, selected by
+Four strategies behind one function, selected by
 ``MatchingConfig.executor``:
 
 ``"process"``
@@ -17,8 +17,14 @@ Three strategies behind one function, selected by
 ``"serial"``
     Plain in-line execution, in shard order. Deterministic and
     dependency-free — the default in tests.
+``"remote"``
+    A :class:`~repro.net.RemoteExecutor` fanning tasks out to
+    :class:`~repro.net.ShardWorkerServer` processes over sockets
+    (addresses from ``MatchingConfig.remote_workers`` or the
+    ``REPRO_REMOTE_WORKERS`` environment variable). Unreachable
+    workers fail the run loudly — never a silent local fallback.
 
-All three return outcomes in shard order regardless of completion
+All four return outcomes in shard order regardless of completion
 order, so the merge is deterministic.
 """
 
@@ -60,7 +66,8 @@ class ShardWorkerPool:
     """
 
     def __init__(self, executor: str = "process",
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 remote_workers: Optional[Sequence[str]] = None) -> None:
         if executor not in EXECUTORS:
             raise MatchingError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}"
@@ -71,6 +78,8 @@ class ShardWorkerPool:
             )
         self.executor = executor
         self.max_workers = max_workers
+        self.remote_workers = remote_workers
+        self._remote: Optional[object] = None
         self._pool: Optional["Executor"] = None
         #: Underlying executor constructions (1 after the first parallel
         #: run; stays 1 for the pool's whole life).
@@ -97,6 +106,17 @@ class ShardWorkerPool:
             self.spawn_count += 1
         return self._pool
 
+    def _ensure_remote(self):
+        if self._remote is None:
+            from ..net.worker import RemoteExecutor
+
+            self._remote = RemoteExecutor(
+                self.remote_workers or (),
+                max_workers=self.max_workers,
+            )
+            self.spawn_count += 1
+        return self._remote
+
     def run(self, tasks: Sequence[ShardTask]) -> List[ShardOutcome]:
         """Run one batch of shard tasks, in shard order."""
         if self._closed:
@@ -105,6 +125,10 @@ class ShardWorkerPool:
         self.runs += 1
         if not tasks:
             return []
+        if self.executor == "remote":
+            # Routed before every local shortcut: even a single-task
+            # batch must run on the cluster the caller configured.
+            return self._ensure_remote().run(tasks)
         workers = (
             self.max_workers if self.max_workers is not None else len(tasks)
         )
@@ -151,6 +175,9 @@ class ShardWorkerPool:
         The no-wait teardown is reserved for the fallback path and GC.
         """
         self._abandon_pool(wait=True)
+        remote, self._remote = self._remote, None
+        if remote is not None:
+            remote.close()
         self._closed = True
 
     def __enter__(self) -> "ShardWorkerPool":
@@ -260,18 +287,22 @@ class BoundedThreadPool:
 
 def run_shard_tasks(tasks: Sequence[ShardTask], executor: str = "process",
                     max_workers: Optional[int] = None,
+                    remote_workers: Optional[Sequence[str]] = None,
                     ) -> List[ShardOutcome]:
     """Run every shard task under the named executor, in shard order.
 
     One-shot convenience over :class:`ShardWorkerPool` — the pool is
     created and torn down around the single batch, so both the one-shot
     and the persistent serving path share one copy of the dispatch and
-    platform-fallback policy.
+    platform-fallback policy. ``remote_workers`` only matters for
+    ``executor="remote"`` (its connections are torn down with the pool;
+    serving paths that want persistent connections hold a pool).
     """
     tasks = list(tasks)
     workers = max_workers if max_workers is not None else len(tasks)
     with ShardWorkerPool(
         executor=executor,
         max_workers=max(1, min(workers, max(1, len(tasks)))),
+        remote_workers=remote_workers,
     ) as pool:
         return pool.run(tasks)

@@ -196,6 +196,7 @@ class ShardedMatcher(Matcher):
             outcomes = run_shard_tasks(
                 tasks, executor=self.executor,
                 max_workers=self.config.max_workers,
+                remote_workers=self.config.remote_workers,
             )
 
         merge_start = time.perf_counter()

@@ -29,6 +29,7 @@ engine_request = importlib.import_module("repro.engine.request")
 engine_batch = importlib.import_module("repro.engine.batch")
 engine_async = importlib.import_module("repro.engine.async_service")
 prefs_functions = importlib.import_module("repro.prefs.functions")
+net_codec = importlib.import_module("repro.net.codec")
 
 DOCUMENTED_MODULES = [
     repro,
@@ -40,6 +41,7 @@ DOCUMENTED_MODULES = [
     engine_request,
     engine_batch,
     engine_async,
+    net_codec,
     prefs_functions,
     repro.dynamic,
     repro.parallel.partition,

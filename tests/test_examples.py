@@ -104,6 +104,17 @@ def test_batch_serving_runs(capsys):
     assert "verified: async results == from-scratch repro.match()" in out
 
 
+def test_network_serving_runs(capsys):
+    module = load_example("network_serving")
+    module.main(n_listings=500, n_buyers=8, n_requests=8, shards=2)
+    out = capsys.readouterr().out
+    assert "pipelined connection" in out
+    assert ("verified: served results == in-process submit_many "
+            "(scores bit-exact) == from-scratch repro.match()") in out
+    assert "verified: executor='remote' matching" in out
+    assert "health: ok" in out
+
+
 def test_examples_have_docstrings_and_main_guard():
     for path in sorted(EXAMPLES_DIR.glob("*.py")):
         source = path.read_text()

@@ -1,0 +1,205 @@
+"""The wire codec: bit-exact round trips and typed failures.
+
+The network protocol is only trustworthy if a decoded message is
+*indistinguishable* from the original — same pairs, same scores down to
+the last bit, same provenance — across every algorithm and both the 1-1
+and capacitated shapes. Property tests drive that here; the codec's
+refusal behaviour (non-linear workloads) and the picklability of every
+network exception (they cross process boundaries in worker error
+frames) are pinned alongside.
+"""
+
+import json
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.data import Dataset
+from repro.errors import (CodecError, ConnectionRetriesExceededError,
+                          NetworkError, RemoteError)
+from repro.net.codec import (decode_request, decode_result, encode_request,
+                             encode_result)
+from repro.prefs import LinearPreference, MinPreference
+
+# Coarse grids maximize exact score ties and duplicate points (see
+# tests/test_prop_parallel.py for the rounding rationale).
+coarse = st.integers(min_value=0, max_value=3).map(lambda v: v / 3)
+fine = st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+                 allow_infinity=False).map(lambda v: round(v, 6))
+coordinate = st.one_of(coarse, fine)
+positive = st.floats(min_value=1e-6, max_value=1.0, allow_nan=False)
+
+instances = st.tuples(
+    st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=20),
+    st.lists(st.tuples(positive, positive), min_size=1, max_size=6),
+    st.sampled_from(["sb", "bf", "chain"]),
+    st.booleans(),                                   # capacitated?
+)
+
+
+def build(points, raw_weights):
+    objects = Dataset([list(point) for point in points])
+    functions = [
+        LinearPreference.normalized(fid, list(weights))
+        for fid, weights in enumerate(raw_weights)
+    ]
+    return objects, functions
+
+
+def as_triples(result):
+    return sorted(
+        (pair.function_id, pair.object_id, pair.score, pair.round,
+         pair.rank)
+        for pair in result.pairs
+    )
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(st.tuples(positive, positive), min_size=1, max_size=8),
+    st.lists(st.text(max_size=8), max_size=3),
+    st.integers(min_value=-5, max_value=5),
+    st.one_of(st.none(), st.floats(min_value=0.01, max_value=30.0,
+                                   allow_nan=False)),
+    st.booleans(),
+)
+def test_request_round_trip_is_identity(raw_weights, tags, priority,
+                                        timeout, use_cache):
+    functions = tuple(
+        LinearPreference.normalized(fid, list(weights))
+        for fid, weights in enumerate(raw_weights)
+    )
+    request = repro.MatchingRequest(
+        functions, tags=tuple(tags), priority=priority,
+        timeout=timeout, use_cache=use_cache,
+    )
+    # Through actual JSON text, not just the dict: the wire carries
+    # serialized bytes, and repr-based float serialization must
+    # round-trip every weight bit-for-bit.
+    wire = json.dumps(encode_request(request))
+    assert decode_request(json.loads(wire)) == request
+
+
+def test_request_cache_key_survives_the_wire():
+    objects = repro.generate_independent(n=40, dims=3, seed=1)
+    prefs = repro.generate_preferences(n=4, dims=3, seed=2)
+    request = repro.MatchingRequest(prefs)
+    clone = decode_request(encode_request(request))
+    prepared = repro.plan(backend="memory").prepare(objects)
+    try:
+        assert (prepared.request_key(list(clone.functions))
+                == prepared.request_key(list(request.functions)))
+    finally:
+        prepared.close()
+
+
+@pytest.mark.parametrize("bad", [
+    MinPreference(0, (0.5, 0.5)),
+    type("SubLinear", (LinearPreference,), {})(0, (0.5, 0.5)),
+])
+def test_non_linear_workloads_are_rejected(bad):
+    request = repro.MatchingRequest([bad])
+    with pytest.raises(CodecError) as excinfo:
+        encode_request(request)
+    assert "faithful wire form" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("payload", [
+    {},                                   # missing functions
+    {"functions": [[0, "x"]]},            # malformed weights
+    {"functions": "nope"},                # wrong shape
+])
+def test_malformed_request_payloads_raise_codec_error(payload):
+    with pytest.raises(CodecError):
+        decode_request(payload)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(instances)
+def test_result_round_trip_is_exact(instance):
+    points, raw_weights, algorithm, capacitated = instance
+    objects, functions = build(points, raw_weights)
+    capacities = None
+    if capacitated:
+        capacities = {
+            object_id: (object_id % 3) for object_id, _ in objects.items()
+        }
+    result = repro.match(objects, functions, algorithm=algorithm,
+                         backend="memory", capacities=capacities)
+    wire = json.dumps(encode_result(result))
+    clone = decode_result(json.loads(wire))
+    assert as_triples(clone) == as_triples(result)
+    assert sorted(clone.unmatched_functions) == sorted(
+        result.unmatched_functions
+    )
+    assert clone.unmatched_objects_count == result.unmatched_objects_count
+    assert clone.algorithm == result.algorithm
+    assert clone.backend == result.backend
+    assert clone.capacities == result.capacities
+
+
+def test_result_round_trip_preserves_io_and_provenance():
+    objects = repro.generate_independent(n=60, dims=2, seed=4)
+    prefs = repro.generate_preferences(n=5, dims=2, seed=6)
+    result = repro.match(objects, prefs)  # disk backend: io is populated
+    clone = decode_result(json.loads(json.dumps(encode_result(result))))
+    assert clone.io == result.io
+    assert clone.io.page_reads == result.io.page_reads
+    assert clone.seed == result.seed
+    assert dict(clone.stats) == dict(result.stats)
+    assert clone.cpu_seconds == result.cpu_seconds
+
+
+@pytest.mark.parametrize("payload", [
+    {},                                   # missing pairs
+    {"pairs": [[0, 1]]},                  # truncated pair
+    {"pairs": [[0, 1, "x", 0, 0]]},       # non-numeric score
+])
+def test_malformed_result_payloads_raise_codec_error(payload):
+    with pytest.raises(CodecError):
+        decode_result(payload)
+
+
+# ----------------------------------------------------------------------
+# Exceptions cross process boundaries in worker error frames
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("error", [
+    NetworkError("boom"),
+    CodecError("bad frame"),
+    ConnectionRetriesExceededError("host:1", 3, OSError(111, "refused")),
+    RemoteError(429, "ServiceOverloadedError", "too busy"),
+])
+def test_network_errors_are_picklable(error):
+    clone = pickle.loads(pickle.dumps(error))
+    assert type(clone) is type(error)
+    assert str(clone) == str(error)
+
+
+def test_retries_exceeded_error_carries_diagnostics_through_pickle():
+    original = ConnectionRetriesExceededError(
+        "worker-9:4040", 5, OSError(111, "refused")
+    )
+    clone = pickle.loads(pickle.dumps(original))
+    assert clone.address == "worker-9:4040"
+    assert clone.attempts == 5
+    assert isinstance(clone.last_error, OSError)
+
+
+def test_remote_error_carries_the_remote_type_through_pickle():
+    clone = pickle.loads(pickle.dumps(
+        RemoteError(400, "MatchingError", "dims mismatch")
+    ))
+    assert clone.code == 400
+    assert clone.remote_type == "MatchingError"
+    assert clone.remote_message == "dims mismatch"

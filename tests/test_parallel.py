@@ -90,7 +90,8 @@ def test_parallel_config_validation(bad):
 
 
 def test_available_executors():
-    assert set(available_executors()) == {"process", "thread", "serial"}
+    assert set(available_executors()) == {"process", "thread", "serial",
+                                          "remote"}
 
 
 def test_sharded_algorithm_registered():
