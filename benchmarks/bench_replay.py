@@ -1,0 +1,92 @@
+"""Replay scenarios: the zero-staleness + exact-rewind acceptance bar.
+
+Every shipped scenario trace (``diurnal``, ``flash-crowd``,
+``adversarial``) is replayed against the full serving stack with
+per-burst ground-truth verification on, and must finish with **zero**
+stale cache hits and **zero** freshness mismatches — a cached result
+that a cold recompute at the same clock would contradict is a
+cache-invalidation bug, full stop. The flash-crowd scenario (three
+phases: calm / flash / recovery) additionally gates exact rewind:
+rewinding to every phase boundary must restore matching pairs, cache
+keys, and per-window serving-counter deltas bit-identically.
+
+When ``REPLAY_REPORT_DIR`` is set (the ``replay-smoke`` CI job does),
+each scenario's :class:`~repro.replay.ScenarioReport` is saved there as
+JSON and uploaded as the build artifact.
+
+No skips — this file runs anywhere (plain
+``pytest benchmarks/bench_replay.py``; in-process only).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.replay import ReplayDriver, available_scenarios, scenario_trace
+
+SEED = 91
+SCALE = 0.5
+
+
+def _maybe_save(report):
+    directory = os.environ.get("REPLAY_REPORT_DIR")
+    if directory:
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        report.save_json(target / f"{report.trace_name}-report.json")
+
+
+@pytest.mark.parametrize("scenario", sorted(available_scenarios()))
+def test_scenario_serves_zero_stale_results(scenario):
+    """Acceptance bar: every scenario replay is 100% fresh."""
+    trace = scenario_trace(scenario, seed=SEED, scale=SCALE)
+    with ReplayDriver(trace, backend="memory", verify=True) as driver:
+        report = driver.run()
+    _maybe_save(report)
+    assert report.requests > 0 and report.churn_events > 0
+    assert report.freshness_checks > 0
+    assert report.stale_hits == 0, (
+        f"{scenario}: {report.stale_hits} stale cache hits served"
+    )
+    assert report.freshness_mismatches == 0, (
+        f"{scenario}: {report.freshness_mismatches} served results "
+        f"diverged from a ground-truth recompute at the same clock"
+    )
+
+
+def _full_state(driver):
+    pairs = tuple(
+        (pair.function_id, pair.object_id, pair.score)
+        for pair in driver.matching().pairs
+    )
+    windows = tuple(
+        (window.name, tuple(sorted(window.counters.items())),
+         dict(window.events), window.freshness_checks, window.stale_hits)
+        for window in driver._windows
+    )
+    return pairs, driver.cache_keys(), windows
+
+
+def test_flash_crowd_rewind_is_bit_identical():
+    """Acceptance bar: exact rewind on the 3-phase flash-crowd trace."""
+    trace = scenario_trace("flash-crowd", seed=SEED, scale=SCALE)
+    spans = trace.phase_spans()
+    assert list(spans) == ["calm", "flash", "recovery"]
+    with ReplayDriver(trace, backend="memory", verify=True) as driver:
+        boundary_states = {}
+        for _, (_, end) in spans.items():
+            driver.advance(end)
+            boundary_states[end] = _full_state(driver)
+        # Newest boundary first: rewind only travels backwards.
+        for end in sorted(boundary_states, reverse=True):
+            driver.rewind(end)
+            assert _full_state(driver) == boundary_states[end], (
+                f"rewind({end}) did not restore exact state"
+            )
+        # Replaying forward from the earliest rewind must land on the
+        # same terminal state as the straight-through pass.
+        final = boundary_states[max(boundary_states)]
+        report = driver.run()
+        assert _full_state(driver) == final
+    assert report.ok

@@ -56,9 +56,13 @@ for streaming pairs and custom instrumentation, and
 updates. The same serving stack crosses machine boundaries through
 :mod:`repro.net`: :class:`MatchingServer`/:class:`MatchingClient` put
 the service behind a socket, and ``executor="remote"`` fans shard
-tasks out to :class:`ShardWorkerServer` processes. The full
-documentation site lives in ``docs/`` (build it with
-``mkdocs build`` after ``pip install -e .[docs]``).
+tasks out to :class:`ShardWorkerServer` processes.
+:mod:`repro.replay` exercises all of the above as one system: it
+replays time-stamped churn + request traces against the serving stack
+(:class:`ReplayDriver`), verifies every served result against a
+ground-truth recompute, and can rewind the whole system to any earlier
+clock, bit-identically. The full documentation site lives in ``docs/``
+(build it with ``mkdocs build`` after ``pip install -e .[docs]``).
 """
 
 from .core import (
@@ -117,6 +121,16 @@ from .net import (
     RemoteExecutor,
     ShardWorkerServer,
 )
+
+# The replay harness drives the whole stack (engine + dynamic + net)
+# under a simulated clock, so it imports after all of them.
+from .replay import (
+    ReplayDriver,
+    ScenarioReport,
+    Trace,
+    TraceRecorder,
+    scenario_trace,
+)
 from .data import (
     Dataset,
     generate_anticorrelated,
@@ -169,6 +183,11 @@ __all__ = [
     "AsyncMatchingClient",
     "ShardWorkerServer",
     "RemoteExecutor",
+    "ReplayDriver",
+    "ScenarioReport",
+    "Trace",
+    "TraceRecorder",
+    "scenario_trace",
     "MatchingReport",
     "match_with_capacities",
     "summarize",

@@ -36,7 +36,7 @@ _PANELS = {
 
 def _expand(figure: str) -> List[str]:
     if figure in ("ablations", "dynamic", "parallel", "serving",
-                  "throughput", "net"):
+                  "throughput", "net", "replay"):
         return [figure]
     if figure == "all":
         return list(_PANELS)
@@ -46,7 +46,7 @@ def _expand(figure: str) -> List[str]:
         return [figure]
     raise SystemExit(
         f"unknown figure {figure!r}; choose from "
-        f"{['all', '2', '3', 'ablations', 'dynamic', 'parallel', 'serving', 'throughput', 'net'] + list(_PANELS)}"
+        f"{['all', '2', '3', 'ablations', 'dynamic', 'parallel', 'serving', 'throughput', 'net', 'replay'] + list(_PANELS)}"
     )
 
 
@@ -65,9 +65,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "vs prepared.run() across algorithms x "
                              "backends), 'throughput' (batched "
                              "submit_many vs looped submit across "
-                             "batch sizes), or 'net' (loopback "
+                             "batch sizes), 'net' (loopback "
                              "server/worker subprocesses vs in-process "
-                             "serving) (default: all)")
+                             "serving), or 'replay' (time-stamped "
+                             "scenario traces against the full serving "
+                             "stack with ground-truth freshness checks "
+                             "and an exact-rewind gate) (default: all)")
     parser.add_argument("--scale", type=float, default=None,
                         help="workload scale vs the paper's cardinalities "
                              "(default: REPRO_BENCH_SCALE or 0.05)")
@@ -119,7 +122,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     serving_result = None
     throughput_result = None
     net_result = None
+    replay_result = None
     for panel in panels:
+        if panel == "replay":
+            from .replay import format_replay_table, replay_sweep
+
+            replay_result = replay_sweep(
+                scale=scale, seed=args.seed,
+                backend=args.backend if args.backend is not None
+                else "memory",
+            )
+            print()
+            print(format_replay_table(replay_result))
+            continue
         if panel == "net":
             from .net import format_net_table, net_sweep
 
@@ -316,6 +331,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             target = directory / "net.json"
             save_net_json(net_result, target)
+            print(f"# wrote {target}")
+        if replay_result is not None:
+            from .replay import save_replay_json
+
+            target = directory / "replay.json"
+            save_replay_json(replay_result, target)
             print(f"# wrote {target}")
     return 0
 

@@ -52,7 +52,7 @@ from .events import (
     replay_events,
 )
 from .repair import RepairEngine, RepairStats
-from .session import DynamicMatcher
+from .session import DynamicMatcher, SessionCheckpoint
 from .workload import (
     MIXED_CHURN,
     OBJECT_CHURN,
@@ -77,6 +77,7 @@ __all__ = [
     "RemoveFunction",
     "RepairEngine",
     "RepairStats",
+    "SessionCheckpoint",
     "UpdateMix",
     "apply_events",
     "events_for_ratio",

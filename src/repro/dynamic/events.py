@@ -5,6 +5,12 @@ objects arriving and leaving, preference functions arriving and leaving —
 expressed as small frozen dataclasses so streams can be generated,
 logged, replayed, and asserted on in tests.
 
+Every event carries an arrival timestamp ``ts`` (simulated seconds,
+default ``0.0``). Sessions apply events strictly in *submission* order
+and never consult ``ts``; the timestamp exists for time-aware drivers —
+:mod:`repro.replay` interleaves churn with request arrivals by ``ts`` —
+and for traces that must round-trip through serialization.
+
 :class:`EventLog` is the session's staging area: events are appended as
 they are submitted and drained in arrival order when a batch is applied
 (``batch_size`` controls how many may accumulate before the session
@@ -28,6 +34,7 @@ class InsertObject:
 
     object_id: int
     point: Tuple[float, ...]
+    ts: float = 0.0
 
     kind = "insert_object"
 
@@ -37,6 +44,7 @@ class DeleteObject:
     """An existing object leaves (sold, expired, withdrawn)."""
 
     object_id: int
+    ts: float = 0.0
 
     kind = "delete_object"
 
@@ -46,6 +54,7 @@ class AddFunction:
     """A new user/preference function arrives."""
 
     function: LinearPreference
+    ts: float = 0.0
 
     kind = "add_function"
 
@@ -55,6 +64,7 @@ class RemoveFunction:
     """An existing user/preference function leaves."""
 
     function_id: int
+    ts: float = 0.0
 
     kind = "remove_function"
 

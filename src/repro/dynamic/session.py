@@ -25,7 +25,8 @@ pending events first, so results always reflect every submitted event.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,6 +47,30 @@ from .events import (
     RemoveFunction,
 )
 from .repair import RepairEngine
+
+
+@dataclass(frozen=True)
+class SessionCheckpoint:
+    """The complete logical state of a :class:`DynamicMatcher`, frozen.
+
+    Captures everything the canonical matching is a function of — the
+    surviving points and preference functions, the matched triples with
+    their exact scores, the id-reuse blocklist — plus the event-log
+    totals, so a restored session reports the same ``events_applied``
+    counters it did at capture time. Physical state (tree layout,
+    tombstone/pending buffers, skyline caches) is deliberately *not*
+    captured: the matching is determined by logical state alone (the
+    canonical greedy matching is unique), so :meth:`DynamicMatcher.restore`
+    may rebuild physical state from scratch and still reproduce
+    bit-identical pairs.
+    """
+
+    points: Tuple[Tuple[int, Tuple[float, ...]], ...]
+    functions: Tuple[LinearPreference, ...]
+    pairs: Tuple[Tuple[int, int, float], ...]
+    blocked: Tuple[int, ...]
+    events_applied: int
+    event_counts: Tuple[Tuple[str, int], ...]
 
 
 class DynamicMatcher(EventSubmitter):
@@ -281,6 +306,80 @@ class DynamicMatcher(EventSubmitter):
         """High-churn batch: apply structurally (in order), then rematch."""
         self._repair.apply_structural(events)
         self._repair.full_rematch()
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (the repro.replay rewind hooks)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> SessionCheckpoint:
+        """Capture the session's logical state (flushes first).
+
+        The returned :class:`SessionCheckpoint` is immutable and holds
+        no references to the session's mutable internals; it stays valid
+        however far the session advances afterwards.
+        """
+        self._check_open()
+        self.flush()
+        repair = self._repair
+        return SessionCheckpoint(
+            points=tuple(sorted(repair.points.items())),
+            functions=tuple(repair.function_list()),
+            pairs=tuple(
+                (fid, object_id, repair.pair_score[fid])
+                for fid, object_id in sorted(repair.matched_function.items())
+            ),
+            blocked=tuple(sorted(self._projected_blocked)),
+            events_applied=self.log.applied,
+            event_counts=tuple(sorted(self.log.counts.items())),
+        )
+
+    def restore(self, checkpoint: SessionCheckpoint) -> None:
+        """Return the session, in place, to a captured checkpoint.
+
+        Rebuilds a fresh physical staging (backend problem + repair
+        engine) from the checkpoint's logical state and installs the
+        recorded matching wholesale via
+        :meth:`~repro.dynamic.repair.RepairEngine.seed_matching`. Because
+        the canonical matching and every repair chain depend only on the
+        logical point/function state (unique greedy matching, canonical
+        tie rules) — never on physical tree layout or tombstone
+        placement — replaying the same event stream from the restored
+        state reproduces bit-identical pairs and scores.
+
+        Two deliberate non-goals: the restored physical tree is compact
+        (the original's tombstone backlog is not reproduced, so the
+        id-reuse blocklist can free ids *earlier* after the next flush),
+        and ``on_change`` observers are not notified — a restore is a
+        rewind, not churn; callers owning derived state (the serving
+        cache, ``objects_version``) rewind it through their own
+        snapshots (see :mod:`repro.replay`).
+        """
+        from ..engine.backends import get_backend
+
+        self._check_open()
+        # Pending-but-unflushed events would be silently lost otherwise;
+        # apply them so the discard below is explicit state replacement.
+        self.flush()
+        from ..data import Dataset
+
+        points = dict(checkpoint.points)
+        functions = list(checkpoint.functions)
+        dataset = Dataset.from_mapping(points, self.dims, name="session")
+        problem = get_backend(self.config.backend).build_problem(
+            dataset, functions, self.config
+        )
+        start = time.perf_counter()
+        self._repair = RepairEngine(
+            problem, self.config, search_stats=self.search_stats
+        )
+        self._repair.seed_matching(checkpoint.pairs)
+        self._cpu_seconds += time.perf_counter() - start
+        self.log = EventLog()
+        self.log.applied = checkpoint.events_applied
+        self.log.counts.update(dict(checkpoint.event_counts))
+        self._projected_objects = set(points)
+        self._projected_functions = {f.fid for f in functions}
+        self._projected_blocked = set(checkpoint.blocked)
+        self._queued_new = set()
 
     # ------------------------------------------------------------------
     # Results

@@ -75,7 +75,9 @@ def events_for_ratio(objects: Dataset, update_ratio: float) -> int:
 def generate_events(objects: Dataset, functions: Sequence[LinearPreference],
                     n_events: int, mix: UpdateMix = MIXED_CHURN,
                     seed: int = 0,
-                    insert_pool: Optional[Dataset] = None) -> List[Event]:
+                    insert_pool: Optional[Dataset] = None,
+                    start_ts: float = 0.0,
+                    rate: Optional[float] = None) -> List[Event]:
     """A deterministic, always-valid event stream.
 
     Inserted points are drawn from ``insert_pool`` in order (so streaming
@@ -85,9 +87,18 @@ def generate_events(objects: Dataset, functions: Sequence[LinearPreference],
     Dirichlet-uniform preferences. Deletions and removals target a
     uniformly random live id; when a side is empty its departure events
     fall back to arrivals, so the requested event count is always met.
+
+    Arrival times: with ``rate`` (events per simulated second) set, the
+    ``i``-th event is stamped ``start_ts + (i + 1) / rate`` — a monotone
+    non-decreasing clock. Without ``rate`` every event keeps the default
+    stamp ``start_ts`` (``0.0`` unless overridden), so existing call
+    sites see exactly the events they always did: identical kinds, ids,
+    points and stream order for a given seed, timestamps included.
     """
     if n_events < 0:
         raise ReproError(f"n_events must be >= 0, got {n_events}")
+    if rate is not None and rate <= 0:
+        raise ReproError(f"rate must be > 0 events/second, got {rate}")
     weights = mix.weights()
     rng = np.random.default_rng(seed)
     dims = objects.dims
@@ -117,7 +128,11 @@ def generate_events(objects: Dataset, functions: Sequence[LinearPreference],
 
     events: List[Event] = []
     kinds = np.arange(4)
-    for _ in range(n_events):
+    for index in range(n_events):
+        if rate is None:
+            ts = start_ts
+        else:
+            ts = start_ts + (index + 1) / rate
         kind = int(rng.choice(kinds, p=weights))
         if kind == 1 and not live_objects:
             kind = 0
@@ -127,17 +142,18 @@ def generate_events(objects: Dataset, functions: Sequence[LinearPreference],
             object_id = next_object_id
             next_object_id += 1
             live_objects.append(object_id)
-            events.append(InsertObject(object_id, draw_point()))
+            events.append(InsertObject(object_id, draw_point(), ts=ts))
         elif kind == 1:
-            events.append(DeleteObject(pop_random(live_objects)))
+            events.append(DeleteObject(pop_random(live_objects), ts=ts))
         elif kind == 2:
             fid = next_function_id
             next_function_id += 1
             live_functions.append(fid)
             raw = rng.dirichlet(np.ones(dims))
-            events.append(AddFunction(LinearPreference.normalized(fid, raw)))
+            events.append(AddFunction(
+                LinearPreference.normalized(fid, raw), ts=ts))
         else:
-            events.append(RemoveFunction(pop_random(live_functions)))
+            events.append(RemoveFunction(pop_random(live_functions), ts=ts))
     return events
 
 

@@ -197,6 +197,37 @@ class ResultCache:
         with self._lock:
             return tuple(self._entries)
 
+    def snapshot(self) -> Tuple[Tuple[Tuple[Hashable, Any], ...], int, int, int]:
+        """An immutable snapshot of entries (in LRU order) and counters.
+
+        Cached values are shared by reference — served results are
+        immutable by contract, so a snapshot needs no deep copy. Feed
+        the snapshot back to :meth:`restore` to return the cache to
+        exactly this state (the :mod:`repro.replay` rewind path).
+        """
+        with self._lock:
+            return (
+                tuple(self._entries.items()),
+                self.hits, self.misses, self.evictions,
+            )
+
+    def restore(self, snapshot) -> None:
+        """Restore entries, recency order, and counters from a snapshot.
+
+        ``maxsize`` is a construction-time property and is not part of
+        the snapshot; restoring a snapshot taken from a larger cache
+        re-evicts down to this cache's bound.
+        """
+        entries, hits, misses, evictions = snapshot
+        with self._lock:
+            self._entries = OrderedDict(entries)
+            self.hits = hits
+            self.misses = misses
+            self.evictions = evictions
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
     def info(self) -> Dict[str, int]:
         """Counters snapshot: hits, misses, evictions, size, maxsize."""
         with self._lock:

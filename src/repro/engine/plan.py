@@ -664,6 +664,22 @@ class PreparedMatching:
         with self._serve_lock:
             self.objects_version += 1
 
+    def restore_version(self, objects_version: int) -> None:
+        """Reset the cache-key version counter to a recorded value.
+
+        The :mod:`repro.replay` rewind path restores a bound session and
+        the result cache to an earlier checkpoint; this hook completes
+        the picture by winding ``objects_version`` back with them, so a
+        re-replayed event stream reproduces the *identical* cache keys
+        it produced the first time (restaging never bumps the version —
+        only session events do, and those are replayed deterministically).
+        The next serve restages from the restored session state.
+        """
+        with self._serve_lock:
+            self.objects_version = int(objects_version)
+            if self._session is not None:
+                self._session_dirty = True
+
     def close(self) -> None:
         """Release warm state; further :meth:`run` calls error.
 

@@ -124,11 +124,52 @@ class ServiceStats:
     objects_version: int
     cache: Dict[str, int] = field(default_factory=dict)
 
+    #: The cumulative counters a window delta is computed over. The
+    #: instantaneous gauges (inflight, queue_depth), configuration echoes
+    #: (max_inflight, admission), and windowed percentiles are excluded —
+    #: subtracting those is meaningless. ``stagings`` is also excluded:
+    #: it counts *physical* work (a rewound replay restages once where
+    #: the original pass did not), while the delta contract covers the
+    #: request-path counters that replaying a window must reproduce
+    #: exactly.
+    COUNTER_FIELDS = (
+        "requests", "batches", "cache_hits", "duplicate_hits", "misses",
+        "vectorized_requests", "fallback_requests", "rejected",
+    )
+
     def as_dict(self) -> Dict[str, object]:
         """The snapshot as a plain dict (JSON-friendly)."""
         from dataclasses import asdict
 
         return asdict(self)
+
+    def delta(self, earlier: "ServiceStats") -> Dict[str, int]:
+        """Per-window counter deltas against an ``earlier`` snapshot.
+
+        The measurement primitive behind :mod:`repro.replay`'s per-phase
+        accounting: snapshot before a window, snapshot after, and the
+        delta says exactly how many requests/hits/misses *that window*
+        contributed — independent of everything served before it.
+
+        Examples
+        --------
+        >>> import repro
+        >>> objects = repro.generate_independent(n=80, dims=2, seed=5)
+        >>> service = repro.MatchingService(objects, backend="memory")
+        >>> prefs = repro.generate_preferences(n=2, dims=2, seed=6)
+        >>> before = service.snapshot()
+        >>> _ = service.submit(prefs)
+        >>> _ = service.submit(prefs)
+        >>> after = service.snapshot()
+        >>> window = after.delta(before)
+        >>> (window["requests"], window["misses"], window["cache_hits"])
+        (2, 1, 1)
+        >>> service.close()
+        """
+        return {
+            name: getattr(self, name) - getattr(earlier, name)
+            for name in self.COUNTER_FIELDS
+        }
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-serializable snapshot, suitable for a stats endpoint.

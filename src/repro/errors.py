@@ -159,3 +159,44 @@ class DatasetError(ReproError):
 class SessionError(ReproError):
     """Raised for invalid dynamic-session events (unknown ids, reuse of a
     deleted id before compaction, dimensionality drift, closed session)."""
+
+
+class ReplayError(ReproError):
+    """Raised for invalid :mod:`repro.replay` driver operations.
+
+    Covers advancing a closed driver, advancing the clock backwards
+    (use :meth:`~repro.replay.driver.ReplayDriver.rewind`), and
+    rewinding to a timestamp earlier than every retained checkpoint.
+    """
+
+
+class TraceError(ReplayError):
+    """Base class for trace-file problems (format and versioning)."""
+
+
+class TraceVersionError(TraceError):
+    """Raised when a trace file declares an unsupported schema version.
+
+    Carries the offending ``version`` so tooling can distinguish
+    "produced by a newer repro" from garbage input.
+    """
+
+    def __init__(self, version: object) -> None:
+        super().__init__(
+            f"unsupported trace version {version!r}; this build reads "
+            f"version 1"
+        )
+        self.version = version
+
+    def __reduce__(self):
+        # See PageNotFoundError.__reduce__: keep worker-raised
+        # instances picklable across process-pool boundaries.
+        return (type(self), (self.version,))
+
+
+class TraceFormatError(TraceError):
+    """Raised for structurally invalid trace files.
+
+    Truncated files (missing the ``end`` footer or with a record count
+    that disagrees with it), non-JSON lines, unknown record kinds and
+    non-monotone timestamps all land here."""

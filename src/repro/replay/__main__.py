@@ -1,0 +1,7 @@
+"""``python -m repro.replay`` dispatch."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,134 @@
+"""Command-line entry point: ``python -m repro.replay``.
+
+Two subcommands::
+
+    # Generate a seeded scenario and write it as a versioned trace file
+    python -m repro.replay record trace.jsonl --scenario diurnal --seed 7
+
+    # Replay a trace against the serving stack and print the report
+    python -m repro.replay run trace.jsonl --backend memory
+    python -m repro.replay run trace.jsonl --transport server \\
+        --report report.json --rewind-check
+
+``run`` exits non-zero when any served result disagreed with ground
+truth (freshness mismatch or stale cache hit), so the command doubles
+as a correctness gate in CI. ``--rewind-check`` additionally rewinds to
+every phase boundary and verifies the matching and cache keys come
+back bit-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .driver import TRANSPORTS, ReplayDriver
+from .report import format_report_table
+from .scenarios import available_scenarios, scenario_trace
+from .trace import Trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replay",
+        description="Replay time-stamped churn + request traces against "
+                    "the full serving stack.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    record = commands.add_parser(
+        "record", help="generate a seeded scenario into a trace file",
+    )
+    record.add_argument("path", help="output trace file (JSON lines)")
+    record.add_argument("--scenario", default="diurnal",
+                        choices=sorted(available_scenarios()))
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("--scale", type=float, default=1.0,
+                        help="population scale factor (default: 1.0)")
+    record.add_argument("--dims", type=int, default=3)
+
+    run = commands.add_parser(
+        "run", help="replay a trace file and print the scenario report",
+    )
+    run.add_argument("path", help="trace file written by 'record'")
+    run.add_argument("--algorithm", default="sb")
+    run.add_argument("--backend", default="memory")
+    run.add_argument("--transport", default="local",
+                     choices=list(TRANSPORTS))
+    run.add_argument("--no-verify", action="store_true",
+                     help="skip ground-truth freshness checks (faster)")
+    run.add_argument("--report", metavar="FILE", default=None,
+                     help="also save the ScenarioReport as JSON")
+    run.add_argument("--rewind-check", action="store_true",
+                     help="rewind to each phase boundary and verify "
+                          "bit-identical state restoration")
+    return parser
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    trace = scenario_trace(
+        args.scenario, seed=args.seed, scale=args.scale, dims=args.dims,
+    )
+    trace.save(args.path)
+    totals = trace.counts()
+    print(
+        f"wrote {args.path}: scenario {trace.name!r} seed {args.seed} — "
+        f"{totals['base_objects']} objects, {totals['base_functions']} "
+        f"functions, {totals['events']} events, {totals['requests']} "
+        f"requests over phases {list(trace.phases)}"
+    )
+    return 0
+
+
+def _state(driver: ReplayDriver):
+    pairs = tuple(
+        (p.function_id, p.object_id, p.score)
+        for p in driver.matching().pairs
+    )
+    return pairs, driver.cache_keys()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.path)
+    with ReplayDriver(
+        trace, algorithm=args.algorithm, backend=args.backend,
+        transport=args.transport, verify=not args.no_verify,
+    ) as driver:
+        boundary_states = {}
+        for name, (_, end) in trace.phase_spans().items():
+            driver.advance(end)
+            if args.rewind_check:
+                boundary_states[end] = _state(driver)
+        report = driver.report()
+        print(format_report_table(report))
+
+        if args.rewind_check:
+            # Newest boundary first: rewind only ever travels backwards.
+            for end, expected in reversed(boundary_states.items()):
+                driver.rewind(end)
+                if _state(driver) != expected:
+                    print(f"rewind({end}) did NOT restore exact state",
+                          file=sys.stderr)
+                    return 2
+            print(f"rewind check: {len(boundary_states)} boundaries "
+                  f"restored bit-identically")
+
+        if args.report:
+            report.save_json(args.report)
+            print(f"report saved to {args.report}")
+    if not report.ok:
+        print(
+            f"FRESHNESS FAILURE: {report.freshness_mismatches} "
+            f"mismatches, {report.stale_hits} stale cache hits",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "record":
+        return _cmd_record(args)
+    return _cmd_run(args)

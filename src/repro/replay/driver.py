@@ -1,0 +1,505 @@
+"""The deterministic replay driver: simulated clock, exact rewind.
+
+:class:`ReplayDriver` replays a :class:`~repro.replay.trace.Trace`
+against the *full* serving stack as one system: churn events feed the
+bound :class:`~repro.dynamic.DynamicMatcher` session (which invalidates
+the serving cache through the usual ``on_change`` hook), and request
+bursts go through a transport — in-process
+:meth:`~repro.engine.service.MatchingService.submit_many`, the asyncio
+micro-batching front-end, or a loopback :mod:`repro.net` server —
+strictly interleaved in timestamp order by :meth:`ReplayDriver.advance`.
+
+**Exact rewind.** Every ``advance()`` boundary checkpoints the complete
+logical state: the session
+(:meth:`~repro.dynamic.DynamicMatcher.checkpoint`), the result cache
+(:meth:`~repro.engine.cache.ResultCache.snapshot`), the cache-key
+version counter, the structural oracle, and the per-phase accounting
+windows. :meth:`ReplayDriver.rewind` restores the newest checkpoint at
+or before the target timestamp and replays forward. Because the
+canonical matching and every repair chain are functions of logical
+state alone, and because the restored cache makes every replayed
+request hit or miss exactly as it did the first time, the replay
+reproduces **bit-identical matching pairs, cache keys, and per-window
+``ServiceStats`` deltas** — on the synchronous transport, which serves
+each burst as one deterministic batch. The async and server transports
+may split a burst across micro-batches on a timing boundary, so they
+guarantee pair-identical *results* but not identical hit/duplicate
+accounting; rewind correctness tests therefore run on ``local``.
+
+**Freshness.** With ``verify=True`` the driver maintains a structural
+oracle (plain dicts advanced by
+:func:`~repro.dynamic.events.replay_events`, fully independent of the
+session) and, after each burst, recomputes ground truth for every
+distinct workload served at that instant of the clock. A mismatch
+increments ``freshness_mismatches``; a mismatch whose answer was served
+from the result cache increments ``stale_hits`` — the counter the
+shipped scenarios pin to zero in CI.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..data import Dataset
+from ..dynamic.events import replay_events
+from ..dynamic.session import SessionCheckpoint
+from ..engine.cache import prefs_digest
+from ..engine.config import MatchingConfig
+from ..engine.request import MatchingRequest
+from ..engine.result import MatchResult
+from ..engine.service import MatchingService
+from ..errors import ReplayError, ServiceOverloadedError
+from .report import PhaseWindow, ScenarioReport
+from .trace import Trace, TraceEvent, TraceRequest
+
+#: Transport names accepted by :class:`ReplayDriver`.
+TRANSPORTS = ("local", "async", "server")
+
+
+@dataclass(frozen=True)
+class _Checkpoint:
+    """One rewind target: the complete logical state at a boundary."""
+
+    ts: float
+    cursor: int
+    session: SessionCheckpoint
+    objects_version: int
+    cache: tuple
+    oracle_points: Tuple[Tuple[int, Tuple[float, ...]], ...]
+    oracle_functions: tuple
+    windows: Tuple[PhaseWindow, ...]
+
+
+class _LocalTransport:
+    """Direct in-process ``submit_many`` — the deterministic default."""
+
+    name = "local"
+
+    def __init__(self, service: MatchingService) -> None:
+        self._service = service
+
+    def submit_many(self, requests) -> List[MatchResult]:
+        return self._service.submit_many(requests)
+
+    def close(self) -> None:
+        pass
+
+
+class _AsyncTransport:
+    """Each burst awaited concurrently through ``AsyncMatchingService``.
+
+    Exercises the coalescing collector under replayed load. Results are
+    pair-identical to the local transport; micro-batch boundaries (and
+    therefore the hit/duplicate accounting split) depend on event-loop
+    timing, so this transport is not used for stats bit-identity tests.
+    """
+
+    name = "async"
+
+    def __init__(self, service: MatchingService) -> None:
+        self._service = service
+
+    def submit_many(self, requests) -> List[MatchResult]:
+        import asyncio
+
+        from ..engine.async_service import AsyncMatchingService
+
+        async def burst():
+            front = AsyncMatchingService(self._service)
+            try:
+                return list(await asyncio.gather(
+                    *(front.submit(request) for request in requests)
+                ))
+            finally:
+                await front.aclose()
+
+        return asyncio.run(burst())
+
+    def close(self) -> None:
+        pass
+
+
+class _ServerTransport:
+    """Bursts round-trip a loopback :mod:`repro.net` server.
+
+    The server (started lazily on the first burst) wraps the driver's
+    own service, so session churn and cache state are shared; requests
+    and results cross the exact JSON codec, making this the end-to-end
+    "full stack" configuration.
+    """
+
+    name = "server"
+
+    def __init__(self, service: MatchingService) -> None:
+        self._service = service
+        self._thread = None
+        self._client = None
+
+    def _ensure(self):
+        if self._client is None:
+            from ..net import MatchingClient, MatchingServer
+            from ..net.server import ServerThread
+
+            self._thread = ServerThread(MatchingServer(self._service))
+            host, port = self._thread.start()
+            self._client = MatchingClient(host, port)
+        return self._client
+
+    def submit_many(self, requests) -> List[MatchResult]:
+        return self._ensure().submit_many(requests)
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+        if self._thread is not None:
+            self._thread.stop()
+            self._thread = None
+
+
+_TRANSPORT_TYPES = {
+    "local": _LocalTransport,
+    "async": _AsyncTransport,
+    "server": _ServerTransport,
+}
+
+
+class ReplayDriver:
+    """Replays one trace against the serving stack, with exact rewind.
+
+    Parameters
+    ----------
+    trace:
+        The scenario to replay.
+    config / overrides:
+        The serving configuration (as :func:`repro.plan` accepts it).
+        Must be session-compatible: a repair-capable algorithm,
+        ``shards=1``, no capacities.
+    transport:
+        ``"local"`` (deterministic in-process batches, the default),
+        ``"async"`` (asyncio micro-batching front-end), or ``"server"``
+        (loopback :mod:`repro.net` round-trip).
+    verify:
+        Maintain the structural oracle and check every served result
+        against ground truth at the same clock (slower; the correctness
+        mode). ``False`` replays at full speed and leaves the freshness
+        counters at zero.
+    max_checkpoints:
+        Rewind targets retained (oldest evicted first; the genesis
+        checkpoint at construction is always kept).
+    """
+
+    def __init__(self, trace: Trace,
+                 config: Optional[MatchingConfig] = None, *,
+                 transport: str = "local", verify: bool = True,
+                 max_checkpoints: int = 64, **overrides) -> None:
+        if transport not in _TRANSPORT_TYPES:
+            raise ReplayError(
+                f"unknown transport {transport!r}; available: "
+                f"{', '.join(TRANSPORTS)}"
+            )
+        if max_checkpoints < 1:
+            raise ReplayError(
+                f"max_checkpoints must be >= 1, got {max_checkpoints}"
+            )
+        if config is None:
+            config = MatchingConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.trace = trace
+        self.verify = verify
+        #: The serving stack under test (one service, one bound session).
+        self.service = MatchingService(trace.objects, config)
+        self.session = self.service.open_session(list(trace.functions))
+        self.transport = _TRANSPORT_TYPES[transport](self.service)
+        self._max_checkpoints = max_checkpoints
+        self._cursor = 0
+        self._clock = float("-inf")
+        self._closed = False
+        self._rejected_bursts = 0
+        # Structural oracle: ground truth object/function state, advanced
+        # in lockstep with the session but through independent machinery.
+        self._oracle_points: Dict[int, Tuple[float, ...]] = dict(
+            trace.objects.items()
+        )
+        self._oracle_functions = {f.fid: f for f in trace.functions}
+        self._windows: List[PhaseWindow] = []
+        self._checkpoints: List[_Checkpoint] = []
+        self.checkpoint()  # genesis: rewind(start) always possible
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """The simulated time every applied record is at or before."""
+        return self._clock
+
+    @property
+    def prepared(self):
+        return self.service.prepared
+
+    def matching(self) -> MatchResult:
+        """The session's current matching (flushes pending events)."""
+        return self.session.matching()
+
+    def cache_keys(self) -> Tuple:
+        """The live result-cache keys, LRU order (rewind-comparable)."""
+        return self.prepared.cache.keys()
+
+    def checkpoints(self) -> Tuple[float, ...]:
+        """Timestamps of the retained rewind targets, oldest first."""
+        return tuple(ckpt.ts for ckpt in self._checkpoints)
+
+    # ------------------------------------------------------------------
+    # The clock
+    # ------------------------------------------------------------------
+    def advance(self, to_ts: float) -> Dict[str, int]:
+        """Apply every record with ``ts <= to_ts``, in timestamp order.
+
+        Churn events feed the session one by one; contiguous requests
+        sharing a timestamp are served as one burst. Returns the window
+        totals ``{"events": ..., "requests": ...}``. The boundary is
+        verified (when ``verify``) and checkpointed.
+        """
+        self._check_open()
+        to_ts = float(to_ts)
+        if to_ts < self._clock:
+            raise ReplayError(
+                f"advance({to_ts}) goes backwards from clock "
+                f"{self._clock}; use rewind()"
+            )
+        records = self.trace.records
+        total = len(records)
+        applied = served = 0
+        while self._cursor < total and records[self._cursor].ts <= to_ts:
+            record = records[self._cursor]
+            window = self._window_for(record.phase, float(record.ts))
+            if isinstance(record, TraceEvent):
+                started = time.perf_counter()
+                self.session.submit(record.event)
+                window.wall_seconds += time.perf_counter() - started
+                window.events[record.event.kind] += 1
+                replay_events(
+                    self._oracle_points, self._oracle_functions,
+                    [record.event],
+                )
+                window.end_ts = float(record.ts)
+                self._cursor += 1
+                applied += 1
+            else:
+                burst = [record]
+                self._cursor += 1
+                while (
+                    self._cursor < total
+                    and isinstance(records[self._cursor], TraceRequest)
+                    and records[self._cursor].ts == record.ts
+                    and records[self._cursor].phase == record.phase
+                ):
+                    burst.append(records[self._cursor])
+                    self._cursor += 1
+                served += self._serve_burst(window, burst)
+                window.end_ts = float(record.ts)
+        self._clock = to_ts
+        self.checkpoint()
+        return {"events": applied, "requests": served}
+
+    def run(self) -> ScenarioReport:
+        """Replay the rest of the trace, one :meth:`advance` per phase.
+
+        Phase boundaries the clock has already passed (e.g. after an
+        explicit :meth:`advance` or a :meth:`rewind` into a later phase)
+        are skipped, so ``run()`` always means "finish the trace".
+        """
+        for _, (_, end) in self.trace.phase_spans().items():
+            if end > self._clock:
+                self.advance(end)
+        if self._clock < self.trace.end_ts:  # pragma: no cover - safety
+            self.advance(self.trace.end_ts)
+        return self.report()
+
+    # ------------------------------------------------------------------
+    # Checkpoint / rewind
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> float:
+        """Record the current state as a rewind target; returns its ts.
+
+        Called automatically at every :meth:`advance` boundary; callers
+        may add extra targets between advances. Replacing an existing
+        checkpoint at the same timestamp is a no-op (the state is
+        necessarily identical).
+        """
+        self._check_open()
+        ts = self._clock
+        if self._checkpoints and self._checkpoints[-1].ts == ts:
+            return ts
+        ckpt = _Checkpoint(
+            ts=ts,
+            cursor=self._cursor,
+            session=self.session.checkpoint(),
+            objects_version=self.prepared.objects_version,
+            cache=self.prepared.cache.snapshot(),
+            oracle_points=tuple(sorted(self._oracle_points.items())),
+            oracle_functions=tuple(sorted(self._oracle_functions.items())),
+            windows=tuple(w.copy() for w in self._windows),
+        )
+        self._checkpoints.append(ckpt)
+        while len(self._checkpoints) > self._max_checkpoints:
+            # Keep genesis: rewind to the very start must stay possible.
+            del self._checkpoints[1]
+        return ts
+
+    def rewind(self, to_ts: float) -> Dict[str, float]:
+        """Return the whole system to its state at ``to_ts``, exactly.
+
+        Restores the newest checkpoint at or before ``to_ts`` — session
+        matching, result-cache contents and counters, cache-key version,
+        structural oracle, and phase windows — then (if the checkpoint
+        predates ``to_ts``) replays the gap forward with
+        :meth:`advance`. After the rewind the matching pairs, cache
+        keys, and per-window counter deltas are bit-identical to the
+        first pass at the same clock (synchronous transport).
+        """
+        self._check_open()
+        to_ts = float(to_ts)
+        if to_ts > self._clock:
+            raise ReplayError(
+                f"rewind({to_ts}) is ahead of clock {self._clock}; "
+                f"use advance()"
+            )
+        stamps = [ckpt.ts for ckpt in self._checkpoints]
+        index = bisect.bisect_right(stamps, to_ts) - 1
+        if index < 0:
+            raise ReplayError(
+                f"no checkpoint at or before ts={to_ts} (earliest is "
+                f"{stamps[0] if stamps else None!r})"
+            )
+        ckpt = self._checkpoints[index]
+        self.session.restore(ckpt.session)
+        self.prepared.restore_version(ckpt.objects_version)
+        self.prepared.cache.restore(ckpt.cache)
+        self._oracle_points = dict(ckpt.oracle_points)
+        self._oracle_functions = dict(ckpt.oracle_functions)
+        self._windows = [w.copy() for w in ckpt.windows]
+        self._cursor = ckpt.cursor
+        self._clock = ckpt.ts
+        del self._checkpoints[index + 1:]
+        if ckpt.ts < to_ts:
+            self.advance(to_ts)
+        return {"restored_ts": ckpt.ts, "clock": self._clock}
+
+    # ------------------------------------------------------------------
+    # Serving + verification
+    # ------------------------------------------------------------------
+    def _serve_burst(self, window: PhaseWindow,
+                     burst: List[TraceRequest]) -> int:
+        requests = [
+            MatchingRequest(
+                record.functions, priority=record.priority,
+                timeout=record.timeout,
+            )
+            for record in burst
+        ]
+        cached_before = {}
+        if self.verify:
+            for record in burst:
+                key = self.prepared.request_key(list(record.functions))
+                cached_before[key] = key in self.prepared.cache
+        before = self.service.snapshot()
+        started = time.perf_counter()
+        try:
+            results = self.transport.submit_many(requests)
+        except ServiceOverloadedError:
+            # All-or-nothing batch admission: the burst was shed. The
+            # rejected counter lands in this window via the delta below.
+            results = None
+            self._rejected_bursts += 1
+        elapsed = time.perf_counter() - started
+        window.add_delta(self.service.snapshot().delta(before))
+        window.latencies.extend([elapsed] * len(burst))
+        window.wall_seconds += elapsed
+        if results is not None and self.verify:
+            self._verify_burst(window, burst, results, cached_before)
+        return len(burst)
+
+    def _verify_burst(self, window: PhaseWindow, burst, results,
+                      cached_before) -> None:
+        """Served results vs ground truth at this instant of the clock."""
+        checked = set()
+        for record, result in zip(burst, results):
+            digest = prefs_digest(record.functions)
+            if digest in checked:
+                continue
+            checked.add(digest)
+            window.freshness_checks += 1
+            truth = self._ground_truth(record.functions)
+            if result.as_set() != truth:
+                window.freshness_mismatches += 1
+                key = self.prepared.request_key(list(record.functions))
+                if cached_before.get(key):
+                    window.stale_hits += 1
+
+    def _ground_truth(self, functions) -> set:
+        """A cold canonical matching on the oracle's current state."""
+        from ..engine.facade import match
+
+        objects = Dataset.from_mapping(
+            self._oracle_points, self.trace.dims, name="oracle"
+        )
+        result = match(
+            objects, list(functions), config=self.service.plan.config
+        )
+        return result.as_set()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _window_for(self, phase: str, ts: float) -> PhaseWindow:
+        if not self._windows or self._windows[-1].name != phase:
+            self._windows.append(PhaseWindow(phase, ts))
+        return self._windows[-1]
+
+    def report(self) -> ScenarioReport:
+        """Freeze the accounting into a :class:`ScenarioReport`."""
+        return ScenarioReport(
+            trace_name=self.trace.name,
+            algorithm=self.service.plan.algorithm,
+            backend=self.service.plan.backend_name,
+            transport=self.transport.name,
+            clock=0.0 if self._clock == float("-inf") else self._clock,
+            phases=tuple(window.freeze() for window in self._windows),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReplayError("ReplayDriver is closed")
+
+    def close(self) -> ScenarioReport:
+        """Release the transport and serving stack; returns the report."""
+        if self._closed:
+            return self.report()
+        report = self.report()
+        self._closed = True
+        self.transport.close()
+        self.service.close()
+        return report
+
+    def __enter__(self) -> "ReplayDriver":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        clock = "-" if self._clock == float("-inf") else f"{self._clock:g}"
+        return (
+            f"ReplayDriver({self.trace.name!r}, clock={clock}, "
+            f"cursor={self._cursor}/{len(self.trace.records)}, "
+            f"transport={self.transport.name!r})"
+        )

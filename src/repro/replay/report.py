@@ -1,0 +1,232 @@
+"""Scenario measurement: per-phase windows and the final report.
+
+The replay driver accounts each scenario phase in its own window —
+request counters are accumulated as *per-burst deltas* of
+:meth:`~repro.engine.service.ServiceStats.delta` (never as absolute
+snapshots, so a rewound-and-replayed window reproduces identical
+numbers), plus churn totals per event kind, per-request latencies, and
+the three correctness counters:
+
+``freshness_checks`` / ``freshness_mismatches``
+    Served results compared against a ground-truth recompute on the
+    *same clock state* (the driver's structural oracle); a mismatch
+    means the serving stack returned something a cold run would not.
+``stale_hits``
+    The subset of mismatches where the wrong result came out of the
+    result cache — a cache-invalidation bug. The shipped scenarios all
+    assert this is zero, in CI.
+
+:class:`ScenarioReport` freezes the windows into
+:class:`PhaseReport` rows with p50/p95 latency and serializes to JSON
+(the artifact the ``replay-smoke`` CI job uploads).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..dynamic.events import EVENT_KINDS
+from ..engine.service import ServiceStats, _percentile
+
+
+class PhaseWindow:
+    """One phase's mutable accumulator inside the driver.
+
+    Copyable (for checkpoints) and order-insensitive to wall time: every
+    field except ``latencies``/``wall_seconds`` is a deterministic
+    function of the replayed records, which is what makes the rewind
+    bit-identity claim testable on counter deltas.
+    """
+
+    __slots__ = (
+        "name", "start_ts", "end_ts", "events", "counters", "latencies",
+        "stale_hits", "freshness_checks", "freshness_mismatches",
+        "wall_seconds",
+    )
+
+    def __init__(self, name: str, start_ts: float) -> None:
+        self.name = name
+        self.start_ts = start_ts
+        self.end_ts = start_ts
+        self.events: Dict[str, int] = {kind: 0 for kind in EVENT_KINDS}
+        self.counters: Dict[str, int] = {
+            key: 0 for key in ServiceStats.COUNTER_FIELDS
+        }
+        self.latencies: List[float] = []
+        self.stale_hits = 0
+        self.freshness_checks = 0
+        self.freshness_mismatches = 0
+        self.wall_seconds = 0.0
+
+    def add_delta(self, delta: Dict[str, int]) -> None:
+        for key, value in delta.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+
+    def copy(self) -> "PhaseWindow":
+        clone = PhaseWindow(self.name, self.start_ts)
+        clone.end_ts = self.end_ts
+        clone.events = dict(self.events)
+        clone.counters = dict(self.counters)
+        clone.latencies = list(self.latencies)
+        clone.stale_hits = self.stale_hits
+        clone.freshness_checks = self.freshness_checks
+        clone.freshness_mismatches = self.freshness_mismatches
+        clone.wall_seconds = self.wall_seconds
+        return clone
+
+    def freeze(self) -> "PhaseReport":
+        ordered = sorted(self.latencies)
+        return PhaseReport(
+            name=self.name,
+            start_ts=self.start_ts,
+            end_ts=self.end_ts,
+            events=dict(self.events),
+            counters=dict(self.counters),
+            stale_hits=self.stale_hits,
+            freshness_checks=self.freshness_checks,
+            freshness_mismatches=self.freshness_mismatches,
+            latency_p50_ms=_percentile(ordered, 0.50) * 1e3,
+            latency_p95_ms=_percentile(ordered, 0.95) * 1e3,
+            wall_seconds=self.wall_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """One phase's frozen measurements.
+
+    ``counters`` holds the per-window :class:`ServiceStats` deltas
+    (requests, cache_hits, duplicate_hits, misses, vectorized/fallback
+    splits, rejected, stagings); ``events`` the churn totals per kind.
+    Latency percentiles are wall-clock and therefore *not* part of the
+    rewind bit-identity contract — the counters are.
+    """
+
+    name: str
+    start_ts: float
+    end_ts: float
+    events: Dict[str, int]
+    counters: Dict[str, int]
+    stale_hits: int
+    freshness_checks: int
+    freshness_mismatches: int
+    latency_p50_ms: float
+    latency_p95_ms: float
+    wall_seconds: float
+
+    @property
+    def requests(self) -> int:
+        return self.counters.get("requests", 0)
+
+    @property
+    def churn_events(self) -> int:
+        return sum(self.events.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """The full outcome of one replayed scenario.
+
+    ``ok`` is the headline: zero freshness mismatches and zero stale
+    hits across every phase. The totals aggregate the per-phase
+    windows; :meth:`save_json` writes the CI artifact.
+    """
+
+    trace_name: str
+    algorithm: str
+    backend: str
+    transport: str
+    clock: float
+    phases: Tuple[PhaseReport, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return self.stale_hits == 0 and self.freshness_mismatches == 0
+
+    @property
+    def requests(self) -> int:
+        return sum(p.requests for p in self.phases)
+
+    @property
+    def churn_events(self) -> int:
+        return sum(p.churn_events for p in self.phases)
+
+    @property
+    def stale_hits(self) -> int:
+        return sum(p.stale_hits for p in self.phases)
+
+    @property
+    def freshness_checks(self) -> int:
+        return sum(p.freshness_checks for p in self.phases)
+
+    @property
+    def freshness_mismatches(self) -> int:
+        return sum(p.freshness_mismatches for p in self.phases)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "trace": self.trace_name,
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "transport": self.transport,
+            "clock": self.clock,
+            "ok": self.ok,
+            "requests": self.requests,
+            "churn_events": self.churn_events,
+            "stale_hits": self.stale_hits,
+            "freshness_checks": self.freshness_checks,
+            "freshness_mismatches": self.freshness_mismatches,
+            "phases": [phase.as_dict() for phase in self.phases],
+        }
+
+    def save_json(self, path) -> None:
+        """Write the report as pretty-printed JSON (the CI artifact)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "ok" if self.ok else (
+            f"STALE={self.stale_hits} MISMATCH={self.freshness_mismatches}"
+        )
+        return (
+            f"ScenarioReport({self.trace_name!r}, requests={self.requests}, "
+            f"events={self.churn_events}, phases={len(self.phases)}, "
+            f"{status})"
+        )
+
+
+def format_report_table(report: ScenarioReport) -> str:
+    """A fixed-width per-phase table (the CLI's human rendering)."""
+    header = (
+        f"{'phase':<12} {'span':>13} {'reqs':>5} {'hits':>5} {'dups':>5} "
+        f"{'miss':>5} {'churn':>5} {'stale':>5} {'p50ms':>8} {'p95ms':>8}"
+    )
+    lines = [
+        f"scenario {report.trace_name} — {report.algorithm}@"
+        f"{report.backend} via {report.transport}",
+        header, "-" * len(header),
+    ]
+    for phase in report.phases:
+        span = f"{phase.start_ts:.1f}-{phase.end_ts:.1f}"
+        lines.append(
+            f"{phase.name:<12} {span:>13} {phase.requests:>5} "
+            f"{phase.counters.get('cache_hits', 0):>5} "
+            f"{phase.counters.get('duplicate_hits', 0):>5} "
+            f"{phase.counters.get('misses', 0):>5} "
+            f"{phase.churn_events:>5} {phase.stale_hits:>5} "
+            f"{phase.latency_p50_ms:>8.2f} {phase.latency_p95_ms:>8.2f}"
+        )
+    verdict = "fresh" if report.ok else "STALE RESULTS SERVED"
+    lines.append(
+        f"total: {report.requests} requests, {report.churn_events} events, "
+        f"{report.freshness_checks} freshness checks — {verdict}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,313 @@
+"""Seeded scenario generators: diurnal, flash-crowd, adversarial.
+
+Each generator produces a validated :class:`~repro.replay.trace.Trace`
+deterministically from a seed — the same arguments always yield the
+same bytes on disk — so a scenario named in a test or CI job is a
+*reproducible* claim, not a description of a loop someone once ran.
+
+The three shipped shapes cover the scenario-diversity axis the ROADMAP
+names:
+
+* :func:`diurnal_trace` — a day-shaped load curve: request rate ramps
+  from a night-time trickle to a midday peak and back down, over steady
+  background churn. Exercises cache warm-up and decay.
+* :func:`flash_crowd_trace` — three phases (``calm`` / ``flash`` /
+  ``recovery``): the flash phase lands dense same-timestamp request
+  bursts (with in-burst duplicates) together with an object-churn
+  spike. Exercises burst batching, duplicate sharing, and invalidation
+  under pressure; the exact-rewind acceptance test runs on this trace.
+* :func:`adversarial_trace` — churn aimed at the cache: every cycle
+  serves a workload, then deletes a live object and inserts a
+  near-dominant replacement at the *same* timestamp, then serves the
+  identical workload again. Any stale cache entry served after the
+  churn is a correctness bug the stale-hit counter catches.
+
+Use :func:`scenario_trace` to build one by name (the registry the CLI
+and benchmarks consume).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..data import Dataset, generate_independent
+from ..dynamic.events import DeleteObject, InsertObject, replay_events
+from ..dynamic.workload import MIXED_CHURN, OBJECT_CHURN, generate_events
+from ..errors import ReplayError
+from ..prefs import LinearPreference, generate_preferences
+from .trace import Trace, TraceEvent, TraceRecord, TraceRequest
+
+
+def _population(seed: int, dims: int, n_objects: int, n_functions: int,
+                ) -> Tuple[Dataset, Tuple[LinearPreference, ...]]:
+    objects = generate_independent(n=n_objects, dims=dims, seed=seed)
+    functions = tuple(
+        generate_preferences(n=n_functions, dims=dims, seed=seed + 1)
+    )
+    return objects, functions
+
+
+def _workload_pool(seed: int, dims: int, pool: int, size: int,
+                   ) -> List[Tuple[LinearPreference, ...]]:
+    """``pool`` distinct request workloads of ``size`` functions each.
+
+    Served workloads are deliberately disjoint from the session's own
+    function population (fids start at 10_000): the service answers
+    arbitrary preference workloads against the current object state, so
+    request traffic and session function churn are independent axes.
+    """
+    flat = generate_preferences(n=pool * size, dims=dims, seed=seed + 2)
+    workloads = []
+    for index in range(pool):
+        chunk = flat[index * size:(index + 1) * size]
+        workloads.append(tuple(
+            LinearPreference(10_000 + index * size + j, f.weights)
+            for j, f in enumerate(chunk)
+        ))
+    return workloads
+
+
+def _stamped_churn(objects: Dataset, functions, n_events: int, mix, seed,
+                   timestamps: List[float], phase_of) -> List[TraceEvent]:
+    """Generate a valid churn stream and restamp it onto ``timestamps``."""
+    import dataclasses
+
+    events = generate_events(
+        objects, list(functions), n_events, mix=mix, seed=seed,
+        insert_pool=objects,
+    )
+    out = []
+    for event, ts in zip(events, timestamps):
+        out.append(TraceEvent(
+            dataclasses.replace(event, ts=ts), phase=phase_of(ts),
+        ))
+    return out
+
+
+def diurnal_trace(seed: int = 0, *, dims: int = 3, scale: float = 1.0,
+                  hours: int = 6, base_requests: int = 1,
+                  peak_requests: int = 5, churn_per_hour: int = 4,
+                  workloads: int = 4, workload_size: int = 3) -> Trace:
+    """A day-shaped load curve over steady background churn.
+
+    The simulated clock runs in hours ``[0, hours]``; per-hour request
+    volume ramps linearly from ``base_requests`` up to ``peak_requests``
+    at midday and back. Phases: ``morning`` (first third), ``midday``
+    (middle), ``evening`` (last).
+    """
+    n_objects = max(40, int(80 * scale))
+    n_functions = max(6, int(10 * scale))
+    objects, functions = _population(seed, dims, n_objects, n_functions)
+    pool = _workload_pool(seed, dims, workloads, workload_size)
+    rng = np.random.default_rng(seed + 3)
+
+    bounds = (hours / 3.0, 2.0 * hours / 3.0)
+
+    def phase_of(ts: float) -> str:
+        if ts < bounds[0]:
+            return "morning"
+        if ts < bounds[1]:
+            return "midday"
+        return "evening"
+
+    total_churn = churn_per_hour * hours
+    churn_ts = [
+        hours * (i + 1) / (total_churn + 1) for i in range(total_churn)
+    ]
+    churn = _stamped_churn(
+        objects, functions, total_churn, MIXED_CHURN, seed + 4,
+        churn_ts, phase_of,
+    )
+
+    requests: List[TraceRecord] = []
+    mid = (hours - 1) / 2.0
+    for hour in range(hours):
+        # Triangular ramp: base at the edges, peak at midday.
+        closeness = 1.0 - abs(hour - mid) / max(mid, 1.0)
+        volume = base_requests + int(
+            round((peak_requests - base_requests) * closeness)
+        )
+        for j in range(volume):
+            ts = hour + (j + 1) / (volume + 1)
+            workload = pool[int(rng.integers(len(pool)))]
+            requests.append(TraceRequest(
+                ts=ts, functions=workload,
+                priority=int(rng.integers(0, 3)), phase=phase_of(ts),
+            ))
+
+    records = sorted(requests + churn, key=lambda r: float(r.ts))
+    return Trace(
+        name="diurnal", seed=seed, objects=objects, functions=functions,
+        records=tuple(records), phases=("morning", "midday", "evening"),
+    )
+
+
+def flash_crowd_trace(seed: int = 0, *, dims: int = 3, scale: float = 1.0,
+                      bursts: int = 4, burst_width: int = 4,
+                      workloads: int = 3, workload_size: int = 3) -> Trace:
+    """Three phases — calm, flash, recovery — with same-ts burst loads.
+
+    Calm serves a trickle over light churn; the flash phase lands
+    ``bursts`` bursts of ``burst_width`` simultaneous requests (with
+    in-burst duplicates) interleaved with an object-churn spike;
+    recovery returns to the calm rate so cache re-warming is visible in
+    the per-phase report.
+    """
+    n_objects = max(40, int(80 * scale))
+    n_functions = max(6, int(10 * scale))
+    objects, functions = _population(seed, dims, n_objects, n_functions)
+    pool = _workload_pool(seed, dims, workloads, workload_size)
+    rng = np.random.default_rng(seed + 3)
+
+    def phase_of(ts: float) -> str:
+        if ts < 10.0:
+            return "calm"
+        if ts < 20.0:
+            return "flash"
+        return "recovery"
+
+    records: List[TraceRecord] = []
+
+    # calm: [0, 10) — one request every ~3s, light churn.
+    calm_churn_ts = [2.0, 5.0, 8.0]
+    for i in range(3):
+        ts = 1.0 + 3.0 * i
+        records.append(TraceRequest(
+            ts=ts, functions=pool[i % len(pool)], phase="calm",
+        ))
+
+    # flash: [10, 20) — dense bursts + churn spike.
+    flash_churn_count = 2 * bursts
+    flash_churn_ts = [
+        10.0 + 10.0 * (i + 1) / (flash_churn_count + 1)
+        for i in range(flash_churn_count)
+    ]
+    for b in range(bursts):
+        ts = 10.5 + b * (9.0 / bursts)
+        for j in range(burst_width):
+            # Half the burst repeats one hot workload (duplicates are
+            # shared in-batch), the rest draw from the pool.
+            if j < burst_width // 2:
+                workload = pool[0]
+            else:
+                workload = pool[int(rng.integers(len(pool)))]
+            records.append(TraceRequest(
+                ts=ts, functions=workload, priority=(1 if j == 0 else 0),
+                phase="flash",
+            ))
+
+    # recovery: [20, 30] — calm rate again, light churn.
+    recovery_churn_ts = [22.0, 26.0]
+    for i in range(3):
+        ts = 21.0 + 3.0 * i
+        records.append(TraceRequest(
+            ts=ts, functions=pool[i % len(pool)], phase="recovery",
+        ))
+
+    churn_ts = calm_churn_ts + flash_churn_ts + recovery_churn_ts
+    churn = _stamped_churn(
+        objects, functions, len(churn_ts), OBJECT_CHURN, seed + 4,
+        sorted(churn_ts), phase_of,
+    )
+
+    records = sorted(records + churn, key=lambda r: float(r.ts))
+    return Trace(
+        name="flash-crowd", seed=seed, objects=objects,
+        functions=functions, records=tuple(records),
+        phases=("calm", "flash", "recovery"),
+    )
+
+
+def adversarial_trace(seed: int = 0, *, dims: int = 3, scale: float = 1.0,
+                      cycles: int = 6, workloads: int = 2,
+                      workload_size: int = 3) -> Trace:
+    """Churn aimed squarely at the serving cache.
+
+    Every cycle: serve a workload, then — at one shared timestamp —
+    delete a live object and insert a near-dominant replacement (a
+    point close to the unit corner, very likely to enter the matching),
+    then serve the *identical* workload again. A cache that fails to
+    invalidate on the churn serves the pre-churn result: the replay
+    driver's stale-hit counter catches it. Equal timestamps on the
+    delete/insert pair additionally pin the order-stability contract:
+    ties are broken by stream order, deterministically.
+    """
+    n_objects = max(40, int(80 * scale))
+    n_functions = max(6, int(10 * scale))
+    objects, functions = _population(seed, dims, n_objects, n_functions)
+    pool = _workload_pool(seed, dims, workloads, workload_size)
+    rng = np.random.default_rng(seed + 3)
+
+    # Track live object state so generated churn is always valid.
+    points = dict(objects.items())
+    prefs = {f.fid: f for f in functions}
+    next_id = max(points) + 1
+
+    records: List[TraceRecord] = []
+    phases = ("probe", "thrash", "aftermath")
+
+    def phase_of(cycle: int) -> str:
+        if cycle == 0:
+            return "probe"
+        if cycle < cycles - 1:
+            return "thrash"
+        return "aftermath"
+
+    nonce = 0
+    for cycle in range(cycles):
+        phase = phase_of(cycle)
+        base_ts = 10.0 * cycle
+        workload = pool[cycle % len(pool)]
+        records.append(TraceRequest(
+            ts=base_ts + 1.0, functions=workload, priority=1, phase=phase,
+        ))
+        # The attack: delete + near-dominant insert at one timestamp.
+        victim = int(sorted(points)[int(rng.integers(len(points)))])
+        strike_ts = base_ts + 2.0
+        near_corner = tuple(
+            min(1.0, 0.9 + 0.02 * float(rng.random()) + 0.001 * nonce)
+            for _ in range(dims)
+        )
+        nonce += 1
+        strike = [
+            DeleteObject(victim, ts=strike_ts),
+            InsertObject(next_id, near_corner, ts=strike_ts),
+        ]
+        next_id += 1
+        replay_events(points, prefs, strike)
+        records.extend(TraceEvent(e, phase=phase) for e in strike)
+        # Re-serve the identical workload: must reflect the churn.
+        records.append(TraceRequest(
+            ts=base_ts + 3.0, functions=workload, phase=phase,
+        ))
+    return Trace(
+        name="adversarial", seed=seed, objects=objects,
+        functions=functions, records=tuple(records), phases=phases,
+    )
+
+
+#: Registry: scenario name -> generator (``seed`` plus keyword knobs).
+SCENARIOS: Dict[str, Callable[..., Trace]] = {
+    "diurnal": diurnal_trace,
+    "flash-crowd": flash_crowd_trace,
+    "adversarial": adversarial_trace,
+}
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """The shipped scenario names, sorted."""
+    return tuple(sorted(SCENARIOS))
+
+
+def scenario_trace(name: str, seed: int = 0, **knobs) -> Trace:
+    """Build a shipped scenario by name (the CLI/benchmark entry point)."""
+    try:
+        generator = SCENARIOS[name.strip().lower()]
+    except KeyError:
+        raise ReplayError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(available_scenarios())}"
+        ) from None
+    return generator(seed, **knobs)

@@ -1,0 +1,502 @@
+"""The versioned trace format: time-stamped churn + request arrivals.
+
+A *trace* is the replayable unit of the scenario harness: one initial
+population (objects + session preference functions) followed by a
+timestamp-ordered stream of records — churn events
+(:class:`~repro.dynamic.events.Event` wrapped in :class:`TraceEvent`)
+and request arrivals (:class:`TraceRequest`, carrying a preference
+workload plus serving intents). Every scenario claim in this repository
+is made against a trace, never against an ad-hoc loop, so any measured
+behaviour can be replayed bit-for-bit.
+
+On disk a trace is **versioned JSON lines**: a header declaring the
+schema and version, one line per base object / base function / record,
+and an ``end`` footer carrying the record count (so truncation is
+detectable, not silent). Serialization is canonical — sorted keys,
+compact separators, repr-exact floats — which makes ``load → save``
+**byte-stable**: re-saving a loaded trace reproduces the identical
+bytes. Unsupported versions raise
+:class:`~repro.errors.TraceVersionError`; structural damage (bad JSON,
+unknown kinds, missing or inconsistent footer, non-monotone timestamps)
+raises :class:`~repro.errors.TraceFormatError`.
+
+:class:`TraceRecorder` builds traces programmatically — from scratch or
+*from a live session* via :meth:`TraceRecorder.observe`, which tees the
+session's ``on_change`` stream into the recording.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..data import Dataset
+from ..dynamic.events import (
+    AddFunction,
+    DeleteObject,
+    Event,
+    InsertObject,
+    RemoveFunction,
+)
+from ..errors import TraceFormatError, TraceVersionError
+from ..prefs import LinearPreference
+
+#: Schema identifier every trace header carries.
+TRACE_SCHEMA = "repro-trace"
+#: The (only) trace version this build reads and writes.
+TRACE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One churn event in a trace, with its phase label.
+
+    The arrival timestamp lives on the wrapped event itself
+    (``event.ts``); the wrapper adds the scenario phase the event
+    belongs to.
+    """
+
+    event: Event
+    phase: str = ""
+
+    @property
+    def ts(self) -> float:
+        return self.event.ts
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request arrival: a preference workload plus serving intents.
+
+    Requests sharing one timestamp (and phase) form a *burst*: the
+    replay driver submits them as a single ``submit_many`` batch, so
+    in-batch duplicate sharing and the vectorized path engage exactly
+    as they would under real concurrent arrivals.
+    """
+
+    ts: float
+    functions: Tuple[LinearPreference, ...]
+    priority: int = 0
+    timeout: Optional[float] = None
+    phase: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "functions", tuple(self.functions))
+        for function in self.functions:
+            if type(function) is not LinearPreference:
+                raise TraceFormatError(
+                    "trace requests carry exact LinearPreference "
+                    f"workloads only, got {type(function).__name__}"
+                )
+
+
+TraceRecord = Union[TraceEvent, TraceRequest]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable, validated, replayable scenario.
+
+    ``records`` are ordered by non-decreasing ``ts``; each record's
+    ``phase`` must appear as one contiguous run, in the order listed by
+    ``phases`` (the replay driver closes a phase's accounting window
+    when the next one starts). Validation happens at construction, so a
+    ``Trace`` in hand is always structurally sound.
+    """
+
+    name: str
+    seed: int
+    objects: Dataset
+    functions: Tuple[LinearPreference, ...]
+    records: Tuple[TraceRecord, ...]
+    phases: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "functions", tuple(self.functions))
+        object.__setattr__(self, "records", tuple(self.records))
+        object.__setattr__(self, "phases", tuple(self.phases))
+        dims = self.objects.dims
+        for function in self.functions:
+            if type(function) is not LinearPreference:
+                raise TraceFormatError(
+                    "trace base functions must be exact LinearPreference "
+                    f"instances, got {type(function).__name__}"
+                )
+            if function.dims != dims:
+                raise TraceFormatError(
+                    f"base function {function.fid} has {function.dims} "
+                    f"weights against {dims}-dimensional objects"
+                )
+        last_ts = float("-inf")
+        seen_phases: List[str] = []
+        for index, record in enumerate(self.records):
+            if not isinstance(record, (TraceEvent, TraceRequest)):
+                raise TraceFormatError(
+                    f"record {index} is not a TraceEvent/TraceRequest: "
+                    f"{record!r}"
+                )
+            ts = float(record.ts)
+            if ts < last_ts:
+                raise TraceFormatError(
+                    f"record {index} goes back in time: ts={ts} after "
+                    f"ts={last_ts}"
+                )
+            last_ts = ts
+            if not seen_phases or seen_phases[-1] != record.phase:
+                if record.phase in seen_phases:
+                    raise TraceFormatError(
+                        f"phase {record.phase!r} is not contiguous "
+                        f"(record {index} re-enters it)"
+                    )
+                seen_phases.append(record.phase)
+        declared = list(self.phases) if self.phases else seen_phases
+        if seen_phases != [p for p in declared if p in seen_phases]:
+            raise TraceFormatError(
+                f"records visit phases {seen_phases!r}, which is not a "
+                f"subsequence of the declared order {declared!r}"
+            )
+        if not self.phases:
+            object.__setattr__(self, "phases", tuple(seen_phases))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> int:
+        return self.objects.dims
+
+    @property
+    def end_ts(self) -> float:
+        """The last record's timestamp (``0.0`` for an empty stream)."""
+        return float(self.records[-1].ts) if self.records else 0.0
+
+    def phase_spans(self) -> "Dict[str, Tuple[float, float]]":
+        """Ordered ``{phase: (first_ts, last_ts)}`` over the records."""
+        spans: Dict[str, Tuple[float, float]] = {}
+        for record in self.records:
+            ts = float(record.ts)
+            first, _ = spans.get(record.phase, (ts, ts))
+            spans[record.phase] = (first, ts)
+        return spans
+
+    def counts(self) -> Dict[str, int]:
+        """Record totals: events, requests, served preference functions."""
+        events = sum(1 for r in self.records if isinstance(r, TraceEvent))
+        requests = len(self.records) - events
+        return {
+            "events": events,
+            "requests": requests,
+            "base_objects": len(self.objects),
+            "base_functions": len(self.functions),
+        }
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_lines(self) -> List[str]:
+        """The canonical JSON-lines rendering (no trailing newlines)."""
+        lines = [_dumps({
+            "kind": "header",
+            "schema": TRACE_SCHEMA,
+            "version": TRACE_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "dims": self.dims,
+            "phases": list(self.phases),
+        })]
+        body: List[str] = []
+        for object_id, point in sorted(self.objects.items()):
+            body.append(_dumps({
+                "kind": "object", "id": int(object_id),
+                "point": [float(v) for v in point],
+            }))
+        for function in self.functions:
+            body.append(_dumps({
+                "kind": "function", "fid": int(function.fid),
+                "weights": [float(w) for w in function.weights],
+            }))
+        for record in self.records:
+            body.append(_record_line(record))
+        lines.extend(body)
+        lines.append(_dumps({"kind": "end", "records": len(body)}))
+        return lines
+
+    def save(self, path) -> None:
+        """Write the trace to ``path`` as canonical JSON lines."""
+        with open(path, "w", encoding="utf-8", newline="\n") as handle:
+            for line in self.to_lines():
+                handle.write(line)
+                handle.write("\n")
+
+    @classmethod
+    def from_lines(cls, lines: Sequence[str]) -> "Trace":
+        """Parse a trace from JSON lines (the inverse of :meth:`to_lines`)."""
+        rows = [line for line in lines if line.strip()]
+        if not rows:
+            raise TraceFormatError("empty trace: no header line")
+        header = _loads(rows[0], 1)
+        if header.get("kind") != "header":
+            raise TraceFormatError(
+                f"line 1 must be the trace header, got kind="
+                f"{header.get('kind')!r}"
+            )
+        if header.get("schema") != TRACE_SCHEMA:
+            raise TraceFormatError(
+                f"not a {TRACE_SCHEMA} file (schema="
+                f"{header.get('schema')!r})"
+            )
+        if header.get("version") != TRACE_VERSION:
+            raise TraceVersionError(header.get("version"))
+        dims = int(header["dims"])
+
+        footer = _loads(rows[-1], len(rows))
+        if footer.get("kind") != "end":
+            raise TraceFormatError(
+                "trace is truncated: missing the 'end' footer record"
+            )
+        body = rows[1:-1]
+        if footer.get("records") != len(body):
+            raise TraceFormatError(
+                f"trace is truncated: footer declares "
+                f"{footer.get('records')!r} records, found {len(body)}"
+            )
+
+        points: Dict[int, Tuple[float, ...]] = {}
+        functions: List[LinearPreference] = []
+        records: List[TraceRecord] = []
+        for offset, row in enumerate(body, start=2):
+            payload = _loads(row, offset)
+            kind = payload.get("kind")
+            if kind == "object":
+                points[int(payload["id"])] = tuple(
+                    float(v) for v in payload["point"]
+                )
+            elif kind == "function":
+                functions.append(LinearPreference(
+                    int(payload["fid"]),
+                    tuple(float(w) for w in payload["weights"]),
+                ))
+            elif kind == "event":
+                records.append(_parse_event(payload, offset))
+            elif kind == "request":
+                records.append(_parse_request(payload, offset))
+            else:
+                raise TraceFormatError(
+                    f"line {offset}: unknown record kind {kind!r}"
+                )
+        objects = Dataset.from_mapping(points, dims, name=header["name"])
+        return cls(
+            name=header["name"], seed=int(header["seed"]),
+            objects=objects, functions=tuple(functions),
+            records=tuple(records), phases=tuple(header.get("phases", ())),
+        )
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        """Read a trace file written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_lines(handle.read().splitlines())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        totals = self.counts()
+        return (
+            f"Trace({self.name!r}, |O|={totals['base_objects']}, "
+            f"|F|={totals['base_functions']}, "
+            f"events={totals['events']}, requests={totals['requests']}, "
+            f"phases={list(self.phases)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Canonical JSON helpers
+# ----------------------------------------------------------------------
+def _dumps(payload: dict) -> str:
+    # sort_keys + compact separators + repr-exact floats: the canonical
+    # rendering that makes load → save byte-stable.
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def _loads(line: str, lineno: int) -> dict:
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise TraceFormatError(
+            f"line {lineno}: not valid JSON ({exc})"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise TraceFormatError(
+            f"line {lineno}: expected a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    return payload
+
+
+def _record_line(record: TraceRecord) -> str:
+    if isinstance(record, TraceRequest):
+        payload = {
+            "kind": "request",
+            "ts": float(record.ts),
+            "phase": record.phase,
+            "priority": int(record.priority),
+            "functions": [
+                {"fid": int(f.fid), "weights": [float(w) for w in f.weights]}
+                for f in record.functions
+            ],
+        }
+        if record.timeout is not None:
+            payload["timeout"] = float(record.timeout)
+        return _dumps(payload)
+    event = record.event
+    payload = {
+        "kind": "event",
+        "event": event.kind,
+        "ts": float(event.ts),
+        "phase": record.phase,
+    }
+    if isinstance(event, InsertObject):
+        payload["id"] = int(event.object_id)
+        payload["point"] = [float(v) for v in event.point]
+    elif isinstance(event, DeleteObject):
+        payload["id"] = int(event.object_id)
+    elif isinstance(event, AddFunction):
+        payload["fid"] = int(event.function.fid)
+        payload["weights"] = [float(w) for w in event.function.weights]
+    elif isinstance(event, RemoveFunction):
+        payload["fid"] = int(event.function_id)
+    else:  # pragma: no cover - Event union is closed
+        raise TraceFormatError(f"unknown event type {event!r}")
+    return _dumps(payload)
+
+
+def _parse_event(payload: dict, lineno: int) -> TraceEvent:
+    ts = float(payload["ts"])
+    name = payload.get("event")
+    if name == "insert_object":
+        event: Event = InsertObject(
+            int(payload["id"]),
+            tuple(float(v) for v in payload["point"]), ts=ts,
+        )
+    elif name == "delete_object":
+        event = DeleteObject(int(payload["id"]), ts=ts)
+    elif name == "add_function":
+        event = AddFunction(LinearPreference(
+            int(payload["fid"]),
+            tuple(float(w) for w in payload["weights"]),
+        ), ts=ts)
+    elif name == "remove_function":
+        event = RemoveFunction(int(payload["fid"]), ts=ts)
+    else:
+        raise TraceFormatError(
+            f"line {lineno}: unknown event kind {name!r}"
+        )
+    return TraceEvent(event, phase=payload.get("phase", ""))
+
+
+def _parse_request(payload: dict, lineno: int) -> TraceRequest:
+    try:
+        functions = tuple(
+            LinearPreference(
+                int(f["fid"]), tuple(float(w) for w in f["weights"])
+            )
+            for f in payload["functions"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise TraceFormatError(
+            f"line {lineno}: malformed request workload ({exc})"
+        ) from exc
+    timeout = payload.get("timeout")
+    return TraceRequest(
+        ts=float(payload["ts"]), functions=functions,
+        priority=int(payload.get("priority", 0)),
+        timeout=None if timeout is None else float(timeout),
+        phase=payload.get("phase", ""),
+    )
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+class TraceRecorder:
+    """Accumulates records (from code or a live session) into a trace.
+
+    The recorder pins the *initial* population at construction; every
+    subsequently recorded event/request must arrive in non-decreasing
+    timestamp order. :meth:`observe` hooks a live
+    :class:`~repro.dynamic.DynamicMatcher`: its accepted events are
+    teed into the recording (stamped by ``clock``) without disturbing
+    any observer already bound to the session, which is how a serving
+    deployment records the exact churn it actually absorbed.
+    """
+
+    def __init__(self, objects: Dataset,
+                 functions: Sequence[LinearPreference], *,
+                 name: str = "recorded", seed: int = 0) -> None:
+        self._objects = objects
+        self._functions = tuple(functions)
+        self._name = name
+        self._seed = seed
+        self._records: List[TraceRecord] = []
+        self._last_ts = float("-inf")
+        self.phase = ""
+
+    def _admit_ts(self, ts: float) -> float:
+        ts = float(ts)
+        if ts < self._last_ts:
+            raise TraceFormatError(
+                f"recorded timestamps must be non-decreasing: got {ts} "
+                f"after {self._last_ts}"
+            )
+        self._last_ts = ts
+        return ts
+
+    def record_event(self, event: Event,
+                     ts: Optional[float] = None) -> None:
+        """Append one churn event (restamped to ``ts`` when given)."""
+        stamp = self._admit_ts(event.ts if ts is None else ts)
+        if stamp != event.ts:
+            event = dataclasses.replace(event, ts=stamp)
+        self._records.append(TraceEvent(event, phase=self.phase))
+
+    def record_request(self, functions: Sequence[LinearPreference],
+                       ts: float, *, priority: int = 0,
+                       timeout: Optional[float] = None) -> None:
+        """Append one request arrival at ``ts``."""
+        self._records.append(TraceRequest(
+            ts=self._admit_ts(ts), functions=tuple(functions),
+            priority=priority, timeout=timeout, phase=self.phase,
+        ))
+
+    def observe(self, session, clock: Callable[[], float]):
+        """Tee a live session's accepted events into this recording.
+
+        Chains in front of any existing ``on_change`` observer (the
+        serving cache invalidation hook keeps firing) and returns the
+        session for convenience. ``clock`` supplies the stamp for each
+        event — pass the replay clock, a monotonic counter, or
+        ``time.monotonic`` for wall-clock recording.
+        """
+        previous = session.on_change
+
+        def tee(event: Event) -> None:
+            if previous is not None:
+                previous(event)
+            self.record_event(event, ts=clock())
+
+        session.on_change = tee
+        return session
+
+    def trace(self) -> Trace:
+        """Freeze the recording into a validated :class:`Trace`."""
+        return Trace(
+            name=self._name, seed=self._seed, objects=self._objects,
+            functions=self._functions, records=tuple(self._records),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TraceRecorder({self._name!r}, records={len(self._records)}, "
+            f"phase={self.phase!r})"
+        )

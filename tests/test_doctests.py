@@ -19,6 +19,7 @@ import repro.dynamic
 import repro.engine.config
 import repro.engine.facade
 import repro.parallel.partition
+import repro.replay
 
 # importlib guarantees the actual submodules (immune to any package
 # attribute shadowing a submodule's name).
@@ -45,6 +46,7 @@ DOCUMENTED_MODULES = [
     prefs_functions,
     repro.dynamic,
     repro.parallel.partition,
+    repro.replay,
 ]
 
 

@@ -123,3 +123,60 @@ def test_negative_event_count_rejected(population):
     objects, functions = population
     with pytest.raises(ReproError):
         generate_events(objects, functions, -1)
+
+
+# ----------------------------------------------------------------------
+# Timestamps (the replay layer's ordering key)
+# ----------------------------------------------------------------------
+def test_default_ts_is_zero_and_streams_are_unchanged(population):
+    """Old call sites keep getting byte-identical streams: ``ts`` is a
+    trailing default, and without ``rate`` every event carries 0.0."""
+    objects, functions = population
+    events = generate_events(objects, functions, 50, seed=7)
+    assert all(event.ts == 0.0 for event in events)
+    # The payload (everything but ts) matches a pre-ts-era stream:
+    # determinism pins the rng, so any drift would show up here.
+    again = generate_events(objects, functions, 50, seed=7,
+                            start_ts=100.0)  # start_ts alone is inert
+    assert [type(e) for e in again] == [type(e) for e in events]
+
+
+def test_rate_assigns_strictly_increasing_timestamps(population):
+    objects, functions = population
+    events = generate_events(objects, functions, 40, seed=7,
+                             start_ts=5.0, rate=4.0)
+    stamps = [event.ts for event in events]
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == len(stamps)  # strictly increasing
+    assert stamps[0] == pytest.approx(5.0 + 1 / 4.0)
+    assert stamps[-1] == pytest.approx(5.0 + 40 / 4.0)
+
+
+def test_rate_does_not_perturb_the_event_payloads(population):
+    """Stamping is orthogonal: same seed, same events, only ts differs."""
+    import dataclasses
+
+    objects, functions = population
+    plain = generate_events(objects, functions, 30, seed=13)
+    stamped = generate_events(objects, functions, 30, seed=13, rate=2.0)
+    assert [dataclasses.replace(e, ts=0.0) for e in stamped] == plain
+
+
+def test_equal_timestamps_keep_submission_order(population):
+    """Sessions apply events in submission order; equal (default) ts
+    must not reorder anything, so replaying both streams agrees."""
+    objects, functions = population
+    events = generate_events(objects, functions, 60, seed=21)  # all ts=0
+    direct = apply_events(objects, functions, events)
+    stable_sorted = sorted(events, key=lambda event: event.ts)
+    assert stable_sorted == events  # sorted() is stable on equal keys
+    replayed = apply_events(objects, functions, stable_sorted)
+    assert dict(direct[0].items()) == dict(replayed[0].items())
+    assert direct[1] == replayed[1]
+
+
+def test_invalid_rate_rejected(population):
+    objects, functions = population
+    for bad in (0.0, -1.0):
+        with pytest.raises(ReproError):
+            generate_events(objects, functions, 5, rate=bad)

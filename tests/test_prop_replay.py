@@ -1,0 +1,144 @@
+"""Property test: replay → rewind → replay equals straight-through.
+
+The exact-rewind contract, probed with randomized traces: for any
+seeded churn stream interleaved with request bursts at arbitrary
+(tie-heavy) timestamps, and any rewind target, running the trace to the
+end, rewinding, and running again must land on the *identical* terminal
+state as a driver that replayed straight through — matching pairs,
+per-key result-cache state (keys in LRU order), and per-window serving
+counter deltas. Coarse timestamp grids force equal-ts bursts and
+checkpoint collisions; the rewind target is drawn independently of the
+phase structure so mid-window gap replay is exercised constantly.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.dynamic import generate_events
+from repro.replay import ReplayDriver, Trace, TraceEvent, TraceRequest
+
+DIMS = 3
+
+
+def _population(seed):
+    objects = repro.generate_independent(30, DIMS, seed=seed)
+    functions = repro.generate_preferences(4, DIMS, seed=seed + 1)
+    pool = [
+        repro.LinearPreference(10_000 + i, f.weights)
+        for i, f in enumerate(
+            repro.generate_preferences(5, DIMS, seed=seed + 2)
+        )
+    ]
+    return objects, tuple(functions), pool
+
+
+def _build_trace(seed, n_events, request_slots):
+    """A randomized single-phase trace: churn at rate 2 + drawn bursts."""
+    objects, functions, pool = _population(seed)
+    churn = generate_events(objects, list(functions), n_events,
+                            seed=seed + 3, rate=2.0)
+    records = [TraceEvent(event) for event in churn]
+    for slot, picks in request_slots:
+        # Coarse grid (halves) provokes equal-ts bursts and records
+        # that share a timestamp with churn events.
+        ts = slot / 2.0
+        # Dedupe within the workload: a single request never carries
+        # the same function id twice (whole-burst duplicates are what
+        # exercise sharing, and those the slots provide naturally).
+        workload = {pool[pick % len(pool)].fid: pool[pick % len(pool)]
+                    for pick in picks}
+        records.append(TraceRequest(
+            ts=ts, functions=tuple(workload.values()),
+        ))
+    records.sort(key=lambda record: record.ts)  # stable on ties
+    return Trace(name=f"prop-{seed}", seed=seed, objects=objects,
+                 functions=functions, records=tuple(records))
+
+
+def _terminal_state(driver):
+    pairs = tuple(
+        (pair.function_id, pair.object_id, pair.score)
+        for pair in driver.matching().pairs
+    )
+    windows = tuple(
+        (window.name, tuple(sorted(window.counters.items())))
+        for window in driver._windows
+    )
+    return pairs, driver.cache_keys(), windows
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    n_events=st.integers(min_value=1, max_value=16),
+    request_slots=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=20),
+            st.lists(st.integers(min_value=0, max_value=100),
+                     min_size=1, max_size=3),
+        ),
+        min_size=1, max_size=6,
+    ),
+    rewind_slot=st.integers(min_value=0, max_value=20),
+    checkpoint_slots=st.lists(
+        st.integers(min_value=0, max_value=20), max_size=3,
+    ),
+)
+def test_replay_rewind_replay_is_straight_through(
+        seed, n_events, request_slots, rewind_slot, checkpoint_slots):
+    trace = _build_trace(seed, n_events, request_slots)
+
+    with ReplayDriver(trace, backend="memory", verify=False) as straight:
+        straight.run()
+        expected = _terminal_state(straight)
+
+    with ReplayDriver(trace, backend="memory", verify=False) as driver:
+        # Sprinkle extra mid-stream checkpoints: rewind may restore any
+        # of them, and all must be equally exact.
+        for slot in sorted(checkpoint_slots):
+            driver.advance(slot / 2.0)
+        driver.run()
+        assert _terminal_state(driver) == expected
+        driver.rewind(min(rewind_slot / 2.0, driver.clock))
+        driver.run()
+        assert _terminal_state(driver) == expected
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=20),
+    n_events=st.integers(min_value=2, max_value=10),
+)
+def test_repeated_rewinds_never_drift(seed, n_events):
+    """Rewinding to the same target over and over is idempotent: each
+    replay from it reproduces the same terminal state, with no drift
+    from restore-of-a-restore."""
+    trace = _build_trace(seed, n_events, [(4, [0]), (9, [1, 2])])
+    target = trace.end_ts / 2
+    with ReplayDriver(trace, backend="memory", verify=False) as driver:
+        driver.run()
+        expected = _terminal_state(driver)
+        for _ in range(3):
+            driver.rewind(target)
+            driver.run()
+            assert _terminal_state(driver) == expected
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=20))
+def test_trace_round_trip_replays_identically(seed):
+    """Serialization is faithful under replay: a trace loaded back from
+    its canonical lines drives the stack to the same terminal state."""
+    trace = _build_trace(seed, 8, [(3, [0, 2]), (11, [1])])
+    reloaded = Trace.from_lines(trace.to_lines())
+    assert reloaded.records == trace.records
+    with ReplayDriver(trace, backend="memory", verify=False) as one:
+        one.run()
+        first = _terminal_state(one)
+    with ReplayDriver(reloaded, backend="memory", verify=False) as two:
+        two.run()
+        assert _terminal_state(two) == first

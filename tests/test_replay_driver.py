@@ -1,0 +1,236 @@
+"""ReplayDriver: clock semantics, rewind, transports, and accounting."""
+
+import pytest
+
+from repro.errors import ReplayError
+from repro.replay import (
+    ReplayDriver,
+    available_scenarios,
+    scenario_trace,
+)
+
+SEED = 17
+
+
+@pytest.fixture(scope="module")
+def flash_trace():
+    return scenario_trace("flash-crowd", seed=SEED, scale=0.5)
+
+
+def _pairs(driver):
+    return tuple(
+        (pair.function_id, pair.object_id, pair.score)
+        for pair in driver.matching().pairs
+    )
+
+
+# ----------------------------------------------------------------------
+# Clock semantics
+# ----------------------------------------------------------------------
+def test_advance_is_cumulative_and_ordered(flash_trace):
+    spans = flash_trace.phase_spans()
+    with ReplayDriver(flash_trace, backend="memory") as driver:
+        first = driver.advance(spans["calm"][1])
+        assert first["events"] > 0 and first["requests"] > 0
+        assert driver.clock == spans["calm"][1]
+        second = driver.advance(flash_trace.end_ts)
+        assert second["requests"] > 0
+        # Every record applied exactly once across the two advances.
+        totals = flash_trace.counts()
+        assert first["events"] + second["events"] == totals["events"]
+        assert first["requests"] + second["requests"] == totals["requests"]
+
+
+def test_advance_backwards_is_a_typed_error(flash_trace):
+    with ReplayDriver(flash_trace, backend="memory",
+                      verify=False) as driver:
+        driver.advance(15.0)
+        with pytest.raises(ReplayError, match="backwards"):
+            driver.advance(10.0)
+
+
+def test_advance_past_the_end_is_idempotent(flash_trace):
+    with ReplayDriver(flash_trace, backend="memory",
+                      verify=False) as driver:
+        driver.advance(flash_trace.end_ts)
+        again = driver.advance(flash_trace.end_ts + 1000.0)
+        assert again == {"events": 0, "requests": 0}
+
+
+def test_run_equals_manual_advance(flash_trace):
+    with ReplayDriver(flash_trace, backend="memory",
+                      verify=False) as manual:
+        manual.advance(flash_trace.end_ts)
+        expected = (_pairs(manual), manual.cache_keys())
+    with ReplayDriver(flash_trace, backend="memory", verify=False) as auto:
+        report = auto.run()
+        assert (_pairs(auto), auto.cache_keys()) == expected
+    assert report.clock == flash_trace.end_ts
+    assert [phase.name for phase in report.phases] == list(
+        flash_trace.phases
+    )
+
+
+# ----------------------------------------------------------------------
+# Rewind
+# ----------------------------------------------------------------------
+def test_rewind_restores_exact_state_and_replays_identically(flash_trace):
+    spans = flash_trace.phase_spans()
+    calm_end = spans["calm"][1]
+    with ReplayDriver(flash_trace, backend="memory") as driver:
+        driver.advance(calm_end)
+        at_calm = (_pairs(driver), driver.cache_keys())
+        driver.run()
+        terminal = (_pairs(driver), driver.cache_keys())
+        driver.rewind(calm_end)
+        assert (_pairs(driver), driver.cache_keys()) == at_calm
+        driver.run()
+        assert (_pairs(driver), driver.cache_keys()) == terminal
+
+
+def test_rewind_to_genesis(flash_trace):
+    with ReplayDriver(flash_trace, backend="memory",
+                      verify=False) as driver:
+        genesis_pairs = _pairs(driver)
+        driver.run()
+        assert _pairs(driver) != genesis_pairs  # churn moved the matching
+        outcome = driver.rewind(float("-inf"))
+        assert outcome["restored_ts"] == float("-inf")
+        assert _pairs(driver) == genesis_pairs
+        assert driver.cache_keys() == ()
+
+
+def test_rewind_between_checkpoints_replays_the_gap(flash_trace):
+    """A target between two boundaries restores the earlier checkpoint
+    and advances the remainder — landing exactly on the target clock."""
+    spans = flash_trace.phase_spans()
+    calm_end, flash_end = spans["calm"][1], spans["flash"][1]
+    target = (calm_end + flash_end) / 2
+    with ReplayDriver(flash_trace, backend="memory") as driver:
+        driver.advance(calm_end)
+        driver.advance(target)
+        mid_state = (_pairs(driver), driver.cache_keys())
+        driver.advance(flash_trace.end_ts)
+        outcome = driver.rewind(target)
+        assert outcome["restored_ts"] == target  # boundary was kept
+        assert driver.clock == target
+        assert (_pairs(driver), driver.cache_keys()) == mid_state
+        # Now force gap replay: drop straight to a non-boundary ts.
+        probe = (calm_end + target) / 2
+        outcome = driver.rewind(probe)
+        assert outcome["restored_ts"] == calm_end
+        assert outcome["clock"] == probe
+
+
+def test_rewind_forward_is_a_typed_error(flash_trace):
+    with ReplayDriver(flash_trace, backend="memory",
+                      verify=False) as driver:
+        driver.advance(5.0)
+        with pytest.raises(ReplayError, match="ahead of clock"):
+            driver.rewind(25.0)
+
+
+def test_checkpoint_eviction_keeps_genesis(flash_trace):
+    with ReplayDriver(flash_trace, backend="memory", verify=False,
+                      max_checkpoints=3) as driver:
+        for ts in (2.0, 4.0, 6.0, 8.0, 10.0):
+            driver.advance(ts)
+        stamps = driver.checkpoints()
+        assert len(stamps) == 3
+        assert stamps[0] == float("-inf")  # genesis survives eviction
+        assert stamps[-1] == 10.0
+        driver.rewind(float("-inf"))  # still reachable
+        assert driver.clock == float("-inf")
+
+
+def test_invalid_construction_arguments(flash_trace):
+    with pytest.raises(ReplayError, match="unknown transport"):
+        ReplayDriver(flash_trace, transport="carrier-pigeon")
+    with pytest.raises(ReplayError, match="max_checkpoints"):
+        ReplayDriver(flash_trace, max_checkpoints=0)
+
+
+def test_closed_driver_rejects_further_use(flash_trace):
+    driver = ReplayDriver(flash_trace, backend="memory", verify=False)
+    report = driver.close()
+    assert report.trace_name == "flash-crowd"
+    assert driver.close().trace_name == "flash-crowd"  # idempotent
+    with pytest.raises(ReplayError, match="closed"):
+        driver.advance(1.0)
+    with pytest.raises(ReplayError, match="closed"):
+        driver.rewind(0.0)
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("transport", ["async", "server"])
+def test_transports_serve_pair_identical_results(flash_trace, transport):
+    """The asyncio front-end and the loopback socket server replay the
+    same trace fresh (verified per burst against ground truth) and land
+    on the same terminal matching as the local transport."""
+    with ReplayDriver(flash_trace, backend="memory") as local:
+        local.run()
+        expected = _pairs(local)
+    with ReplayDriver(flash_trace, backend="memory",
+                      transport=transport) as driver:
+        report = driver.run()
+        assert _pairs(driver) == expected
+    assert report.transport == transport
+    assert report.ok
+    assert report.stale_hits == 0
+    assert report.requests == flash_trace.counts()["requests"]
+
+
+# ----------------------------------------------------------------------
+# Accounting
+# ----------------------------------------------------------------------
+def test_report_totals_and_phase_windows(flash_trace):
+    with ReplayDriver(flash_trace, backend="memory") as driver:
+        report = driver.run()
+    totals = flash_trace.counts()
+    assert report.requests == totals["requests"]
+    assert report.churn_events == totals["events"]
+    assert report.freshness_checks > 0
+    assert report.ok
+    phase_names = [phase.name for phase in report.phases]
+    assert phase_names == ["calm", "flash", "recovery"]
+    spans = flash_trace.phase_spans()
+    for phase in report.phases:
+        first, last = spans[phase.name]
+        assert phase.start_ts == first
+        assert phase.end_ts == last
+        assert phase.counters["rejected"] == 0
+    flash = report.phases[phase_names.index("flash")]
+    # The flash phase repeats one workload inside each burst: in-batch
+    # sharing and the vectorized path must engage, otherwise the batch
+    # pipeline regressed. (Cross-burst cache hits are seed-dependent —
+    # the churn spike between bursts may invalidate every entry.)
+    assert flash.counters["duplicate_hits"] > 0
+    assert flash.counters["vectorized_requests"] > 0
+
+
+def test_report_serializes(flash_trace, tmp_path):
+    with ReplayDriver(flash_trace, backend="memory",
+                      verify=False) as driver:
+        report = driver.run()
+    target = tmp_path / "report.json"
+    report.save_json(target)
+    import json
+
+    payload = json.loads(target.read_text())
+    assert payload["trace"] == "flash-crowd"
+    assert payload["ok"] is True
+    assert [p["name"] for p in payload["phases"]] == [
+        "calm", "flash", "recovery",
+    ]
+
+
+def test_every_scenario_replays_fresh_on_disk_backend():
+    """The disk backend (the paper's cost model) also serves fresh."""
+    for scenario in sorted(available_scenarios()):
+        trace = scenario_trace(scenario, seed=SEED, scale=0.5)
+        with ReplayDriver(trace, backend="disk") as driver:
+            report = driver.run()
+        assert report.ok, scenario
+        assert report.stale_hits == 0, scenario

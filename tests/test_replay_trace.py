@@ -1,0 +1,242 @@
+"""Trace format: round-trip byte-stability, versioning, typed damage."""
+
+import json
+
+import pytest
+
+import repro
+from repro.dynamic import DeleteObject, InsertObject, RemoveFunction
+from repro.errors import (
+    ReplayError,
+    TraceError,
+    TraceFormatError,
+    TraceVersionError,
+)
+from repro.replay import (
+    TRACE_SCHEMA,
+    TRACE_VERSION,
+    Trace,
+    TraceEvent,
+    TraceRecorder,
+    TraceRequest,
+    scenario_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return scenario_trace("flash-crowd", seed=5, scale=0.5)
+
+
+# ----------------------------------------------------------------------
+# Round trip
+# ----------------------------------------------------------------------
+def test_round_trip_is_byte_stable(small_trace, tmp_path):
+    """save → load → save reproduces the identical bytes."""
+    first = tmp_path / "first.jsonl"
+    second = tmp_path / "second.jsonl"
+    small_trace.save(first)
+    Trace.load(first).save(second)
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_round_trip_preserves_every_record(small_trace, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    small_trace.save(path)
+    loaded = Trace.load(path)
+    assert loaded.name == small_trace.name
+    assert loaded.seed == small_trace.seed
+    assert loaded.phases == small_trace.phases
+    assert loaded.counts() == small_trace.counts()
+    assert dict(loaded.objects.items()) == dict(small_trace.objects.items())
+    assert loaded.functions == small_trace.functions
+    assert loaded.records == small_trace.records
+
+
+def test_header_declares_schema_and_version(small_trace):
+    header = json.loads(small_trace.to_lines()[0])
+    assert header["schema"] == TRACE_SCHEMA
+    assert header["version"] == TRACE_VERSION
+    footer = json.loads(small_trace.to_lines()[-1])
+    assert footer == {
+        "kind": "end", "records": len(small_trace.to_lines()) - 2,
+    }
+
+
+# ----------------------------------------------------------------------
+# Typed failure modes
+# ----------------------------------------------------------------------
+def test_unknown_version_raises_typed_error(small_trace):
+    lines = small_trace.to_lines()
+    header = json.loads(lines[0])
+    header["version"] = 99
+    lines[0] = json.dumps(header)
+    with pytest.raises(TraceVersionError) as caught:
+        Trace.from_lines(lines)
+    assert caught.value.version == 99
+    assert "version 99" in str(caught.value)
+    # The hierarchy lets callers catch broadly:
+    assert isinstance(caught.value, TraceError)
+    assert isinstance(caught.value, ReplayError)
+    assert isinstance(caught.value, repro.ReproError)
+
+
+def test_missing_footer_is_reported_as_truncation(small_trace):
+    lines = small_trace.to_lines()[:-1]
+    with pytest.raises(TraceFormatError, match="truncated"):
+        Trace.from_lines(lines)
+
+
+def test_dropped_body_line_is_reported_as_truncation(small_trace):
+    lines = small_trace.to_lines()
+    del lines[3]  # footer count no longer matches
+    with pytest.raises(TraceFormatError, match="truncated"):
+        Trace.from_lines(lines)
+
+
+def test_bad_json_names_the_line(small_trace):
+    lines = small_trace.to_lines()
+    lines[2] = lines[2][:-5]  # chop mid-record
+    with pytest.raises(TraceFormatError, match="line 3"):
+        Trace.from_lines(lines)
+
+
+def test_unknown_record_kind_rejected(small_trace):
+    lines = small_trace.to_lines()
+    lines[1] = json.dumps({"kind": "mystery"})
+    with pytest.raises(TraceFormatError, match="unknown record kind"):
+        Trace.from_lines(lines)
+
+
+def test_unknown_event_kind_rejected(small_trace):
+    lines = small_trace.to_lines()
+    lines[1] = json.dumps({"kind": "event", "event": "explode", "ts": 0.0})
+    with pytest.raises(TraceFormatError, match="unknown event kind"):
+        Trace.from_lines(lines)
+
+
+def test_non_header_first_line_rejected(small_trace):
+    lines = small_trace.to_lines()[1:]
+    with pytest.raises(TraceFormatError, match="header"):
+        Trace.from_lines(lines)
+
+
+def test_foreign_schema_rejected(small_trace):
+    lines = small_trace.to_lines()
+    header = json.loads(lines[0])
+    header["schema"] = "other-format"
+    lines[0] = json.dumps(header)
+    with pytest.raises(TraceFormatError, match="not a repro-trace"):
+        Trace.from_lines(lines)
+
+
+def test_empty_input_rejected():
+    with pytest.raises(TraceFormatError, match="empty trace"):
+        Trace.from_lines([])
+
+
+# ----------------------------------------------------------------------
+# Construction-time validation
+# ----------------------------------------------------------------------
+def _base():
+    objects = repro.generate_independent(10, 2, seed=1)
+    functions = repro.generate_preferences(2, 2, seed=2)
+    return objects, tuple(functions)
+
+
+def test_records_must_not_go_back_in_time():
+    objects, functions = _base()
+    records = (
+        TraceEvent(DeleteObject(0, ts=5.0)),
+        TraceEvent(DeleteObject(1, ts=4.0)),
+    )
+    with pytest.raises(TraceFormatError, match="back in time"):
+        Trace("bad", 0, objects, functions, records)
+
+
+def test_phases_must_be_contiguous():
+    objects, functions = _base()
+    records = (
+        TraceEvent(DeleteObject(0, ts=1.0), phase="a"),
+        TraceEvent(DeleteObject(1, ts=2.0), phase="b"),
+        TraceEvent(DeleteObject(2, ts=3.0), phase="a"),
+    )
+    with pytest.raises(TraceFormatError, match="not contiguous"):
+        Trace("bad", 0, objects, functions, records)
+
+
+def test_declared_phase_order_must_match_records():
+    objects, functions = _base()
+    records = (
+        TraceEvent(DeleteObject(0, ts=1.0), phase="b"),
+        TraceEvent(DeleteObject(1, ts=2.0), phase="a"),
+    )
+    with pytest.raises(TraceFormatError, match="subsequence"):
+        Trace("bad", 0, objects, functions, records, phases=("a", "b"))
+
+
+def test_request_workloads_must_be_linear():
+    class NotLinear:
+        fid = 1
+        weights = (0.5, 0.5)
+
+    with pytest.raises(TraceFormatError, match="LinearPreference"):
+        TraceRequest(ts=0.0, functions=(NotLinear(),))
+
+
+def test_base_function_dims_must_match_objects():
+    objects, _ = _base()
+    bad = repro.LinearPreference(7, (0.2, 0.3, 0.5))  # 3 weights vs 2 dims
+    with pytest.raises(TraceFormatError, match="weights"):
+        Trace("bad", 0, objects, (bad,), ())
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+def test_recorder_builds_a_valid_trace(tmp_path):
+    objects, functions = _base()
+    recorder = TraceRecorder(objects, functions, name="manual", seed=3)
+    recorder.phase = "warm"
+    recorder.record_event(InsertObject(500, (0.5, 0.5)), ts=1.0)
+    recorder.record_request([functions[0]], ts=1.5, priority=2)
+    recorder.phase = "drain"
+    recorder.record_event(RemoveFunction(functions[1].fid), ts=2.0)
+    trace = recorder.trace()
+    assert trace.phases == ("warm", "drain")
+    assert trace.counts()["events"] == 2
+    assert trace.counts()["requests"] == 1
+    assert trace.records[1].priority == 2
+    path = tmp_path / "manual.jsonl"
+    trace.save(path)
+    assert Trace.load(path).records == trace.records
+
+
+def test_recorder_rejects_time_travel():
+    objects, functions = _base()
+    recorder = TraceRecorder(objects, functions)
+    recorder.record_event(DeleteObject(0), ts=5.0)
+    with pytest.raises(TraceFormatError, match="non-decreasing"):
+        recorder.record_request([functions[0]], ts=4.0)
+
+
+def test_observe_tees_live_session_churn():
+    """Events accepted by a live session land in the recording, stamped
+    by the supplied clock, without breaking the existing observer."""
+    objects = repro.generate_independent(60, 3, seed=4)
+    functions = list(repro.generate_preferences(6, 3, seed=5))
+    seen = []
+    clock = iter([10.0, 11.0, 12.0])
+    recorder = TraceRecorder(objects, functions, name="live")
+    with repro.open_session(objects, functions, backend="memory") as session:
+        session.on_change = seen.append
+        recorder.observe(session, lambda: next(clock))
+        session.submit(DeleteObject(objects.ids[0]))
+        session.submit(InsertObject(9_000, (0.4, 0.4, 0.4)))
+        session.matching()
+    trace = recorder.trace()
+    assert [type(r.event).__name__ for r in trace.records] == [
+        "DeleteObject", "InsertObject",
+    ]
+    assert [r.ts for r in trace.records] == [10.0, 11.0]
+    assert len(seen) == 2  # the prior observer kept firing
