@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..core import BruteForceMatcher, ChainMatcher, MatchingProblem, SkylineMatcher
+from ..errors import MatchingError
 from ..data import generate_anticorrelated
 from ..prefs import generate_preferences
 from ..storage import SearchStats
@@ -46,7 +47,7 @@ def run_sb_ablations(scale: Optional[float] = None, dims: int = 4,
         if reference is None:
             reference = matching.as_set()
         elif matching.as_set() != reference:
-            raise AssertionError(
+            raise MatchingError(
                 f"ablation variant {label!r} changed the matching"
             )
         results[label] = {
@@ -66,7 +67,7 @@ def run_sb_ablations(scale: Optional[float] = None, dims: int = 4,
         matcher = matcher_factory(problem)
         matching = matcher.run()
         if matching.as_set() != reference:
-            raise AssertionError(f"{label!r} changed the matching")
+            raise MatchingError(f"{label!r} changed the matching")
         results[label] = {
             "io": problem.io_stats.io_accesses,
             "rounds": matching.num_rounds,

@@ -12,6 +12,7 @@ import json
 from pathlib import Path
 from typing import List, Union
 
+from ..errors import MatchingError
 from .instruments import RunMeasurement
 from .runner import Sweep, SweepPoint
 
@@ -51,7 +52,7 @@ def load_sweep_json(path: PathLike) -> Sweep:
     """Reconstruct a sweep written by :func:`save_sweep_json`."""
     payload = json.loads(Path(path).read_text())
     if payload.get("schema") != SCHEMA_VERSION:
-        raise ValueError(
+        raise MatchingError(
             f"{path}: unsupported sweep schema {payload.get('schema')!r}"
         )
     sweep = Sweep(

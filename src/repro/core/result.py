@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..errors import MatchingError
+
 
 @dataclass(frozen=True)
 class MatchPair:
@@ -43,11 +45,11 @@ class Matching:
         self.by_object: Dict[int, MatchPair] = {}
         for pair in self.pairs:
             if pair.function_id in self.by_function:
-                raise ValueError(
+                raise MatchingError(
                     f"function {pair.function_id} matched more than once"
                 )
             if pair.object_id in self.by_object:
-                raise ValueError(
+                raise MatchingError(
                     f"object {pair.object_id} matched more than once"
                 )
             self.by_function[pair.function_id] = pair

@@ -32,7 +32,7 @@ from ..prefs import LinearPreference
 class InsertObject:
     """A new object arrives (id must be unused among surviving objects)."""
 
-    object_id: int
+    object_id: int  # wire: id
     point: Tuple[float, ...]
     ts: float = 0.0
 
@@ -43,7 +43,7 @@ class InsertObject:
 class DeleteObject:
     """An existing object leaves (sold, expired, withdrawn)."""
 
-    object_id: int
+    object_id: int  # wire: id
     ts: float = 0.0
 
     kind = "delete_object"
@@ -53,7 +53,7 @@ class DeleteObject:
 class AddFunction:
     """A new user/preference function arrives."""
 
-    function: LinearPreference
+    function: LinearPreference  # wire: fid,weights
     ts: float = 0.0
 
     kind = "add_function"
@@ -63,7 +63,7 @@ class AddFunction:
 class RemoveFunction:
     """An existing user/preference function leaves."""
 
-    function_id: int
+    function_id: int  # wire: fid
     ts: float = 0.0
 
     kind = "remove_function"

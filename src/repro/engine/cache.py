@@ -34,6 +34,8 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
+
+from ..errors import MatchingError
 from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
 
 #: Default number of results a prepared matching keeps warm.
@@ -136,7 +138,7 @@ class ResultCache:
 
     def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
         if maxsize < 0:
-            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+            raise MatchingError(f"maxsize must be >= 0, got {maxsize}")
         self.maxsize = maxsize
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.RLock()

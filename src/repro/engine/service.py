@@ -229,7 +229,7 @@ class MatchingService:
                  config: Optional[MatchingConfig] = None, *,
                  plan: Optional[MatchingPlan] = None, **overrides) -> None:
         if plan is not None and (config is not None or overrides):
-            raise ValueError(
+            raise MatchingError(
                 "pass either a compiled plan= or config/keyword "
                 "overrides, not both"
             )

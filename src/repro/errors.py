@@ -35,6 +35,10 @@ class PageSizeError(StorageError):
     """Raised when page payloads do not fit the configured page size."""
 
 
+class GeometryError(ReproError):
+    """Raised for invalid geometric primitives (inverted or empty MBRs)."""
+
+
 class RTreeError(ReproError):
     """Base class for R-tree structural errors."""
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence, Tuple
 
-from ..errors import DimensionalityError
+from ..errors import DimensionalityError, GeometryError
 
 Vector = Tuple[float, ...]
 
@@ -39,7 +39,7 @@ class MBR:
             raise DimensionalityError(len(low), len(high), "MBR corner")
         for lo, hi in zip(low, high):
             if lo > hi:
-                raise ValueError(
+                raise GeometryError(
                     f"MBR low corner {tuple(low)} exceeds high corner "
                     f"{tuple(high)}"
                 )
@@ -61,7 +61,9 @@ class MBR:
         try:
             first = next(it)
         except StopIteration:
-            raise ValueError("union_all() requires at least one MBR") from None
+            raise GeometryError(
+                "union_all() requires at least one MBR"
+            ) from None
         low = list(first.low)
         high = list(first.high)
         for box in it:

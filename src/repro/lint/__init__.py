@@ -5,14 +5,18 @@ The serving layers (PRs 3–5) each shipped with a hand-found bug of a
 shard worker pool, a thread-unsafe result cache, a blocking call
 reachable from a coroutine. This package turns those invariants into
 enforced tooling — an AST-based rule engine
-(:class:`~repro.lint.engine.LintEngine`) with six project-specific
-checkers:
+(:class:`~repro.lint.engine.LintEngine`) with ten project-specific
+checkers. Six are *file rules* (one :class:`~repro.lint.source.SourceFile`
+at a time); four are *project rules* checking the whole-program
+:class:`~repro.lint.project.ProjectModel` (module graph, resolved call
+graph, lock summaries, class field schemas) built once per run:
 
 ========================  ==============================================
 ``lock-guard``            ``# guarded-by: <lock>`` attributes only
                           touched under ``with self.<lock>``
 ``lock-order``            nested lock acquisitions follow the canonical
-                          ``_state_cv → _serve_lock → _lock`` order
+                          order *derived* from the project-wide
+                          acquisition graph
 ``async-safety``          no blocking calls directly inside
                           ``async def`` — route through an executor
 ``picklability``          exceptions/objects crossing the shard-pool
@@ -21,26 +25,46 @@ checkers:
                           request/plan/result types
 ``api-surface``           ``__all__`` exports exist and are documented;
                           examples track the live registries
+``lock-cycle``            the interprocedural lock-acquisition graph
+                          has no cycle (any cycle = possible deadlock)
+``determinism``           replay-reachable modules read no wall clocks,
+                          unseeded randomness, or ordered set iteration
+``exception-contract``    code reachable from ``__all__`` raises only
+                          ``ReproError`` subclasses; docstring
+                          ``Raises`` sections match reality
+``wire-schema``           ``encodes=``/``decodes=`` codec functions
+                          cover their schema classes field-for-field
 ========================  ==============================================
 
 Run it as ``python -m repro.lint`` (CI's ``lint`` job does, failing on
 any non-baselined finding) or via :func:`run_lint`; tier-1 enforces a
 clean tree through ``tests/test_lint_self.py``. Findings are silenced
 per line with ``# lint: disable=<rule>`` or grandfathered in
-``lint-baseline.json`` — see ``docs/guides/static-analysis.md`` for the
-full workflow.
+``lint-baseline.json``; suppressions that stop silencing anything are
+reported as *stale* (:class:`~repro.lint.engine.StaleSuppression`).
+Reports render as JSON (``--json``) or SARIF 2.1.0 (``--sarif``) — see
+``docs/guides/static-analysis.md`` for the full workflow.
 """
 
 from .baseline import Baseline
-from .engine import DEFAULT_TARGETS, LintEngine, LintReport, run_lint
+from .engine import (
+    DEFAULT_TARGETS,
+    LintEngine,
+    LintReport,
+    StaleSuppression,
+    run_lint,
+)
 from .findings import Finding
+from .project import ProjectModel
 from .rules import (
+    ProjectRule,
     Rule,
     available_rules,
     create_rules,
     register_rule,
     rule_descriptions,
 )
+from .sarif import report_to_sarif
 from .source import SourceFile
 
 __all__ = [
@@ -49,11 +73,15 @@ __all__ = [
     "Finding",
     "LintEngine",
     "LintReport",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
     "SourceFile",
+    "StaleSuppression",
     "available_rules",
     "create_rules",
     "register_rule",
+    "report_to_sarif",
     "rule_descriptions",
     "run_lint",
 ]

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 from .baseline import Baseline
 from .engine import DEFAULT_TARGETS, LintEngine, LintReport
 from .rules import available_rules, rule_descriptions
+from .sarif import report_to_sarif
 
 #: Default baseline filename, looked up relative to the lint root.
 BASELINE_NAME = "lint-baseline.json"
@@ -59,6 +60,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the full report as JSON to PATH",
     )
     parser.add_argument(
+        "--sarif", dest="sarif_path", metavar="PATH",
+        help="also write the report as SARIF 2.1.0 to PATH",
+    )
+    parser.add_argument(
         "--root", help="repo root findings are reported relative to "
         "(default: the current directory)",
     )
@@ -84,6 +89,8 @@ def _print_report(report: LintReport, quiet: bool) -> None:
                 f"stale baseline entry (fix landed? delete it): "
                 f"rule={key[0]} path={key[1]} symbol={key[2]}"
             )
+        for stale in report.stale_suppressions:
+            print(stale.render())
     verdict = "OK" if report.ok else "FAIL"
     print(
         f"{verdict}: {report.files_checked} files, "
@@ -136,6 +143,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         json_path.parent.mkdir(parents=True, exist_ok=True)
         json_path.write_text(
             json.dumps(report.as_dict(), indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+    if args.sarif_path:
+        sarif_path = Path(args.sarif_path)
+        sarif_path.parent.mkdir(parents=True, exist_ok=True)
+        sarif_path.write_text(
+            json.dumps(report_to_sarif(report, root), indent=2) + "\n",
             encoding="utf-8",
         )
 

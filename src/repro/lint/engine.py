@@ -3,11 +3,20 @@
 :class:`LintEngine` owns the run mechanics every rule shares: walking
 the target trees, parsing each file once into a
 :class:`~repro.lint.source.SourceFile`, fanning it through the active
-rules, and then filtering what fired through the two escape hatches —
-inline suppressions (``# lint: disable=<rule>``, function/class-scoped
-when placed on the ``def``/``class`` line, or ``disable-file=``) and
-the committed baseline. What survives is a *new* violation: the CLI
-exits non-zero and CI fails.
+per-file rules, building the run's single
+:class:`~repro.lint.project.ProjectModel` and fanning *that* through
+the project rules, and then filtering everything that fired through
+the two escape hatches — inline suppressions (``# lint:
+disable=<rule>``, function/class-scoped when placed on the
+``def``/``class`` line, or ``disable-file=``) and the committed
+baseline. What survives is a *new* violation: the CLI exits non-zero
+and CI fails.
+
+Suppressions are audited, not just honored: every ``disable=`` /
+``disable-file=`` comment (and every ``holds-lock=`` contract) that
+silenced nothing this run is reported as **stale**, mirroring the
+stale-baseline report, so escape hatches rot visibly instead of
+silently.
 """
 
 from __future__ import annotations
@@ -19,9 +28,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from .baseline import Baseline, BaselineKey
 from .findings import Finding
-from .rules import Rule, create_rules
+from .project import ProjectModel
+from .rules import ProjectRule, Rule, available_rules, create_rules
 from .source import SourceFile
-from .suppress import disabled_rules, file_disabled_rules
+from .suppress import disabled_rules, file_disabled_rules, holds_lock_lines
 
 #: Directory names never descended into.
 SKIP_DIRS = {
@@ -31,6 +41,30 @@ SKIP_DIRS = {
 
 #: Default lint targets, relative to the repo root.
 DEFAULT_TARGETS = ("src/repro", "examples", "benchmarks")
+
+
+@dataclass
+class StaleSuppression:
+    """One suppression comment that no longer silences anything."""
+
+    #: Repo-relative path of the file carrying the comment.
+    path: str
+    #: Line the comment sits on.
+    line: int
+    #: The comment text itself.
+    comment: str
+
+    def render(self) -> str:
+        """One-line terminal rendering."""
+        return (
+            f"{self.path}:{self.line}: stale suppression "
+            f"({self.comment.strip()})"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly rendering."""
+        return {"path": self.path, "line": self.line,
+                "comment": self.comment}
 
 
 @dataclass
@@ -45,6 +79,10 @@ class LintReport:
     suppressed: List[Finding] = field(default_factory=list)
     #: Baseline entries that matched nothing (ready to delete).
     stale_baseline: List[BaselineKey] = field(default_factory=list)
+    #: Suppression comments that silenced nothing (ready to delete).
+    stale_suppressions: List[StaleSuppression] = field(
+        default_factory=list
+    )
     #: Files actually parsed and checked.
     files_checked: int = 0
 
@@ -62,14 +100,21 @@ class LintReport:
             "baselined": [f.as_dict() for f in self.baselined],
             "suppressed_count": len(self.suppressed),
             "stale_baseline": [list(key) for key in self.stale_baseline],
+            "stale_suppressions": [
+                s.as_dict() for s in self.stale_suppressions
+            ],
         }
 
 
 def _suppression_spans(
     source: SourceFile,
-) -> List[Tuple[int, int, Set[str]]]:
-    """Body-wide suppressions from ``disable=`` on def/class lines."""
-    spans: List[Tuple[int, int, Set[str]]] = []
+) -> List[Tuple[int, int, Set[str], Tuple[int, ...]]]:
+    """Body-wide suppressions from ``disable=`` on def/class lines.
+
+    Each span carries the comment lines that declared it, so the
+    engine can credit those comments when the span silences a finding.
+    """
+    spans: List[Tuple[int, int, Set[str], Tuple[int, ...]]] = []
     if source.tree is None:
         return spans
     for node in ast.walk(source.tree):
@@ -79,11 +124,15 @@ def _suppression_spans(
             continue
         header_end = node.body[0].lineno if node.body else node.lineno
         rules: Set[str] = set()
+        comment_lines: List[int] = []
         for line in range(node.lineno, header_end + 1):
-            rules |= disabled_rules(source.comment_on(line))
+            named = disabled_rules(source.comment_on(line))
+            if named:
+                rules |= named
+                comment_lines.append(line)
         if rules:
             end = getattr(node, "end_lineno", None) or header_end
-            spans.append((node.lineno, end, rules))
+            spans.append((node.lineno, end, rules, tuple(comment_lines)))
     return spans
 
 
@@ -125,7 +174,19 @@ class LintEngine:
     # ------------------------------------------------------------------
     # Checking
     # ------------------------------------------------------------------
-    def check_source(self, source: SourceFile) -> List[Finding]:
+    @property
+    def file_rules(self) -> List[Rule]:
+        """The active per-file rules."""
+        return [r for r in self.rules if not isinstance(r, ProjectRule)]
+
+    @property
+    def project_rules(self) -> List[ProjectRule]:
+        """The active whole-program rules."""
+        return [r for r in self.rules if isinstance(r, ProjectRule)]
+
+    def check_source(self, source: SourceFile,
+                     rules: Optional[Sequence[Rule]] = None,
+                     ) -> List[Finding]:
         """Raw findings for one parsed file (suppressions not applied)."""
         if source.tree is None:
             error = source.error
@@ -136,32 +197,76 @@ class LintEngine:
                 message=f"file does not parse: {detail}",
             )]
         findings: List[Finding] = []
-        for rule in self.rules:
+        for rule in (self.file_rules if rules is None else rules):
             findings.extend(rule.check(source))
         return findings
 
     def _apply_suppressions(
         self, source: SourceFile, findings: List[Finding]
-    ) -> Tuple[List[Finding], List[Finding]]:
-        file_disabled = file_disabled_rules(source.comments)
+    ) -> Tuple[List[Finding], List[Finding], Set[int]]:
+        """Split findings into (kept, suppressed, used comment lines)."""
+        file_disabled: Dict[str, List[int]] = {}
+        for line, comment in source.comments.items():
+            for rule_name in file_disabled_rules({line: comment}):
+                file_disabled.setdefault(rule_name, []).append(line)
         spans = _suppression_spans(source)
         kept: List[Finding] = []
         suppressed: List[Finding] = []
+        used: Set[int] = set()
         for finding in findings:
+            credited: Set[int] = set()
+            for rule_name in (finding.rule, "ALL"):
+                credited.update(file_disabled.get(rule_name, ()))
             rules_here = disabled_rules(source.comment_on(finding.line))
-            silenced = (
-                finding.rule in file_disabled
-                or "ALL" in file_disabled
-                or finding.rule in rules_here
-                or "ALL" in rules_here
-                or any(
-                    start <= finding.line <= end
-                    and (finding.rule in rules or "ALL" in rules)
-                    for start, end, rules in spans
-                )
-            )
-            (suppressed if silenced else kept).append(finding)
-        return kept, suppressed
+            if finding.rule in rules_here or "ALL" in rules_here:
+                credited.add(finding.line)
+            for start, end, rules, comment_lines in spans:
+                if start <= finding.line <= end \
+                        and (finding.rule in rules or "ALL" in rules):
+                    credited.update(comment_lines)
+            if credited:
+                used |= credited
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+        return kept, suppressed, used
+
+    def _stale_suppressions(
+        self, source: SourceFile, used: Set[int]
+    ) -> List[StaleSuppression]:
+        """Suppression comments in ``source`` that silenced nothing.
+
+        A comment is only reported stale when every rule it names was
+        active this run (``ALL`` requires the full registry), so a
+        partial ``--rules`` run never flags comments it could not have
+        exercised.
+        """
+        active = {rule.name for rule in self.rules}
+        all_active = set(available_rules()) <= active
+        stale: List[StaleSuppression] = []
+        for line, comment in sorted(source.comments.items()):
+            if line in used:
+                continue
+            named = disabled_rules(comment) \
+                | file_disabled_rules({line: comment})
+            if not named:
+                continue
+            if "ALL" in named and not all_active:
+                continue
+            if not (named - {"ALL"}) <= active:
+                continue
+            stale.append(StaleSuppression(source.rel_path, line, comment))
+        if "lock-guard" in active:
+            for line, lock in sorted(
+                holds_lock_lines(source.comments).items()
+            ):
+                if line not in source.marker_uses:
+                    stale.append(
+                        StaleSuppression(source.rel_path, line,
+                                         source.comments[line])
+                    )
+        stale.sort(key=lambda s: s.line)
+        return stale
 
     def run(self, targets: Optional[Iterable[Union[str, Path]]] = None,
             ) -> LintReport:
@@ -172,12 +277,29 @@ class LintEngine:
                 if (self.root / target).exists()
             ]
         report = LintReport()
-        for path in self.discover(targets):
-            source = SourceFile.load(path, self._rel_path(path))
-            report.files_checked += 1
-            raw = self.check_source(source)
-            kept, suppressed = self._apply_suppressions(source, raw)
+        sources = [
+            SourceFile.load(path, self._rel_path(path))
+            for path in self.discover(targets)
+        ]
+        report.files_checked = len(sources)
+        per_file: Dict[str, List[Finding]] = {}
+        for source in sources:
+            per_file[source.rel_path] = self.check_source(source)
+        project_rules = self.project_rules
+        if project_rules:
+            model = ProjectModel.build(
+                [s for s in sources if s.tree is not None]
+            )
+            for rule in project_rules:
+                for finding in rule.check_project(model):
+                    per_file.setdefault(finding.path, []).append(finding)
+        for source in sources:
+            raw = per_file.get(source.rel_path, [])
+            kept, suppressed, used = self._apply_suppressions(source, raw)
             report.suppressed.extend(suppressed)
+            report.stale_suppressions.extend(
+                self._stale_suppressions(source, used)
+            )
             for finding in sorted(kept, key=lambda f: (f.line, f.rule)):
                 if self.baseline.consume(finding):
                     report.baselined.append(finding)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from ...errors import MatchingError
-from .base import Rule
+from .base import ProjectRule, Rule
 
 _RULES: Dict[str, Type[Rule]] = {}
 
@@ -58,31 +58,44 @@ def create_rules(names: Optional[Sequence[str]] = None) -> List[Rule]:
 
 from .api_surface import ApiSurfaceRule
 from .async_safety import AsyncSafetyRule
+from .determinism import DeterminismRule
+from .exception_contract import ExceptionContractRule
 from .frozen_mutation import FrozenMutationRule
+from .lock_cycle import LockCycleRule
 from .lock_guard import LockGuardRule
 from .lock_order import LockOrderRule
 from .picklability import PicklabilityRule
+from .wire_schema import WireSchemaRule
 
 for _cls in (
     ApiSurfaceRule,
     AsyncSafetyRule,
+    DeterminismRule,
+    ExceptionContractRule,
     FrozenMutationRule,
+    LockCycleRule,
     LockGuardRule,
     LockOrderRule,
     PicklabilityRule,
+    WireSchemaRule,
 ):
     register_rule(_cls)
 
 __all__ = [
     "Rule",
+    "ProjectRule",
     "register_rule",
     "available_rules",
     "rule_descriptions",
     "create_rules",
     "ApiSurfaceRule",
     "AsyncSafetyRule",
+    "DeterminismRule",
+    "ExceptionContractRule",
     "FrozenMutationRule",
+    "LockCycleRule",
     "LockGuardRule",
     "LockOrderRule",
     "PicklabilityRule",
+    "WireSchemaRule",
 ]

@@ -3,18 +3,24 @@
 A rule is a stateless object with a ``name``, a one-line
 ``description`` (both shown by ``python -m repro.lint --list-rules``),
 and a :meth:`Rule.check` generator over one :class:`SourceFile`.
-Rules never filter their own output — suppression comments and the
-baseline are applied uniformly by the engine — so a rule's job is only
-to be *right* about what it reports.
+Whole-program checkers subclass :class:`ProjectRule` instead and
+implement :meth:`ProjectRule.check_project` over the run's single
+:class:`~repro.lint.project.ProjectModel`. Rules never filter their
+own output — suppression comments and the baseline are applied
+uniformly by the engine — so a rule's job is only to be *right* about
+what it reports.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Union
+from typing import TYPE_CHECKING, Iterator, Union
 
 from ..findings import Finding
 from ..source import SourceFile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project import ProjectModel
 
 
 class Rule:
@@ -37,6 +43,34 @@ class Rule:
         line = node if isinstance(node, int) else getattr(node, "lineno", 1)
         return Finding(
             rule=self.name, path=source.rel_path, line=line,
+            message=message, symbol=symbol,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program checkers.
+
+    A project rule sees the :class:`~repro.lint.project.ProjectModel`
+    the engine builds once per run, instead of one file at a time.
+    Findings still anchor to a (path, line) inside some analyzed file,
+    so suppressions and the baseline apply exactly as they do for
+    per-file rules.
+    """
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Project rules have no per-file pass."""
+        return iter(())
+
+    def check_project(self, model: "ProjectModel") -> Iterator[Finding]:
+        """Yield every violation of this rule across the project."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for typing
+
+    def project_finding(self, path: str, line: int, message: str,
+                        symbol: str = "") -> Finding:
+        """Build a finding anchored at a (path, line) in the model."""
+        return Finding(
+            rule=self.name, path=path, line=line,
             message=message, symbol=symbol,
         )
 

@@ -1,0 +1,221 @@
+"""determinism: replay-reachable code must be bit-replayable.
+
+The replay subsystem's headline guarantee is exact rewind: re-running
+a trace reproduces every result bit-for-bit. That only holds if no
+code on the serving path consults sources the trace does not capture.
+This rule is the static shadow of that guarantee: every module
+reachable (via imports) from ``repro.replay`` / ``repro.engine`` — or
+from any module carrying a ``# lint: replay-root`` marker — must not
+
+* read the wall clock (``time.time``, ``datetime.now``, ...) —
+  monotonic/duration clocks (``perf_counter``, ``monotonic``,
+  ``sleep``) stay allowed, they feed stats that are excluded from
+  replay identity;
+* draw OS entropy or unseeded randomness (``random.random``,
+  ``os.urandom``, ``uuid.uuid4``, ``numpy.random.rand``, ...) —
+  seeded generators (``random.Random(seed)``,
+  ``numpy.random.default_rng(seed)``) stay allowed;
+* iterate a ``set`` into ordered output (a ``for`` loop, ``list()``/
+  ``tuple()``/``enumerate()``/``.join()``, a list comprehension) —
+  set iteration order varies across processes; ``sorted(...)`` the
+  set first.
+
+The set check tracks set literals/comprehensions/constructor calls
+and local names assigned one within the same scope; attributes and
+cross-function flows are out of scope (documented limitation).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+from ..findings import Finding
+from ..project import ModuleInfo, ProjectModel
+from .base import ProjectRule, attribute_chain
+
+#: Module name prefixes that seed reachability.
+ROOT_PREFIXES = ("repro.replay", "repro.engine")
+
+#: Wall-clock and entropy calls banned outright (canonical names).
+_BANNED_EXACT = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "time.localtime": "wall-clock time",
+    "time.gmtime": "wall-clock time",
+    "time.ctime": "wall-clock time",
+    "time.asctime": "wall-clock time",
+    "time.strftime": "wall-clock time",
+    "datetime.datetime.now": "wall-clock time",
+    "datetime.datetime.utcnow": "wall-clock time",
+    "datetime.datetime.today": "wall-clock time",
+    "datetime.date.today": "wall-clock time",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "wall-clock/MAC entropy",
+    "uuid.uuid4": "OS entropy",
+}
+
+#: ``random`` attributes that are fine (seedable generator types).
+_RANDOM_ALLOWED = {"Random"}
+
+#: ``numpy.random`` attributes that are fine (seedable constructors).
+_NUMPY_RANDOM_ALLOWED = {
+    "default_rng", "RandomState", "Generator", "SeedSequence",
+}
+
+_AnyComp = Union[ast.ListComp, ast.GeneratorExp]
+
+
+def _canonical(module: ModuleInfo, dotted: str) -> str:
+    """Resolve the head of a dotted call through the import aliases."""
+    head, _, rest = dotted.partition(".")
+    target = module.imports.get(head)
+    if target is None:
+        return dotted
+    return f"{target}.{rest}" if rest else target
+
+
+def _banned_call(canonical: str) -> Optional[str]:
+    """Why a canonical dotted call is banned (None = allowed)."""
+    if canonical in _BANNED_EXACT:
+        return _BANNED_EXACT[canonical]
+    if canonical.startswith("secrets."):
+        return "OS entropy"
+    parts = canonical.split(".")
+    if parts[0] == "random" and len(parts) == 2 \
+            and parts[1] not in _RANDOM_ALLOWED:
+        return "unseeded process-global randomness"
+    if len(parts) == 3 and parts[0] == "numpy" \
+            and parts[1] == "random" \
+            and parts[2] not in _NUMPY_RANDOM_ALLOWED:
+        return "unseeded process-global randomness"
+    return None
+
+
+class _ModuleScanner(ast.NodeVisitor):
+    """Finds banned calls and ordered set iteration in one module."""
+
+    def __init__(self, rule: "DeterminismRule",
+                 module: ModuleInfo) -> None:
+        self.rule = rule
+        self.module = module
+        #: Stack of scopes: local names known to hold a set.
+        self.scopes: List[Set[str]] = [set()]
+        self.findings: List[Finding] = []
+
+    # -- scope management ----------------------------------------------
+    def _visit_scope(self, node: ast.AST, body: List[ast.stmt]) -> None:
+        self.scopes.append(set())
+        for statement in body:
+            self.visit(statement)
+        self.scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node, node.body)
+
+    def visit_AsyncFunctionDef(self,
+                               node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node, node.body)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.scopes.append(set())
+        self.visit(node.body)
+        self.scopes.pop()
+
+    # -- set tracking --------------------------------------------------
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in {"set", "frozenset"}:
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.scopes[-1]
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self._is_set_expr(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_set:
+                    self.scopes[-1].add(target.id)
+                else:
+                    self.scopes[-1].discard(target.id)
+        self.generic_visit(node)
+
+    def _flag_set_iteration(self, node: ast.expr, where: str) -> None:
+        self.findings.append(self.rule.project_finding(
+            self.module.source.rel_path, node.lineno,
+            f"iterates a set into ordered output ({where}); set "
+            f"iteration order is not deterministic across processes — "
+            f"wrap it in sorted(...)",
+        ))
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            self._flag_set_iteration(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def _visit_ordered_comp(self, node: _AnyComp, what: str) -> None:
+        for generator in node.generators:
+            if self._is_set_expr(generator.iter):
+                self._flag_set_iteration(generator.iter, what)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_ordered_comp(node, "list comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_ordered_comp(node, "generator expression")
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = attribute_chain(node.func)
+        if dotted:
+            canonical = _canonical(self.module, dotted)
+            why = _banned_call(canonical)
+            if why is not None:
+                self.findings.append(self.rule.project_finding(
+                    self.module.source.rel_path, node.lineno,
+                    f"calls {canonical}() ({why}) on a replay-"
+                    f"reachable path; replay rewind cannot reproduce "
+                    f"it — take it from the trace or a seeded source",
+                ))
+        if isinstance(node.func, ast.Name) \
+                and node.func.id in {"list", "tuple", "enumerate"} \
+                and node.args and self._is_set_expr(node.args[0]):
+            self._flag_set_iteration(
+                node.args[0], f"{node.func.id}() call"
+            )
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "join" \
+                and node.args and self._is_set_expr(node.args[0]):
+            self._flag_set_iteration(node.args[0], "str.join() call")
+        self.generic_visit(node)
+
+
+class DeterminismRule(ProjectRule):
+    """Keep replay-reachable modules free of nondeterminism sources."""
+
+    name = "determinism"
+    description = (
+        "modules reachable from repro.replay/repro.engine must not "
+        "read wall clocks, draw unseeded randomness, or iterate sets "
+        "into ordered output"
+    )
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        roots = [
+            name for name, module in model.modules.items()
+            if name.startswith(ROOT_PREFIXES) or module.replay_root
+        ]
+        for name in sorted(model.reachable_modules(roots)):
+            module = model.modules[name]
+            tree = module.source.tree
+            if tree is None:
+                continue
+            scanner = _ModuleScanner(self, module)
+            for statement in tree.body:
+                scanner.visit(statement)
+            for finding in scanner.findings:
+                yield finding

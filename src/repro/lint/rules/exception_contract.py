@@ -1,0 +1,268 @@
+"""exception-contract: the public surface raises typed errors only.
+
+The library's contract is that everything it raises derives from
+:class:`~repro.errors.ReproError`, so callers can catch one base
+class. This rule enforces that statically over the whole program:
+starting from every name exported via ``__all__`` (following
+re-export chains), it walks the resolved call graph and flags any
+``raise`` of a builtin exception or of a project class that does not
+derive from ``ReproError``. ``NotImplementedError`` is allowed — it
+is the idiom for abstract methods, not an error callers handle.
+
+Docstring drift is checked both ways on the exported functions and
+public methods themselves: when a docstring carries a ``Raises``
+section (numpy or Google style), every documented exception must be
+directly raised in that function, and every directly raised, resolved
+exception must be documented. Functions without a ``Raises`` section
+are not penalized — the section is opt-in, drift is not.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+from ..findings import Finding
+from ..project import (
+    BUILTIN_EXCEPTIONS,
+    ClassInfo,
+    FunctionInfo,
+    ProjectModel,
+)
+from .base import ProjectRule
+
+#: Builtin raises that are part of Python's own idiom, not the API
+#: error contract.
+_ALLOWED_BUILTINS = {"NotImplementedError", "StopIteration",
+                     "StopAsyncIteration", "KeyboardInterrupt",
+                     "SystemExit", "GeneratorExit"}
+
+#: Section headers that terminate a numpy-style Raises block.
+_NUMPY_SECTIONS = {
+    "Parameters", "Returns", "Yields", "Receives", "Raises", "Warns",
+    "Warnings", "See Also", "Notes", "References", "Examples",
+    "Attributes", "Methods",
+}
+
+_GOOGLE_SECTION_RE = re.compile(
+    r"^(Args|Arguments|Returns|Yields|Raises|Attributes|Example|"
+    r"Examples|Note|Notes|Warns|Warning)\s*:\s*$"
+)
+
+_NAME_RE = re.compile(r"^([A-Za-z_][\w.]*)$")
+_GOOGLE_ENTRY_RE = re.compile(r"^\s+([A-Za-z_][\w.]*)\s*:")
+
+
+def documented_raises(doc: Optional[str]) -> Optional[Set[str]]:
+    """Exception names a docstring's ``Raises`` section documents.
+
+    Understands numpy style (``Raises`` underlined with dashes, each
+    exception name on its own line) and Google style (``Raises:``
+    followed by indented ``Name: description`` entries). Returns
+    ``None`` when no ``Raises`` section exists — absence of the
+    section is not drift.
+    """
+    if not doc:
+        return None
+    lines = doc.splitlines()
+    names: Set[str] = set()
+    found = False
+    i = 0
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped == "Raises" and i + 1 < len(lines) \
+                and set(lines[i + 1].strip()) == {"-"}:
+            found = True
+            i += 2
+            while i < len(lines):
+                line = lines[i]
+                text = line.strip()
+                if not text:
+                    i += 1
+                    continue
+                if text in _NUMPY_SECTIONS and i + 1 < len(lines) \
+                        and set(lines[i + 1].strip()) == {"-"}:
+                    break
+                match = _NAME_RE.match(text)
+                if match and not line[:1].isspace():
+                    names.add(match.group(1).split(".")[-1])
+                i += 1
+            continue
+        if _GOOGLE_SECTION_RE.match(stripped) \
+                and stripped.startswith("Raises"):
+            found = True
+            i += 1
+            while i < len(lines):
+                line = lines[i]
+                if line.strip() and not line[:1].isspace():
+                    break
+                match = _GOOGLE_ENTRY_RE.match(line)
+                if match:
+                    names.add(match.group(1).split(".")[-1])
+                i += 1
+            continue
+        i += 1
+    return names if found else None
+
+
+class ExceptionContractRule(ProjectRule):
+    """Typed errors only on the exported surface; no docstring drift."""
+
+    name = "exception-contract"
+    description = (
+        "code reachable from any __all__ export may only raise "
+        "ReproError subclasses; docstring Raises sections must match "
+        "what is actually raised"
+    )
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        entries = self._entry_functions(model)
+        reachable = self._reachable(model, entries)
+        reported: Set[tuple] = set()
+        for key in sorted(reachable):
+            info = model.functions[key]
+            for site in info.raises:
+                problem = self._classify(model, info, site.name)
+                if problem is None:
+                    continue
+                anchor = (info.path, site.line, site.name)
+                if anchor in reported:
+                    continue
+                reported.add(anchor)
+                yield self.project_finding(
+                    info.path, site.line, problem,
+                    symbol=info.name,
+                )
+        for info in sorted(entries.values(),
+                           key=lambda f: (f.path, f.line)):
+            for finding in self._check_docstring(model, info):
+                yield finding
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _entry_functions(
+        model: ProjectModel,
+    ) -> Dict[str, FunctionInfo]:
+        entries: Dict[str, FunctionInfo] = {}
+        for module in model.modules.values():
+            for name in module.exports:
+                resolved = model.resolve_symbol(module.name, name)
+                if isinstance(resolved, FunctionInfo):
+                    entries[resolved.key] = resolved
+                elif isinstance(resolved, ClassInfo):
+                    for method in resolved.methods.values():
+                        entries[method.key] = method
+        return entries
+
+    @staticmethod
+    def _reachable(model: ProjectModel,
+                   entries: Dict[str, FunctionInfo]) -> Set[str]:
+        seen: Set[str] = set()
+        queue = list(entries)
+        while queue:
+            key = queue.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            queue.extend(
+                call.callee for call in model.call_graph.get(key, [])
+                if call.callee not in seen
+            )
+        return seen
+
+    def _classify(self, model: ProjectModel, info: FunctionInfo,
+                  name: str) -> Optional[str]:
+        """The violation message for one raised name (None = fine)."""
+        resolved = model.resolve_symbol(info.module, name)
+        if isinstance(resolved, ClassInfo):
+            if model.is_typed_error(resolved):
+                return None
+            return (
+                f"raises {resolved.name}, which does not derive from "
+                f"ReproError; the public surface only raises typed "
+                f"errors"
+            )
+        if resolved is None and "." not in name \
+                and name in BUILTIN_EXCEPTIONS \
+                and name not in _ALLOWED_BUILTINS:
+            return (
+                f"raises builtin {name} on a path reachable from the "
+                f"public __all__ surface; raise a ReproError subclass "
+                f"instead"
+            )
+        return None
+
+    @staticmethod
+    def _raised_names(model: ProjectModel,
+                      info: FunctionInfo) -> Set[str]:
+        """Resolved class names this one function directly raises."""
+        raised: Set[str] = set()
+        for site in info.raises:
+            resolved = model.resolve_symbol(info.module, site.name)
+            if isinstance(resolved, ClassInfo):
+                raised.add(resolved.name)
+            elif resolved is None and "." not in site.name \
+                    and site.name in BUILTIN_EXCEPTIONS:
+                raised.add(site.name)
+        return raised
+
+    def _check_docstring(self, model: ProjectModel,
+                         info: FunctionInfo) -> Iterator[Finding]:
+        if info.name.split(".")[-1].startswith("_"):
+            return
+        documented = documented_raises(ast.get_docstring(info.node))
+        if documented is None:
+            return
+        raised = self._raised_names(model, info)
+        # A documented exception may be raised anywhere in the call
+        # closure (entries usually name what helpers throw); a
+        # *direct* raise must be documented. A Raises entry also
+        # covers subclasses — it names the contract, not every
+        # refinement — so each raised name expands to its ancestors.
+        closure_raised: Set[str] = set()
+        for key in sorted(self._reachable(model, {info.key: info})):
+            closure_raised |= self._raised_names(
+                model, model.functions[key]
+            )
+        covered = set(closure_raised)
+        for name in closure_raised:
+            covered |= self._ancestor_names(model, info, name)
+        for name in sorted(documented - covered):
+            yield self.project_finding(
+                info.path, info.line,
+                f"docstring documents raising {name}, but nothing "
+                f"this function calls raises it (stale Raises "
+                f"section)",
+                symbol=info.name,
+            )
+        for name in sorted(raised):
+            if name in documented or \
+                    self._ancestor_names(model, info, name) \
+                    & documented:
+                continue
+            yield self.project_finding(
+                info.path, info.line,
+                f"raises {name} but the docstring's Raises section "
+                f"does not document it",
+                symbol=info.name,
+            )
+
+    def _ancestor_names(self, model: ProjectModel, info: FunctionInfo,
+                        name: str) -> Set[str]:
+        """Base-class names of ``name`` as resolvable from ``info``."""
+        ancestors: Set[str] = set()
+        resolved = model.resolve_symbol(info.module, name)
+        queue = [resolved] if isinstance(resolved, ClassInfo) else []
+        seen: Set[str] = set()
+        while queue:
+            cls = queue.pop()
+            if cls.key in seen:
+                continue
+            seen.add(cls.key)
+            for base in cls.bases:
+                ancestors.add(base.split(".")[-1])
+                parent = model.resolve_symbol(cls.module, base)
+                if isinstance(parent, ClassInfo):
+                    queue.append(parent)
+        return ancestors

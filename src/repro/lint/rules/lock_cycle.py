@@ -1,0 +1,88 @@
+"""lock-cycle: the project-wide lock-acquisition graph must be acyclic.
+
+Deadlock needs a cycle: thread 1 holds ``a`` and wants ``b`` while
+thread 2 holds ``b`` and wants ``a``. The per-file ``lock-order`` rule
+can only police nestings it can see in one function; this rule checks
+the property that actually matters — the **interprocedural**
+acquisition graph built by the
+:class:`~repro.lint.project.ProjectModel` (lexical ``with`` nestings,
+``holds-lock=`` contracts, and calls made under a held lock into
+functions that transitively acquire another) has **no cycle at all**,
+not just no violation of a hardcoded chain.
+
+One finding is reported per strongly connected component, anchored at
+the acquisition site that closes the cycle (the first edge running
+against the derived canonical order).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..findings import Finding
+from ..project import ProjectModel, derive_lock_order, lock_sccs
+from .base import ProjectRule
+
+
+class LockCycleRule(ProjectRule):
+    """Report every cycle in the interprocedural lock graph."""
+
+    name = "lock-cycle"
+    description = (
+        "the interprocedural lock-acquisition graph must be acyclic; "
+        "any cycle is a potential deadlock"
+    )
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        edges = model.lock_graph()
+        order = derive_lock_order(edges)
+        position = {name: i for i, name in enumerate(order)}
+        for component in lock_sccs(edges):
+            members = set(component)
+            intra = sorted(
+                (pair, sites) for pair, sites in edges.items()
+                if pair[0] in members and pair[1] in members
+            )
+            closing = [
+                (pair, sites) for pair, sites in intra
+                if position[pair[0]] > position[pair[1]]
+            ] or intra
+            anchor_pair, anchor_sites = min(
+                closing, key=lambda e: (e[1][0][0], e[1][0][1])
+            )
+            path, line, _ = anchor_sites[0]
+            cycle = _cycle_through(anchor_pair, intra)
+            legs = " -> ".join(cycle)
+            yield self.project_finding(
+                path, line,
+                f"locks can be acquired in a cycle ({legs}): a "
+                f"deadlock is possible; break one direction or give "
+                f"these locks a single acquisition order",
+                symbol=">".join(component),
+            )
+
+
+def _cycle_through(
+    pair: Tuple[str, str],
+    intra: List[Tuple[Tuple[str, str], object]],
+) -> List[str]:
+    """A representative cycle using edge ``pair``, as a node walk.
+
+    BFS from the edge's head back to its tail over the component's own
+    edges; the component guarantees such a path exists.
+    """
+    start, target = pair[1], pair[0]
+    graph: dict = {}
+    for (a, b), _ in intra:
+        graph.setdefault(a, []).append(b)
+    paths = {start: [start]}
+    queue = [start]
+    while queue:
+        node = queue.pop(0)
+        if node == target:
+            return [target] + paths[node]
+        for succ in sorted(graph.get(node, [])):
+            if succ not in paths:
+                paths[succ] = paths[node] + [succ]
+                queue.append(succ)
+    return [target, start, target]

@@ -28,7 +28,7 @@ from typing import Dict, Iterator, List, Set, Tuple, Union
 
 from ..findings import Finding
 from ..source import SourceFile
-from ..suppress import guarded_lock, held_locks
+from ..suppress import guarded_lock, held_locks_with_lines
 from .base import Rule, def_header_lines, is_self_attribute
 
 _EXEMPT_METHODS = {"__init__", "__post_init__", "__new__", "__del__"}
@@ -69,12 +69,16 @@ class _MethodChecker(ast.NodeVisitor):
 
     def __init__(self, rule: "LockGuardRule", source: SourceFile,
                  cls_name: str, guarded: Dict[str, Tuple[str, int]],
-                 held: Set[str]) -> None:
+                 marker_held: Dict[str, int]) -> None:
         self.rule = rule
         self.source = source
         self.cls_name = cls_name
         self.guarded = guarded
-        self.held = set(held)
+        #: Locks held lexically (``with self.<lock>:`` blocks).
+        self.held: Set[str] = set()
+        #: Locks held by ``holds-lock=`` contract → the marker's line,
+        #: so uses can be credited for stale-suppression reporting.
+        self.marker_held = dict(marker_held)
         self.findings: List[Finding] = []
 
     def visit_With(self, node: ast.With) -> None:
@@ -102,7 +106,11 @@ class _MethodChecker(ast.NodeVisitor):
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if is_self_attribute(node) and node.attr in self.guarded:
             lock, _ = self.guarded[node.attr]
-            if lock not in self.held:
+            if lock not in self.held and lock in self.marker_held:
+                # Excused by the holds-lock contract alone: credit the
+                # marker so the engine knows it still earns its keep.
+                self.source.marker_uses.add(self.marker_held[lock])
+            elif lock not in self.held:
                 action = (
                     "written" if isinstance(node.ctx, (ast.Store, ast.Del))
                     else "read"
@@ -118,13 +126,14 @@ class _MethodChecker(ast.NodeVisitor):
     def _visit_nested(self, node: _AnyFunc) -> None:
         # A nested def runs later, not under the lexically-enclosing
         # lock; analyze its body with only its own holds-lock claims.
-        nested_held = set(held_locks(
+        nested_marker = held_locks_with_lines(
             self.source.comments, def_header_lines(node)
-        ))
-        saved, self.held = self.held, nested_held
+        )
+        saved = (self.held, self.marker_held)
+        self.held, self.marker_held = set(), nested_marker
         for statement in node.body:
             self.visit(statement)
-        self.held = saved
+        self.held, self.marker_held = saved
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._visit_nested(node)
@@ -133,9 +142,10 @@ class _MethodChecker(ast.NodeVisitor):
         self._visit_nested(node)
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
-        saved, self.held = self.held, set()
+        saved = (self.held, self.marker_held)
+        self.held, self.marker_held = set(), {}
         self.visit(node.body)
-        self.held = saved
+        self.held, self.marker_held = saved
 
 
 class LockGuardRule(Rule):
@@ -163,11 +173,11 @@ class LockGuardRule(Rule):
                     continue
                 if method.name in _EXEMPT_METHODS:
                     continue
-                held = set(held_locks(
+                marker_held = held_locks_with_lines(
                     source.comments, def_header_lines(method)
-                ))
+                )
                 checker = _MethodChecker(
-                    self, source, cls.name, guarded, held
+                    self, source, cls.name, guarded, marker_held
                 )
                 for statement in method.body:
                     checker.visit(statement)

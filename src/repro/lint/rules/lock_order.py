@@ -1,119 +1,51 @@
 """lock-order: nested lock acquisitions follow one canonical order.
 
 Deadlock needs two threads acquiring the same two locks in opposite
-orders. The serving stack's locks have a canonical hierarchy — the
-service-level condition first, then the prepared matching's serve
-lock, then leaf locks (result cache, thread pools)::
+orders. Earlier versions of this rule hardcoded the serving stack's
+hierarchy (``_state_cv → _serve_lock → _lock``); now the canonical
+order is **derived** from the project-wide acquisition graph built by
+the :class:`~repro.lint.project.ProjectModel` — the linearization
+that agrees with as many observed acquisition sites as possible
+(:func:`~repro.lint.project.derive_lock_order`). Every acquisition
+site running *against* that order is a finding: the minority direction
+of any contradiction is what gets flagged, and a graph with no
+contradictions produces no findings no matter how many locks exist.
 
-    _state_cv  →  _serve_lock  →  _lock
-
-This rule flags any ``with`` that *lexically* acquires a later-ranked
-lock while an earlier-ranked one is already held in the same function
-(re-acquiring the same name is allowed — those are RLocks). It cannot
-see acquisitions hidden behind calls, which is exactly why the layering
-convention is "leaf locks never call back up the stack"; the lexical
-check keeps the visible nesting honest.
+The companion ``lock-cycle`` rule reports each cycle once, as a
+whole; this rule pinpoints every individual site on the wrong side of
+the derived order, so the fix location is always named.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Iterator
 
 from ..findings import Finding
-from ..source import SourceFile
-from .base import Rule
-
-#: Canonical acquisition order, outermost first. Names not listed are
-#: ignored (they are not part of the serving stack's hierarchy).
-CANONICAL_ORDER: Tuple[str, ...] = ("_state_cv", "_serve_lock", "_lock")
-
-_AnyWith = Union[ast.With, ast.AsyncWith]
-_AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+from ..project import ProjectModel, derive_lock_order
+from .base import ProjectRule
 
 
-def _lock_name(expr: ast.expr) -> Optional[str]:
-    """The known-lock name acquired by one with-item ('' = not a lock)."""
-    name: Optional[str] = None
-    if isinstance(expr, ast.Attribute):
-        name = expr.attr
-    elif isinstance(expr, ast.Name):
-        name = expr.id
-    if name in CANONICAL_ORDER:
-        return name
-    return None
-
-
-class _OrderChecker(ast.NodeVisitor):
-    """Tracks the lexically-held lock stack through one module."""
-
-    def __init__(self, rule: "LockOrderRule", source: SourceFile) -> None:
-        self.rule = rule
-        self.source = source
-        self.held: List[str] = []
-        self.findings: List[Finding] = []
-
-    def visit_With(self, node: ast.With) -> None:
-        self._visit_with(node)
-
-    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
-        self._visit_with(node)
-
-    def _visit_with(self, node: _AnyWith) -> None:
-        acquired: List[str] = []
-        for item in node.items:
-            lock = _lock_name(item.context_expr)
-            if lock is None:
-                self.visit(item.context_expr)
-                continue
-            rank = CANONICAL_ORDER.index(lock)
-            for outer in self.held + acquired:
-                if outer != lock and CANONICAL_ORDER.index(outer) > rank:
-                    self.findings.append(self.rule.finding(
-                        self.source, node,
-                        f"acquires '{lock}' while holding '{outer}'; "
-                        f"the canonical order is "
-                        f"{' -> '.join(CANONICAL_ORDER)}",
-                        symbol=f"{outer}>{lock}",
-                    ))
-            acquired.append(lock)
-        depth = len(self.held)
-        self.held.extend(acquired)
-        for statement in node.body:
-            self.visit(statement)
-        del self.held[depth:]
-
-    def _visit_scope(self, node: _AnyFunc) -> None:
-        # A nested callable executes later: its body starts lock-free.
-        saved, self.held = self.held, []
-        body = node.body if isinstance(node.body, list) else [node.body]
-        for statement in body:
-            self.visit(statement)
-        self.held = saved
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._visit_scope(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._visit_scope(node)
-
-    def visit_Lambda(self, node: ast.Lambda) -> None:
-        self._visit_scope(node)
-
-
-class LockOrderRule(Rule):
-    """Enforce the canonical nested-acquisition order."""
+class LockOrderRule(ProjectRule):
+    """Flag acquisition sites contradicting the derived lock order."""
 
     name = "lock-order"
     description = (
-        "nested 'with <lock>' acquisitions must follow the canonical "
-        "order " + " -> ".join(CANONICAL_ORDER)
+        "nested lock acquisitions must follow the canonical order "
+        "derived from the project-wide acquisition graph"
     )
 
-    def check(self, source: SourceFile) -> Iterator[Finding]:
-        if source.tree is None:
-            return
-        checker = _OrderChecker(self, source)
-        checker.visit(source.tree)
-        for finding in checker.findings:
-            yield finding
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        edges = model.lock_graph()
+        order = derive_lock_order(edges)
+        position = {name: i for i, name in enumerate(order)}
+        for (held, acquired), sites in sorted(edges.items()):
+            if position[held] <= position[acquired]:
+                continue
+            for path, line, note in sites:
+                yield self.project_finding(
+                    path, line,
+                    f"acquires '{acquired}' while holding '{held}', "
+                    f"against the derived acquisition order "
+                    f"({note})",
+                    symbol=f"{held}>{acquired}",
+                )

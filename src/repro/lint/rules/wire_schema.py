@@ -1,0 +1,187 @@
+"""wire-schema: codec functions cover their schema classes exactly.
+
+The wire formats (``repro/net/codec.py`` frames,
+``repro/replay/trace.py`` records) mirror in-memory schema classes —
+``MatchingRequest``, ``MatchResult``, the trace dataclasses. Nothing
+ties them together at runtime: add a field to the dataclass and the
+codec silently drops it, which surfaces as a prod bug three layers
+away. This rule makes the mirroring a static contract:
+
+* an encoder/decoder declares its schema classes on its ``def`` line
+  with ``# lint: encodes=TypeA,TypeB`` / ``decodes=...``, plus
+  ``extra=key,...`` for envelope keys (``kind`` discriminators,
+  nested-payload keys) that are not schema fields;
+* a schema field whose wire key differs from its name carries
+  ``# wire: key[,...]`` on its declaration line;
+* then **every field** of every declared class must appear among the
+  string keys the function actually reads or writes, and every key
+  the function touches must be some declared field's wire key or a
+  declared extra — drift fails in both directions;
+* a class with an encoder but no decoder anywhere in the project (or
+  vice versa) is itself a finding: one-way wire types cannot
+  round-trip.
+
+Key extraction is syntactic: dict-literal keys and ``x["key"] = ...``
+assignments on the encode side; ``payload["key"]``,
+``payload.get("key")``, and helper calls like
+``_require(payload, "key", ...)`` on the decode side.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..findings import Finding
+from ..project import ClassInfo, ProjectModel, WireMarker
+from .base import ProjectRule
+
+
+def _encoder_keys(node: ast.AST) -> Set[str]:
+    """String keys an encoder writes (dict literals + subscripts)."""
+    keys: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Dict):
+            for key in child.keys:
+                if isinstance(key, ast.Constant) \
+                        and isinstance(key.value, str):
+                    keys.add(key.value)
+        elif isinstance(child, ast.Assign):
+            for target in child.targets:
+                if isinstance(target, ast.Subscript) \
+                        and isinstance(target.slice, ast.Constant) \
+                        and isinstance(target.slice.value, str):
+                    keys.add(target.slice.value)
+    return keys
+
+
+def _first_param(node: ast.AST) -> Optional[str]:
+    args = getattr(node, "args", None)
+    if args is None:
+        return None
+    for arg in list(args.posonlyargs) + list(args.args):
+        if arg.arg not in ("self", "cls"):
+            return arg.arg
+    return None
+
+
+def _decoder_keys(node: ast.AST, param: str) -> Set[str]:
+    """String keys a decoder reads from its payload parameter."""
+    keys: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Subscript) \
+                and isinstance(child.value, ast.Name) \
+                and child.value.id == param \
+                and isinstance(child.slice, ast.Constant) \
+                and isinstance(child.slice.value, str):
+            keys.add(child.slice.value)
+        elif isinstance(child, ast.Call):
+            func = child.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr == "get" \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id == param:
+                if child.args and isinstance(child.args[0], ast.Constant) \
+                        and isinstance(child.args[0].value, str):
+                    keys.add(child.args[0].value)
+            elif any(isinstance(a, ast.Name) and a.id == param
+                     for a in child.args):
+                # Helper call like _require(payload, "key", "context"):
+                # the first string literal is the key by convention.
+                for arg in child.args:
+                    if isinstance(arg, ast.Constant) \
+                            and isinstance(arg.value, str):
+                        keys.add(arg.value)
+                        break
+    return keys
+
+
+class WireSchemaRule(ProjectRule):
+    """Schema classes and their wire codecs must match field-for-field."""
+
+    name = "wire-schema"
+    description = (
+        "wire encoders/decoders (lint: encodes=/decodes= markers) "
+        "must cover every field of their schema classes, touch no "
+        "undeclared keys, and come in encode/decode pairs"
+    )
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        by_kind: Dict[str, Dict[str, List[WireMarker]]] = {
+            "encodes": {}, "decodes": {},
+        }
+        for marker in model.wire_markers:
+            for type_name in marker.types:
+                by_kind[marker.kind].setdefault(
+                    type_name, []
+                ).append(marker)
+        ordered = sorted(
+            model.wire_markers,
+            key=lambda m: (m.function.path, m.function.line),
+        )
+        for marker in ordered:
+            for finding in self._check_marker(model, marker):
+                yield finding
+        for kind, other, what in (
+            ("encodes", "decodes", "decoder"),
+            ("decodes", "encodes", "encoder"),
+        ):
+            for type_name, markers in sorted(by_kind[kind].items()):
+                if type_name in by_kind[other]:
+                    continue
+                info = markers[0].function
+                yield self.project_finding(
+                    info.path, info.line,
+                    f"'{type_name}' has no {what} anywhere in the "
+                    f"project; one-way wire types cannot round-trip",
+                    symbol=type_name,
+                )
+
+    def _check_marker(self, model: ProjectModel,
+                      marker: WireMarker) -> Iterator[Finding]:
+        info = marker.function
+        verb = "write" if marker.kind == "encodes" else "read"
+        if marker.kind == "encodes":
+            keys = _encoder_keys(info.node)
+        else:
+            param = _first_param(info.node)
+            if param is None:
+                yield self.project_finding(
+                    info.path, info.line,
+                    f"{info.name} is marked decodes= but takes no "
+                    f"payload parameter",
+                    symbol=info.name,
+                )
+                return
+            keys = _decoder_keys(info.node, param)
+        declared: Set[str] = set(marker.extras)
+        for type_name in marker.types:
+            resolved = model.resolve_symbol(info.module, type_name)
+            if not isinstance(resolved, ClassInfo):
+                yield self.project_finding(
+                    info.path, info.line,
+                    f"{info.name} declares wire type '{type_name}', "
+                    f"which is not a class the analyzer can resolve",
+                    symbol=info.name,
+                )
+                continue
+            for field_info in resolved.fields.values():
+                declared |= set(field_info.wire_keys)
+                if not set(field_info.wire_keys) & keys:
+                    yield self.project_finding(
+                        info.path, info.line,
+                        f"{info.name} does not {verb} field "
+                        f"'{resolved.name}.{field_info.name}' (wire "
+                        f"key{'s' if len(field_info.wire_keys) > 1 else ''} "
+                        f"{', '.join(field_info.wire_keys)}): "
+                        f"added-field drift",
+                        symbol=f"{resolved.name}.{field_info.name}",
+                    )
+        for key in sorted(keys - declared):
+            yield self.project_finding(
+                info.path, info.line,
+                f"{info.name} {verb}s key '{key}', which is not a "
+                f"field of {', '.join(marker.types)} nor a declared "
+                f"extra",
+                symbol=info.name,
+            )

@@ -1,0 +1,127 @@
+"""SARIF 2.1.0 rendering of a lint report.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format code-scanning UIs ingest: one ``run`` per tool, a rule catalog
+under ``tool.driver.rules``, and one ``result`` per finding pointing at
+an artifact location. Emitting it lets the CI lint job upload the same
+report both as the human-readable JSON artifact and as a scanner
+annotation source, without a second lint pass.
+
+Mapping choices:
+
+* new findings are ``level: error`` (they fail the run);
+* baselined findings are ``level: note`` and carry an ``external``
+  suppression, so viewers show them greyed-out instead of hiding the
+  debt entirely;
+* stale baseline entries and stale suppression comments become tool
+  execution notifications — they are about the *configuration*, not
+  about any code region, so they must not appear as results.
+
+Paths are emitted relative to the lint root via the ``SRCROOT``
+uri-base, which is what keeps the file portable across checkouts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+from .engine import LintReport
+from .findings import Finding
+from .rules import rule_descriptions
+
+#: The SARIF spec version this module emits.
+SARIF_VERSION = "2.1.0"
+#: Canonical schema URI for :data:`SARIF_VERSION`.
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_catalog() -> List[Dict[str, object]]:
+    return [
+        {
+            "id": name,
+            "shortDescription": {"text": description},
+        }
+        for name, description in rule_descriptions().items()
+    ]
+
+
+def _result(finding: Finding, level: str,
+            baselined: bool) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": level,
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {"startLine": finding.line},
+            },
+        }],
+    }
+    if finding.symbol:
+        result["partialFingerprints"] = {"symbol": finding.symbol}
+    if baselined:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": "grandfathered in lint-baseline.json",
+        }]
+    return result
+
+
+def report_to_sarif(report: LintReport, root: Path) -> Dict[str, object]:
+    """The full SARIF log object for one lint run (JSON-serializable)."""
+    results = [_result(f, "error", baselined=False)
+               for f in report.findings]
+    results += [_result(f, "note", baselined=True)
+                for f in report.baselined]
+    notifications: List[Dict[str, object]] = []
+    for key in report.stale_baseline:
+        notifications.append({
+            "level": "warning",
+            "message": {
+                "text": (
+                    f"stale baseline entry (fix landed? delete it): "
+                    f"rule={key[0]} path={key[1]} symbol={key[2]}"
+                ),
+            },
+        })
+    for stale in report.stale_suppressions:
+        notifications.append({
+            "level": "warning",
+            "message": {"text": stale.render()},
+        })
+    run: Dict[str, object] = {
+        "tool": {
+            "driver": {
+                "name": "repro.lint",
+                "informationUri":
+                    "https://example.invalid/repro/docs/guides/"
+                    "static-analysis",
+                "rules": _rule_catalog(),
+            },
+        },
+        "originalUriBaseIds": {
+            "SRCROOT": {"uri": root.resolve().as_uri() + "/"},
+        },
+        "columnKind": "unicodeCodePoints",
+        "results": results,
+    }
+    if notifications:
+        run["invocations"] = [{
+            "executionSuccessful": report.ok,
+            "toolExecutionNotifications": notifications,
+        }]
+    else:
+        run["invocations"] = [{"executionSuccessful": report.ok}]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }

@@ -11,7 +11,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from .suppress import extract_comments
 
@@ -32,6 +32,10 @@ class SourceFile:
     comments: Dict[int, str] = field(default_factory=dict)
     #: The syntax error, when ``tree`` is ``None``.
     error: Optional[SyntaxError] = None
+    #: Comment lines whose marker (``holds-lock=``) actually excused an
+    #: access this run — rules record uses here so the engine can
+    #: report markers that no longer earn their keep as stale.
+    marker_uses: Set[int] = field(default_factory=set)
 
     @classmethod
     def load(cls, path: Path, rel_path: str) -> "SourceFile":

@@ -9,7 +9,12 @@ live in comments (which the AST does not carry):
 * markers that *feed* rules — ``# guarded-by: <lock>`` (lock-guard),
   ``# lint: holds-lock=<lock>`` (lock-guard: callers hold the lock),
   ``# lint: frozen`` (frozen-mutation), ``# lint: pickled``
-  (picklability).
+  (picklability), ``# lint: replay-root`` (determinism: treat this
+  module as a replay entry point), ``# lint: encodes=Type[,...]`` /
+  ``decodes=Type[,...]`` with an optional ``extra=key[,...]`` tail
+  (wire-schema: this function serializes those schema classes), and
+  ``# wire: key[,...]`` on a schema field line (wire-schema: the keys
+  that field travels under).
 
 This module extracts comments with :mod:`tokenize` (so strings that
 merely *contain* a ``#`` never count) and exposes the small parsers the
@@ -21,7 +26,7 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 #: ``lint: disable=a,b`` (set ``ALL`` to silence every rule).
 _DISABLE_RE = re.compile(r"lint:\s*disable\s*=\s*([\w\-,\s]+)")
@@ -35,6 +40,18 @@ _HOLDS_RE = re.compile(r"lint:\s*holds-lock\s*=\s*([A-Za-z_]\w*)")
 _FROZEN_RE = re.compile(r"lint:\s*frozen\b")
 #: ``lint: pickled`` — instances cross a process boundary.
 _PICKLED_RE = re.compile(r"lint:\s*pickled\b")
+#: ``lint: replay-root`` — determinism treats this module as a root.
+_REPLAY_ROOT_RE = re.compile(r"lint:\s*replay-root\b")
+#: ``lint: encodes=TypeA,TypeB extra=k1,k2`` — a wire encoder.
+_ENCODES_RE = re.compile(
+    r"lint:\s*encodes\s*=\s*([\w.,]+)(?:\s+extra\s*=\s*([\w.,]+))?"
+)
+#: ``lint: decodes=TypeA,TypeB extra=k1,k2`` — a wire decoder.
+_DECODES_RE = re.compile(
+    r"lint:\s*decodes\s*=\s*([\w.,]+)(?:\s+extra\s*=\s*([\w.,]+))?"
+)
+#: ``wire: key1,key2`` — the wire keys a schema field travels under.
+_WIRE_RE = re.compile(r"wire:\s*([\w,]+)")
 
 
 def extract_comments(text: str) -> Dict[int, str]:
@@ -91,6 +108,35 @@ def held_locks(comments: Dict[int, str], lines: Iterable[int]) -> List[str]:
     return held
 
 
+def held_locks_with_lines(
+    comments: Dict[int, str], lines: Iterable[int]
+) -> Dict[str, int]:
+    """``{lock: comment line}`` for ``holds-lock=`` markers on ``lines``.
+
+    The line-aware variant of :func:`held_locks`, used by the engine's
+    stale-suppression pass: lock-guard credits the specific comment
+    line whose marker actually excused an access.
+    """
+    held: Dict[str, int] = {}
+    for line in lines:
+        comment = comments.get(line)
+        if comment:
+            match = _HOLDS_RE.search(comment)
+            if match and match.group(1) not in held:
+                held[match.group(1)] = line
+    return held
+
+
+def holds_lock_lines(comments: Dict[int, str]) -> Dict[int, str]:
+    """``{line: lock}`` for every ``holds-lock=`` comment in the file."""
+    found: Dict[int, str] = {}
+    for line, comment in comments.items():
+        match = _HOLDS_RE.search(comment)
+        if match:
+            found[line] = match.group(1)
+    return found
+
+
 def marked_frozen(comment: str) -> bool:
     """Whether a ``lint: frozen`` marker is present."""
     return bool(_FROZEN_RE.search(comment))
@@ -99,3 +145,34 @@ def marked_frozen(comment: str) -> bool:
 def marked_pickled(comment: str) -> bool:
     """Whether a ``lint: pickled`` marker is present."""
     return bool(_PICKLED_RE.search(comment))
+
+
+def marked_replay_root(comment: str) -> bool:
+    """Whether a ``lint: replay-root`` marker is present."""
+    return bool(_REPLAY_ROOT_RE.search(comment))
+
+
+def _split_names(blob: str) -> Tuple[str, ...]:
+    return tuple(part.strip() for part in blob.split(",") if part.strip())
+
+
+def wire_marker(
+    comment: str,
+) -> Optional[Tuple[str, Tuple[str, ...], Tuple[str, ...]]]:
+    """Parse a wire-schema codec marker from one comment.
+
+    Returns ``(kind, types, extras)`` where ``kind`` is ``"encodes"``
+    or ``"decodes"``, or ``None`` when the comment carries no marker.
+    """
+    for kind, regex in (("encodes", _ENCODES_RE), ("decodes", _DECODES_RE)):
+        match = regex.search(comment)
+        if match:
+            extras = _split_names(match.group(2)) if match.group(2) else ()
+            return kind, _split_names(match.group(1)), extras
+    return None
+
+
+def wire_field_keys(comment: str) -> Optional[Tuple[str, ...]]:
+    """The ``# wire: a,b`` key aliases on a schema field line, if any."""
+    match = _WIRE_RE.search(comment)
+    return _split_names(match.group(1)) if match else None

@@ -74,7 +74,8 @@ def _require(payload: Dict[str, Any], key: str, what: str) -> Any:
 # ----------------------------------------------------------------------
 # Requests
 # ----------------------------------------------------------------------
-def encode_request(request: MatchingRequest) -> Dict[str, Any]:
+def encode_request(request: MatchingRequest  # lint: encodes=MatchingRequest
+                   ) -> Dict[str, Any]:
     """A :class:`MatchingRequest` as a JSON-serializable dict.
 
     Raises :class:`~repro.errors.CodecError` when any workload function
@@ -100,7 +101,8 @@ def encode_request(request: MatchingRequest) -> Dict[str, Any]:
     }
 
 
-def decode_request(payload: Dict[str, Any]) -> MatchingRequest:
+def decode_request(payload: Dict[str, Any]  # lint: decodes=MatchingRequest
+                   ) -> MatchingRequest:
     """The inverse of :func:`encode_request` (identity round trip)."""
     raw = _require(payload, "functions", "request")
     try:
@@ -124,7 +126,8 @@ def decode_request(payload: Dict[str, Any]) -> MatchingRequest:
 # ----------------------------------------------------------------------
 # Results
 # ----------------------------------------------------------------------
-def encode_result(result: MatchResult) -> Dict[str, Any]:
+def encode_result(result: MatchResult  # lint: encodes=MatchResult
+                  ) -> Dict[str, Any]:
     """A :class:`MatchResult` as a JSON-serializable dict.
 
     ``capacities`` travels as a list of pairs (JSON objects would
@@ -156,7 +159,8 @@ def encode_result(result: MatchResult) -> Dict[str, Any]:
     }
 
 
-def decode_result(payload: Dict[str, Any]) -> MatchResult:
+def decode_result(payload: Dict[str, Any]  # lint: decodes=MatchResult
+                  ) -> MatchResult:
     """The inverse of :func:`encode_result` (identity round trip)."""
     raw_pairs = _require(payload, "pairs", "result")
     try:

@@ -20,7 +20,16 @@ from __future__ import annotations
 import socket
 import struct
 import time
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Protocol, Tuple
+
+if TYPE_CHECKING:
+    import asyncio
+
+
+class _Closeable(Protocol):
+    """Anything with a non-blocking ``close()`` (transports, servers)."""
+
+    def close(self) -> object: ...
 
 from ..errors import ConnectionRetriesExceededError, NetworkError
 
@@ -135,7 +144,9 @@ def connect_with_retry(host: str, port: int, *,
 # ----------------------------------------------------------------------
 # Asynchronous (asyncio stream) side
 # ----------------------------------------------------------------------
-async def read_frame_async(reader) -> Optional[bytes]:
+async def read_frame_async(
+    reader: "asyncio.StreamReader",
+) -> Optional[bytes]:
     """Read one frame from an :class:`asyncio.StreamReader`.
 
     Returns ``None`` on clean EOF between frames; raises
@@ -163,13 +174,14 @@ async def read_frame_async(reader) -> Optional[bytes]:
         ) from error
 
 
-async def write_frame_async(writer, payload: bytes) -> None:
+async def write_frame_async(writer: "asyncio.StreamWriter",
+                            payload: bytes) -> None:
     """Write one frame to an :class:`asyncio.StreamWriter` and drain."""
     writer.write(encode_frame(payload))
     await writer.drain()
 
 
-def start_closing(closeable) -> None:
+def start_closing(closeable: _Closeable) -> None:
     """Begin closing a transport/listener (documented non-blocking).
 
     A synchronous helper so coroutines can initiate the close and then

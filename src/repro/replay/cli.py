@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .driver import TRANSPORTS, ReplayDriver
 from .report import format_report_table
@@ -81,7 +81,8 @@ def _cmd_record(args: argparse.Namespace) -> int:
     return 0
 
 
-def _state(driver: ReplayDriver):
+def _state(driver: ReplayDriver) -> Tuple[Tuple[Tuple[int, int, float],
+                                           ...], Tuple]:
     pairs = tuple(
         (p.function_id, p.object_id, p.score)
         for p in driver.matching().pairs

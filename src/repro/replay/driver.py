@@ -41,7 +41,22 @@ from __future__ import annotations
 import bisect
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from types import TracebackType
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:
+    from ..engine.plan import PreparedMatching
+    from ..net.client import MatchingClient
+    from ..net.server import ServerThread
 
 from ..data import Dataset
 from ..dynamic.events import replay_events
@@ -81,7 +96,9 @@ class _LocalTransport:
     def __init__(self, service: MatchingService) -> None:
         self._service = service
 
-    def submit_many(self, requests) -> List[MatchResult]:
+    def submit_many(self,
+                    requests: Sequence[MatchingRequest],
+                    ) -> List[MatchResult]:
         return self._service.submit_many(requests)
 
     def close(self) -> None:
@@ -102,12 +119,14 @@ class _AsyncTransport:
     def __init__(self, service: MatchingService) -> None:
         self._service = service
 
-    def submit_many(self, requests) -> List[MatchResult]:
+    def submit_many(self,
+                    requests: Sequence[MatchingRequest],
+                    ) -> List[MatchResult]:
         import asyncio
 
         from ..engine.async_service import AsyncMatchingService
 
-        async def burst():
+        async def burst() -> List[MatchResult]:
             front = AsyncMatchingService(self._service)
             try:
                 return list(await asyncio.gather(
@@ -135,10 +154,10 @@ class _ServerTransport:
 
     def __init__(self, service: MatchingService) -> None:
         self._service = service
-        self._thread = None
-        self._client = None
+        self._thread: Optional["ServerThread"] = None
+        self._client: Optional["MatchingClient"] = None
 
-    def _ensure(self):
+    def _ensure(self) -> "MatchingClient":
         if self._client is None:
             from ..net import MatchingClient, MatchingServer
             from ..net.server import ServerThread
@@ -148,7 +167,9 @@ class _ServerTransport:
             self._client = MatchingClient(host, port)
         return self._client
 
-    def submit_many(self, requests) -> List[MatchResult]:
+    def submit_many(self,
+                    requests: Sequence[MatchingRequest],
+                    ) -> List[MatchResult]:
         return self._ensure().submit_many(requests)
 
     def close(self) -> None:
@@ -195,7 +216,7 @@ class ReplayDriver:
     def __init__(self, trace: Trace,
                  config: Optional[MatchingConfig] = None, *,
                  transport: str = "local", verify: bool = True,
-                 max_checkpoints: int = 64, **overrides) -> None:
+                 max_checkpoints: int = 64, **overrides: Any) -> None:
         if transport not in _TRANSPORT_TYPES:
             raise ReplayError(
                 f"unknown transport {transport!r}; available: "
@@ -239,7 +260,7 @@ class ReplayDriver:
         return self._clock
 
     @property
-    def prepared(self):
+    def prepared(self) -> "PreparedMatching":
         return self.service.prepared
 
     def matching(self) -> MatchResult:
@@ -425,8 +446,10 @@ class ReplayDriver:
             self._verify_burst(window, burst, results, cached_before)
         return len(burst)
 
-    def _verify_burst(self, window: PhaseWindow, burst, results,
-                      cached_before) -> None:
+    def _verify_burst(self, window: PhaseWindow,
+                      burst: List[TraceRequest],
+                      results: List[MatchResult],
+                      cached_before: Dict[object, bool]) -> None:
         """Served results vs ground truth at this instant of the clock."""
         checked = set()
         for record, result in zip(burst, results):
@@ -442,7 +465,7 @@ class ReplayDriver:
                 if cached_before.get(key):
                     window.stale_hits += 1
 
-    def _ground_truth(self, functions) -> set:
+    def _ground_truth(self, functions: Sequence) -> set:
         """A cold canonical matching on the oracle's current state."""
         from ..engine.facade import match
 
@@ -493,7 +516,9 @@ class ReplayDriver:
     def __enter__(self) -> "ReplayDriver":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

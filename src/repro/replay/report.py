@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
 
 from ..dynamic.events import EVENT_KINDS
 from ..engine.service import ServiceStats, _percentile
@@ -186,7 +187,7 @@ class ScenarioReport:
             "phases": [phase.as_dict() for phase in self.phases],
         }
 
-    def save_json(self, path) -> None:
+    def save_json(self, path: Union[str, Path]) -> None:
         """Write the report as pretty-printed JSON (the CI artifact)."""
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.as_dict(), handle, indent=2, sort_keys=True)

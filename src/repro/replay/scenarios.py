@@ -28,13 +28,18 @@ and benchmarks consume).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..data import Dataset, generate_independent
 from ..dynamic.events import DeleteObject, InsertObject, replay_events
-from ..dynamic.workload import MIXED_CHURN, OBJECT_CHURN, generate_events
+from ..dynamic.workload import (
+    MIXED_CHURN,
+    OBJECT_CHURN,
+    UpdateMix,
+    generate_events,
+)
 from ..errors import ReplayError
 from ..prefs import LinearPreference, generate_preferences
 from .trace import Trace, TraceEvent, TraceRecord, TraceRequest
@@ -69,8 +74,10 @@ def _workload_pool(seed: int, dims: int, pool: int, size: int,
     return workloads
 
 
-def _stamped_churn(objects: Dataset, functions, n_events: int, mix, seed,
-                   timestamps: List[float], phase_of) -> List[TraceEvent]:
+def _stamped_churn(objects: Dataset, functions: Sequence[LinearPreference],
+                   n_events: int, mix: UpdateMix, seed: int,
+                   timestamps: List[float],
+                   phase_of: Callable[[float], str]) -> List[TraceEvent]:
     """Generate a valid churn stream and restamp it onto ``timestamps``."""
     import dataclasses
 
@@ -301,7 +308,7 @@ def available_scenarios() -> Tuple[str, ...]:
     return tuple(sorted(SCENARIOS))
 
 
-def scenario_trace(name: str, seed: int = 0, **knobs) -> Trace:
+def scenario_trace(name: str, seed: int = 0, **knobs: Any) -> Trace:
     """Build a shipped scenario by name (the CLI/benchmark entry point)."""
     try:
         generator = SCENARIOS[name.strip().lower()]

@@ -30,7 +30,20 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:
+    from ..dynamic.session import DynamicMatcher
 
 from ..data import Dataset
 from ..dynamic.events import (
@@ -223,7 +236,7 @@ class Trace:
         lines.append(_dumps({"kind": "end", "records": len(body)}))
         return lines
 
-    def save(self, path) -> None:
+    def save(self, path: Union[str, Path]) -> None:
         """Write the trace to ``path`` as canonical JSON lines."""
         with open(path, "w", encoding="utf-8", newline="\n") as handle:
             for line in self.to_lines():
@@ -294,7 +307,7 @@ class Trace:
         )
 
     @classmethod
-    def load(cls, path) -> "Trace":
+    def load(cls, path: Union[str, Path]) -> "Trace":
         """Read a trace file written by :meth:`save`."""
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_lines(handle.read().splitlines())
@@ -336,19 +349,29 @@ def _loads(line: str, lineno: int) -> dict:
 
 def _record_line(record: TraceRecord) -> str:
     if isinstance(record, TraceRequest):
-        payload = {
-            "kind": "request",
-            "ts": float(record.ts),
-            "phase": record.phase,
-            "priority": int(record.priority),
-            "functions": [
-                {"fid": int(f.fid), "weights": [float(w) for w in f.weights]}
-                for f in record.functions
-            ],
-        }
-        if record.timeout is not None:
-            payload["timeout"] = float(record.timeout)
-        return _dumps(payload)
+        return _request_line(record)
+    return _event_line(record)
+
+
+def _request_line(record: TraceRequest  # lint: encodes=TraceRequest extra=kind,fid,weights
+                  ) -> str:
+    payload = {
+        "kind": "request",
+        "ts": float(record.ts),
+        "phase": record.phase,
+        "priority": int(record.priority),
+        "functions": [
+            {"fid": int(f.fid), "weights": [float(w) for w in f.weights]}
+            for f in record.functions
+        ],
+    }
+    if record.timeout is not None:
+        payload["timeout"] = float(record.timeout)
+    return _dumps(payload)
+
+
+def _event_line(record: TraceEvent  # lint: encodes=TraceEvent,InsertObject,DeleteObject,AddFunction,RemoveFunction extra=kind
+                ) -> str:
     event = record.event
     payload = {
         "kind": "event",
@@ -371,7 +394,8 @@ def _record_line(record: TraceRecord) -> str:
     return _dumps(payload)
 
 
-def _parse_event(payload: dict, lineno: int) -> TraceEvent:
+def _parse_event(payload: dict,  # lint: decodes=TraceEvent,InsertObject,DeleteObject,AddFunction,RemoveFunction
+                 lineno: int) -> TraceEvent:
     ts = float(payload["ts"])
     name = payload.get("event")
     if name == "insert_object":
@@ -395,7 +419,8 @@ def _parse_event(payload: dict, lineno: int) -> TraceEvent:
     return TraceEvent(event, phase=payload.get("phase", ""))
 
 
-def _parse_request(payload: dict, lineno: int) -> TraceRequest:
+def _parse_request(payload: dict,  # lint: decodes=TraceRequest
+                   lineno: int) -> TraceRequest:
     try:
         functions = tuple(
             LinearPreference(
@@ -469,7 +494,8 @@ class TraceRecorder:
             priority=priority, timeout=timeout, phase=self.phase,
         ))
 
-    def observe(self, session, clock: Callable[[], float]):
+    def observe(self, session: "DynamicMatcher",
+                clock: Callable[[], float]) -> "DynamicMatcher":
         """Tee a live session's accepted events into this recording.
 
         Chains in front of any existing ``on_change`` observer (the

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from ..errors import RTreeError
 from ..geometry import MBR
 from .entry import Entry
 
@@ -28,7 +29,7 @@ def _group_mbr(entries: Sequence[Entry]) -> MBR:
 def rstar_split(entries: Sequence[Entry], min_fill: int) -> SplitResult:
     """R*-tree split: choose axis by margin, distribution by overlap."""
     if len(entries) < 2 * min_fill:
-        raise ValueError(
+        raise RTreeError(
             f"cannot split {len(entries)} entries with min fill {min_fill}"
         )
     dims = entries[0].mbr.dims
@@ -72,7 +73,7 @@ def rstar_split(entries: Sequence[Entry], min_fill: int) -> SplitResult:
 def quadratic_split(entries: Sequence[Entry], min_fill: int) -> SplitResult:
     """Guttman's quadratic split (seed pair with max dead space)."""
     if len(entries) < 2 * min_fill:
-        raise ValueError(
+        raise RTreeError(
             f"cannot split {len(entries)} entries with min fill {min_fill}"
         )
     remaining = list(entries)

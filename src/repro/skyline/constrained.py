@@ -19,6 +19,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, List, Optional
 
+from ..errors import DimensionalityError
 from ..geometry import MBR
 from ..rtree.tree import RTree
 from ..storage.stats import SearchStats
@@ -64,9 +65,7 @@ def constrained_skyline(tree: RTree, region: MBR,
                         stats: Optional[SearchStats] = None) -> SkylineState:
     """The canonical skyline of the objects inside ``region``."""
     if region.dims != tree.dims:
-        raise ValueError(
-            f"region dims {region.dims} != tree dims {tree.dims}"
-        )
+        raise DimensionalityError(tree.dims, region.dims, "region")
     state = SkylineState(tree.dims)
     heap: List[HeapItem] = []
     root = tree.read_root()

@@ -1,0 +1,59 @@
+# lint: replay-root
+"""determinism fixtures: a pretend replay root.
+
+The ``replay-root`` marker above puts this module — and everything it
+imports, such as ``determinism_helper_cases`` — on the replay-reachable
+set, so banned wall-clock/entropy calls and ordered set iteration fire
+here. ``determinism_unmarked_cases`` holds the same sins without the
+marker and must stay silent.
+"""
+
+import random
+import time
+from datetime import datetime
+
+import determinism_helper_cases
+
+
+def stamps_with_wall_clock():
+    return time.time()  # EXPECT: determinism
+
+
+def stamps_with_datetime():
+    return datetime.now().isoformat()  # EXPECT: determinism
+
+
+def draws_global_randomness():
+    return random.random()  # EXPECT: determinism
+
+
+def seeded_generator_is_fine(seed):
+    return random.Random(seed).random()
+
+
+def duration_clock_is_fine():
+    start = time.perf_counter()
+    time.sleep(0.0)
+    return time.perf_counter() - start
+
+
+def order_dependent_output():
+    pending = {3, 1, 2}
+    out = []
+    for item in pending:  # EXPECT: determinism
+        out.append(item)
+    return out
+
+
+def renders_set_directly():
+    tags = {"b", "a"}
+    return ", ".join(tags)  # EXPECT: determinism
+
+
+def sorted_set_is_fine():
+    pending = {3, 1, 2}
+    return [item for item in sorted(pending)]
+
+
+def delegates_to_helper():
+    return determinism_helper_cases.helper_stamp()

@@ -1,0 +1,8 @@
+"""Imported by the marked replay root: reachability, not markers, is
+what puts a module in the determinism rule's scope."""
+
+import uuid
+
+
+def helper_stamp():
+    return uuid.uuid4().hex  # EXPECT: determinism

@@ -1,0 +1,13 @@
+"""The same nondeterminism sources as the marked fixture — but this
+module is neither a replay root nor imported by one, so the
+determinism rule must leave it alone."""
+
+import time
+
+
+def free_to_read_the_clock():
+    return time.time()
+
+
+def free_to_iterate_sets():
+    return list({3, 1, 2})

@@ -1,0 +1,124 @@
+"""exception-contract fixtures: what the exported surface may raise.
+
+The fixture ships its own miniature ``ReproError`` hierarchy — the
+rule resolves the name through the project model, so a stand-in class
+works exactly like the real one. Entry points are the ``__all__``
+names (class exports expand to their methods); the rule then walks the
+resolved call graph, so ``_quietly_explodes`` is flagged even though
+it is private. Docstring ``Raises`` sections are opt-in but must not
+drift in either direction once present.
+"""
+
+__all__ = [
+    "Exported",
+    "documented_and_true",
+    "documents_base_class",
+    "documents_ghost_error",
+    "forgets_to_document",
+    "outer_entry",
+    "raises_builtin",
+    "raises_untyped",
+]
+
+
+class ReproError(Exception):
+    """Stand-in for the library's base error."""
+
+
+class FixtureError(ReproError):
+    """A typed error: fine to raise anywhere."""
+
+
+class GhostError(ReproError):
+    """Documented by one docstring below, raised by nothing."""
+
+
+class OtherError(ReproError):
+    """Typed, but not what the drifting docstring documents."""
+
+
+class UntypedError(Exception):
+    """Outside the hierarchy: raising it breaks the contract."""
+
+
+class Exported:
+    """An exported class: its methods are entry points too."""
+
+    def lookup(self, table, key):
+        """Entry method raising a builtin."""
+        if key not in table:
+            raise KeyError(key)  # EXPECT: exception-contract
+        return table[key]
+
+    def abstract_hook(self):
+        """NotImplementedError is idiom, not contract breakage."""
+        raise NotImplementedError
+
+
+def raises_builtin(n):
+    """Raising a builtin from an entry point is a finding."""
+    if n < 0:
+        raise ValueError("negative")  # EXPECT: exception-contract
+    return n
+
+
+def raises_untyped():
+    """Raising a project class outside the hierarchy is a finding."""
+    raise UntypedError("outside the hierarchy")  # EXPECT: exception-contract
+
+
+def _quietly_explodes():
+    raise TypeError("reached through the call graph")  # EXPECT: exception-contract
+
+
+def outer_entry():
+    """The public door to the private raiser above."""
+    return _quietly_explodes()
+
+
+def documented_and_true(flag):
+    """A Raises section that matches reality (numpy style).
+
+    Raises
+    ------
+    FixtureError
+        When ``flag`` is set.
+    """
+    if flag:
+        raise FixtureError("bad flag")
+    return True
+
+
+def documents_base_class():
+    """Documenting the base covers every subclass raised.
+
+    Raises:
+        ReproError: on any internal failure.
+    """
+    raise FixtureError("the refinement of what is documented")
+
+
+def documents_ghost_error():  # EXPECT: exception-contract
+    """Documents an error nothing raises (Google style).
+
+    Raises:
+        GhostError: never actually happens.
+    """
+    return None
+
+
+def forgets_to_document():  # EXPECT: exception-contract
+    """Raises OtherError but only admits to FixtureError.
+
+    Raises
+    ------
+    FixtureError
+        The documented half.
+    """
+    if True:
+        raise FixtureError("documented")
+    raise OtherError("undocumented")
+
+
+def _never_called_is_out_of_scope():
+    raise ValueError("unreachable from the exported surface")

@@ -1,0 +1,60 @@
+"""lock-cycle fixtures: the textbook two-lock deadlock.
+
+Thread A (``worker``) takes ``_jobs_lock`` and then — through a helper
+call, so the edge is *interprocedural* — ``_stats_lock``; thread B
+(``reporter``) takes the same two locks in the opposite order. Neither
+function is wrong in isolation; the deadlock only exists in the
+project-wide graph, which is exactly what ``lock-cycle`` checks. The
+majority direction (jobs -> stats, two sites) wins the derived order,
+so the single reporter site is both the ``lock-order`` violation and
+the ``lock-cycle`` anchor. ``AcyclicPair`` nests two locks in one
+direction only and must stay silent.
+"""
+
+import threading
+
+
+class DeadlockedPool:
+    """Holds the two locks whose acquisition orders contradict."""
+
+    def __init__(self):
+        self._jobs_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.completed = 0
+
+    def _bump_stats(self):
+        with self._stats_lock:
+            self.completed += 1
+
+    def worker(self):
+        # Takes _stats_lock via the helper while _jobs_lock is held:
+        # the cycle edge the analyzer can only see interprocedurally.
+        with self._jobs_lock:
+            self._bump_stats()
+
+    def drain(self):
+        with self._jobs_lock:
+            with self._stats_lock:
+                self.completed += 1
+
+    def reporter(self):
+        with self._stats_lock:
+            with self._jobs_lock:  # EXPECT: lock-order EXPECT: lock-cycle
+                return self.completed
+
+
+class AcyclicPair:
+    """One consistent direction: a hierarchy, not a deadlock."""
+
+    def __init__(self):
+        self._intake_lock = threading.Lock()
+        self._flush_lock = threading.Lock()
+
+    def hand_over(self):
+        with self._intake_lock:
+            with self._flush_lock:
+                return True
+
+    def flush_only(self):
+        with self._flush_lock:
+            return True

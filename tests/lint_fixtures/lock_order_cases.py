@@ -1,5 +1,15 @@
 """lock-order fixtures: nested acquisitions with and against the
-canonical ``_state_cv -> _serve_lock -> _lock`` hierarchy."""
+derived hierarchy.
+
+The canonical order is no longer hardcoded — ``lock-order`` derives it
+from the project-wide acquisition graph, flagging the *minority*
+direction of every contradiction. The majority direction here is
+``_state_cv -> _serve_lock -> _lock`` (the ``canonical*`` methods give
+it weight), so the two inverted sites below are the ones that fire.
+An inversion is also, by construction, a cycle in the graph, so the
+companion ``lock-cycle`` rule reports the component once, anchored at
+the first site running against the derived order.
+"""
 
 import threading
 
@@ -19,6 +29,13 @@ class Hierarchy:
                 with self._lock:
                     return True
 
+    def canonical_again(self):
+        # A second site in the majority direction: the derived order
+        # must side with serve -> lock even though inverted() disagrees.
+        with self._serve_lock:
+            with self._lock:
+                return True
+
     def skipping_a_rank_is_fine(self):
         with self._state_cv:
             with self._lock:
@@ -29,7 +46,7 @@ class Hierarchy:
             with self._serve_lock:
                 return True
 
-    def unranked_locks_are_ignored(self):
+    def one_way_locks_never_fire(self):
         with self._other:
             with self._state_cv:
                 return True
@@ -43,7 +60,7 @@ class Hierarchy:
 
     def inverted(self):
         with self._lock:
-            with self._serve_lock:  # EXPECT: lock-order
+            with self._serve_lock:  # EXPECT: lock-order EXPECT: lock-cycle
                 return True
 
     def inverted_multi_item(self):

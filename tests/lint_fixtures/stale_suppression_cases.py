@@ -1,0 +1,33 @@
+# lint: disable-file=picklability
+"""stale-suppression fixtures: comments that silence nothing.
+
+Stale suppressions are not findings — they never fail a run — but the
+engine reports them (``report.stale_suppressions``) so dead
+``disable=`` comments get deleted instead of rotting into false
+documentation. Three stale cases live here: the file-wide picklability
+disable above (nothing here pickles), an inline disable on an access
+that is already correctly guarded, and a ``holds-lock=`` contract on a
+method that never touches a guarded attribute. ``live_suppression``
+keeps one *working* suppression next to them, proving the engine
+credits real uses before calling anything stale.
+"""
+
+import threading
+
+
+class LiveAndDead:
+    """One live suppression, two dead ones."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: _lock
+
+    def live_suppression(self):
+        return self.value  # lint: disable=lock-guard
+
+    def dead_suppression(self):
+        with self._lock:
+            return self.value  # lint: disable=lock-guard
+
+    def dead_contract(self):  # lint: holds-lock=_lock
+        return True

@@ -1,0 +1,75 @@
+"""wire-schema fixtures: dataclasses versus their codec functions.
+
+``GoodRecord`` round-trips exactly (including a ``# wire:`` alias and
+a declared envelope extra) and must stay silent. ``DriftedRecord``
+shows both drift directions: its encoder misses a field that was
+added later, its decoder reads a key nothing declares.
+``OneWayRecord`` has an encoder but no decoder anywhere, which is a
+finding on its own — one-way wire types cannot round-trip.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class GoodRecord:
+    """Round-trips exactly."""
+
+    ident: int  # wire: id
+    payload: Tuple[float, ...]
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class DriftedRecord:
+    """Its codecs below drifted in both directions."""
+
+    ident: int
+    added_later: float = 0.0
+
+
+@dataclass(frozen=True)
+class OneWayRecord:
+    """Encoded, never decoded."""
+
+    value: int
+
+
+def encode_good(record):  # lint: encodes=GoodRecord extra=kind
+    return {
+        "kind": "good",
+        "id": record.ident,
+        "payload": list(record.payload),
+        "note": record.note,
+    }
+
+
+def decode_good(payload):  # lint: decodes=GoodRecord extra=kind
+    if payload["kind"] != "good":
+        return None
+    return GoodRecord(
+        payload["id"],
+        tuple(payload["payload"]),
+        payload.get("note", ""),
+    )
+
+
+def encode_drifted(record):  # lint: encodes=DriftedRecord  # EXPECT: wire-schema
+    # Misses added_later: the exact added-field drift the rule exists
+    # to catch.
+    return {"ident": record.ident}
+
+
+def decode_drifted(payload):  # lint: decodes=DriftedRecord  # EXPECT: wire-schema
+    # Reads a key that is neither a field's wire key nor an extra.
+    payload["stowaway"]
+    return DriftedRecord(payload["ident"], payload["added_later"])
+
+
+def encode_one_way(record):  # lint: encodes=OneWayRecord  # EXPECT: wire-schema
+    return {"value": record.value}
+
+
+def decode_without_payload():  # lint: decodes=GoodRecord  # EXPECT: wire-schema
+    return None

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.data import generate_anticorrelated, generate_independent
+from repro.errors import DimensionalityError
 from repro.geometry import MBR
 from repro.rtree import DiskNodeStore, MemoryNodeStore, RTree
 from repro.skyline import (
@@ -102,7 +103,7 @@ def test_constrained_higher_dims():
 def test_constrained_dims_mismatch():
     dataset = generate_independent(20, 2, seed=253)
     tree, _ = build(dataset)
-    with pytest.raises(ValueError):
+    with pytest.raises(DimensionalityError):
         constrained_skyline(tree, MBR((0.0,), (1.0,)))
 
 

@@ -13,8 +13,17 @@ import threading
 import pytest
 
 import repro
+from repro.core import Matching, MatchPair
 from repro.engine.async_service import AsyncMatchingService
 from repro.engine.cache import ResultCache
+from repro.errors import (
+    DimensionalityError,
+    GeometryError,
+    MatchingError,
+    ReproError,
+    RTreeError,
+)
+from repro.geometry import MBR
 from repro.prefs import generate_preferences
 
 
@@ -171,6 +180,35 @@ def test_service_repr_synchronizes_with_serving_state():
             thread.join(30.0)
         assert not errors
         assert f"requests={total}" in repr(service)
+
+
+def test_public_surface_raises_typed_errors_only():
+    """exception-contract findings: the first whole-program run caught
+    ``ValueError``/``AssertionError`` escaping through the public
+    ``__all__`` surface — a duplicate pair in :class:`Matching`, a bad
+    cache size, inverted/empty MBRs, region-dimensionality drift. Every
+    one of those paths must now raise a :class:`ReproError` subclass,
+    so ``except ReproError`` actually catches what the library throws."""
+    with pytest.raises(MatchingError):
+        Matching([MatchPair(1, 10, 0.5), MatchPair(1, 11, 0.6)])
+    with pytest.raises(MatchingError):
+        Matching([MatchPair(1, 10, 0.5), MatchPair(2, 10, 0.6)])
+    with pytest.raises(MatchingError):
+        ResultCache(maxsize=-1)
+    with pytest.raises(GeometryError):
+        MBR((1.0, 0.0), (0.0, 1.0))
+    with pytest.raises(GeometryError):
+        MBR.union_all([])
+    objects = repro.generate_independent(n=10, dims=3, seed=3)
+    with pytest.raises(MatchingError, match="not both"):
+        repro.MatchingService(
+            objects, repro.MatchingConfig(backend="memory"),
+            plan=repro.plan(backend="memory"),
+        )
+    # Each of those is catchable as the one documented base class.
+    for exc in (MatchingError, GeometryError, RTreeError,
+                DimensionalityError):
+        assert issubclass(exc, ReproError)
 
 
 def test_cache_repr_is_consistent_under_concurrent_mutation():

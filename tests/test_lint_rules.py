@@ -63,6 +63,27 @@ def test_every_rule_fires_on_at_least_one_fixture(report):
     assert fired == set(available_rules())
 
 
+def test_seeded_deadlock_cycle_is_detected(report):
+    # The textbook fixture: worker takes _jobs_lock then _stats_lock
+    # (one leg through a helper call), reporter takes them in reverse.
+    cycles = [f for f in report.findings
+              if f.rule == "lock-cycle"
+              and f.path == "lock_cycle_cases.py"]
+    assert len(cycles) == 1
+    assert "_jobs_lock" in cycles[0].symbol
+    assert "_stats_lock" in cycles[0].symbol
+    assert "deadlock" in cycles[0].message
+
+
+def test_stale_suppressions_are_reported_exactly(report):
+    stale = {(s.path, s.line) for s in report.stale_suppressions}
+    assert stale == {
+        ("stale_suppression_cases.py", 1),    # disable-file=picklability
+        ("stale_suppression_cases.py", 30),   # guarded access, disable dead
+        ("stale_suppression_cases.py", 32),   # holds-lock= excusing nothing
+    }
+
+
 def test_inline_suppression_lands_in_suppressed_not_findings(report):
     # GoodCounter.fast_peek reads a guarded attribute under an inline
     # `# lint: disable=lock-guard` — counted, but never failing.
@@ -183,6 +204,35 @@ def test_cli_fails_on_fixtures_and_writes_json(tmp_path):
     reported = {(f["path"], f["rule"], f["line"])
                 for f in payload["findings"]}
     assert reported == set(_expected_findings())
+
+
+def test_cli_writes_sarif(tmp_path):
+    from repro.lint.cli import main
+
+    sarif_path = tmp_path / "report" / "findings.sarif"
+    status = main([
+        "--root", str(FIXTURES), "--sarif", str(sarif_path), "-q", ".",
+    ])
+    assert status == 1
+    log = json.loads(sarif_path.read_text())
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} \
+        == set(available_rules())
+    reported = {
+        (res["locations"][0]["physicalLocation"]["artifactLocation"]
+         ["uri"],
+         res["ruleId"],
+         res["locations"][0]["physicalLocation"]["region"]["startLine"])
+        for res in run["results"]
+    }
+    assert reported == set(_expected_findings())
+    assert all(res["level"] == "error" for res in run["results"])
+    assert run["invocations"][0]["executionSuccessful"] is False
+    # The corpus's stale suppressions ride along as notifications.
+    notes = run["invocations"][0]["toolExecutionNotifications"]
+    assert any("stale suppression" in n["message"]["text"]
+               for n in notes)
 
 
 def test_cli_write_baseline_then_clean(tmp_path):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import DimensionalityError
+from repro.errors import DimensionalityError, GeometryError
 from repro.geometry import MBR
 
 
@@ -18,7 +18,7 @@ def test_point_box():
 
 
 def test_invalid_corners():
-    with pytest.raises(ValueError):
+    with pytest.raises(GeometryError):
         MBR((0.5, 0.5), (0.4, 0.6))
     with pytest.raises(DimensionalityError):
         MBR((0.1,), (0.2, 0.3))
@@ -45,7 +45,7 @@ def test_union_all():
     u = MBR.union_all(boxes)
     assert u.low == (0.0, 0.0)
     assert u.high == (1.0, 1.0)
-    with pytest.raises(ValueError):
+    with pytest.raises(GeometryError):
         MBR.union_all([])
 
 

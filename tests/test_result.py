@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import Matching, MatchPair
+from repro.errors import MatchingError
 
 
 def make_pairs():
@@ -41,13 +42,13 @@ def test_empty_matching():
 
 def test_duplicate_function_rejected():
     pairs = [MatchPair(1, 10, 0.9), MatchPair(1, 20, 0.8)]
-    with pytest.raises(ValueError):
+    with pytest.raises(MatchingError):
         Matching(pairs)
 
 
 def test_duplicate_object_rejected():
     pairs = [MatchPair(1, 10, 0.9), MatchPair(2, 10, 0.8)]
-    with pytest.raises(ValueError):
+    with pytest.raises(MatchingError):
         Matching(pairs)
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import RTreeError
 from repro.geometry import MBR
 from repro.rtree import Entry
 from repro.rtree.split import quadratic_split, rstar_split
@@ -33,7 +34,7 @@ def test_split_respects_min_fill(split_fn):
 @pytest.mark.parametrize("split_fn", [rstar_split, quadratic_split])
 def test_too_few_entries_rejected(split_fn):
     entries = entries_from_points([(0.1, 0.1), (0.9, 0.9)])
-    with pytest.raises(ValueError):
+    with pytest.raises(RTreeError):
         split_fn(entries, min_fill=2)
 
 

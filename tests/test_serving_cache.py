@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 import repro
+from repro.errors import MatchingError
 from repro.data import generate_independent
 from repro.engine.cache import ResultCache, config_fingerprint, prefs_digest
 from repro.prefs import LinearPreference, generate_preferences
@@ -41,7 +42,7 @@ def test_lru_size_zero_disables_caching():
     cache.put("a", 1)
     assert cache.get("a") is None
     assert len(cache) == 0
-    with pytest.raises(ValueError):
+    with pytest.raises(MatchingError):
         ResultCache(maxsize=-1)
 
 
@@ -268,7 +269,7 @@ def test_service_counts_hits_and_cold_runs():
 
 def test_service_rejects_plan_plus_config():
     objects, _ = workload(seed=118)
-    with pytest.raises(ValueError, match="not both"):
+    with pytest.raises(MatchingError, match="not both"):
         repro.MatchingService(
             objects, plan=repro.plan(backend="memory"), backend="memory",
         )

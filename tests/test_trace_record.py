@@ -10,6 +10,7 @@ from repro.bench import (
     sweep_to_markdown,
 )
 from repro.core import MatchingProblem, RoundTrace, SkylineMatcher, TraceRecorder
+from repro.errors import MatchingError
 from repro.data import generate_independent
 from repro.prefs import generate_preferences
 
@@ -103,7 +104,7 @@ def test_json_schema_validation(tmp_path, small_sweep):
     payload = json.loads(path.read_text())
     payload["schema"] = 99
     path.write_text(json.dumps(payload))
-    with pytest.raises(ValueError):
+    with pytest.raises(MatchingError):
         load_sweep_json(path)
 
 
