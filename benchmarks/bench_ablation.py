@@ -1,21 +1,58 @@
 """Ablations of the paper's design choices (Sections IV-A, IV-B, IV-C).
 
-Each benchmark removes one optimization from SB (or one adaptation choice
-from a baseline) and measures the cost difference on the same workload.
-Every variant must still produce the identical stable matching — the
-choices affect cost only, which is asserted throughout.
+The engine-level ablations are a thin wrapper over the ``ablations``
+matrix config: one cell per panel variant (SB, SB-single,
+SB-retraversal, SB-naive-threshold, SB-nocache, Chain, Chain-stack) on
+the same anti-correlated workload. The gates encode the reproduced
+claims — multi-pair emission cuts rounds by at least 3x, plist
+maintenance strictly beats root re-traversal on I/O, the fbest cache
+strictly saves reverse top-1 queries, and Wong et al.'s retained stack
+never performs more top-1 searches than the paper's restarting Chain —
+and every variant must still produce the identical stable matching.
+
+The substrate-level ablations (TA threshold tightness, LRU buffer
+size/policy, bulk-load packing, forced reinsertion) stay hand-written
+below: they reach into matcher/tree internals the matrix's engine-level
+cells don't expose.
+
+Run the matrix half directly via
+``python -m repro.bench.matrix run --config ablations``.
 """
 
 import pytest
 
-from repro.core import ChainMatcher, MatchingProblem, SkylineMatcher
+from repro.core import MatchingProblem, SkylineMatcher
 from repro.data import generate_anticorrelated, generate_zillow
 from repro.prefs import generate_preferences
 from repro.storage import SearchStats
 
-from conftest import scaled_functions, scaled_objects
+from conftest import (
+    assert_cells_identical,
+    assert_gates_pass,
+    run_named_matrix,
+    scaled_functions,
+    scaled_objects,
+)
 
 SEED = 99
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_named_matrix("ablations")
+
+
+def test_ablation_variants_pair_identical(result):
+    assert_cells_identical(result)
+
+
+def test_ablation_gates(result):
+    assert_gates_pass(result)
+
+
+# ---------------------------------------------------------------------------
+# Substrate-level ablations (not expressible as matrix cells)
+# ---------------------------------------------------------------------------
 
 
 @pytest.fixture(scope="module")
@@ -34,44 +71,15 @@ def run_sb(workload, **kwargs):
     matching = matcher.run()
     return {
         "matching": matching.as_set(),
-        "io": problem.io_stats.io_accesses,
-        "rounds": matcher.rounds,
-        "reverse_top1": matcher.reverse_top1_queries,
         "score_evals": stats.score_evaluations,
     }
 
 
-def test_ablation_multipair(benchmark, workload):
-    """Section IV-C: emitting every mutual pair per loop cuts the number
-    of rounds (and skyline-maintenance calls) drastically."""
-    multi = benchmark.pedantic(
-        run_sb, args=(workload,), kwargs={"multi_pair": True},
-        rounds=1, iterations=1,
-    )
-    single = run_sb(workload, multi_pair=False)
-    assert multi["matching"] == single["matching"]
-    assert multi["rounds"] * 3 <= single["rounds"]
-    benchmark.extra_info["rounds_multi"] = multi["rounds"]
-    benchmark.extra_info["rounds_single"] = single["rounds"]
-
-
-def test_ablation_maintenance(benchmark, workload):
-    """Section IV-B: plist-based maintenance vs re-running the pruned
-    BBS traversal from the root after every removal."""
-    plist = benchmark.pedantic(
-        run_sb, args=(workload,), kwargs={"maintenance": "plist"},
-        rounds=1, iterations=1,
-    )
-    retraversal = run_sb(workload, maintenance="retraversal")
-    assert plist["matching"] == retraversal["matching"]
-    assert plist["io"] < retraversal["io"]
-    benchmark.extra_info["io_plist"] = plist["io"]
-    benchmark.extra_info["io_retraversal"] = retraversal["io"]
-
-
 def test_ablation_threshold(benchmark, workload):
     """Section IV-A: the tight TA threshold terminates the reverse top-1
-    scans earlier than the naive sum-of-caps threshold."""
+    scans earlier than the naive sum-of-caps threshold (score
+    evaluations are a ``SearchStats`` counter the matrix's engine-level
+    cells don't surface)."""
     tight = benchmark.pedantic(
         run_sb, args=(workload,), kwargs={"threshold": "tight"},
         rounds=1, iterations=1,
@@ -81,19 +89,6 @@ def test_ablation_threshold(benchmark, workload):
     assert tight["score_evals"] < naive["score_evals"]
     benchmark.extra_info["evals_tight"] = tight["score_evals"]
     benchmark.extra_info["evals_naive"] = naive["score_evals"]
-
-
-def test_ablation_fbest_cache(benchmark, workload):
-    """Caching o.fbest across rounds saves reverse top-1 queries."""
-    cached = benchmark.pedantic(
-        run_sb, args=(workload,), kwargs={"cache_best": True},
-        rounds=1, iterations=1,
-    )
-    uncached = run_sb(workload, cache_best=False)
-    assert cached["matching"] == uncached["matching"]
-    assert cached["reverse_top1"] < uncached["reverse_top1"]
-    benchmark.extra_info["queries_cached"] = cached["reverse_top1"]
-    benchmark.extra_info["queries_uncached"] = uncached["reverse_top1"]
 
 
 def test_ablation_buffer(benchmark):
@@ -226,25 +221,3 @@ def test_ablation_forced_reinsert(benchmark, workload):
     benchmark.extra_info["pages_plain"] = plain[2]
     # Reinsertion must not blow the tree up.
     assert forced[2] <= plain[2] * 1.15
-
-
-def test_ablation_chain_stack(benchmark, workload):
-    """The paper's Chain restarts after each pair; Wong et al.'s retained
-    stack performs no more top-1 searches (usually far fewer)."""
-    objects, functions = workload
-
-    def run(restart):
-        problem = MatchingProblem.build(objects, functions)
-        problem.reset_io()
-        matcher = ChainMatcher(problem, restart=restart)
-        matching = matcher.run()
-        return matching.as_set(), matcher.top1_searches, problem.io_stats.io_accesses
-
-    restart_result = benchmark.pedantic(
-        run, args=(True,), rounds=1, iterations=1
-    )
-    stack_result = run(False)
-    assert restart_result[0] == stack_result[0]
-    assert stack_result[1] <= restart_result[1]
-    benchmark.extra_info["searches_restart"] = restart_result[1]
-    benchmark.extra_info["searches_stack"] = stack_result[1]

@@ -1,115 +1,30 @@
 """Dynamic-workload benchmarks: incremental repair vs full recompute.
 
-The acceptance measurement of the dynamic subsystem: replaying the same
-anti-correlated event stream, localized repair must beat the
-rebuild-everything baseline by at least 2x on both node I/O and wall
-clock at a 5% update ratio (it wins by far more in practice; the sweep
-in ``repro.bench.dynamic`` reports the full ratio axis).
+Thin wrapper over the ``dynamic`` matrix config: the same
+anti-correlated event stream (5% mixed churn) replayed through a
+localized-repair session and the rebuild-everything baseline on the
+disk backend. The gates encode the acceptance bar of the dynamic
+subsystem — repair beats recompute by at least 2x on both node I/O and
+wall clock — and the repaired matching must be pair-identical to the
+from-scratch recompute after the full stream.
+
+Run directly (``pytest benchmarks/bench_dynamic.py``) or via
+``python -m repro.bench.matrix run --config dynamic``.
 """
 
 import pytest
 
-from repro.bench.dynamic import run_dynamic_point
-from repro.data import generate_anticorrelated
-from repro.dynamic import (
-    MIXED_CHURN,
-    RecomputeSession,
-    apply_events,
-    generate_events,
-    events_for_ratio,
-)
-from repro.engine import MatchingConfig, MatchingEngine, match
-from repro.prefs import generate_preferences
-
-from conftest import scaled_functions, scaled_objects
-
-SEED = 77
-DIMS = 4
-RATIO = 0.05
+from conftest import assert_cells_identical, assert_gates_pass, run_named_matrix
 
 
 @pytest.fixture(scope="module")
-def workload():
-    n_objects = max(300, scaled_objects() // 5)
-    n_functions = max(20, scaled_functions() // 5)
-    objects = generate_anticorrelated(n_objects, DIMS, seed=SEED)
-    functions = generate_preferences(n_functions, DIMS, seed=SEED + 1)
-    pool = generate_anticorrelated(max(64, n_objects // 4), DIMS,
-                                   seed=SEED + 2)
-    events = generate_events(
-        objects, functions, events_for_ratio(objects, RATIO),
-        mix=MIXED_CHURN, seed=SEED + 3, insert_pool=pool,
-    )
-    return objects, functions, events
+def result():
+    return run_named_matrix("dynamic")
 
 
-def test_dynamic_incremental_repair(benchmark, workload):
-    objects, functions, events = workload
-    engine = MatchingEngine(algorithm="sb", backend="disk",
-                            repair_threshold=1e9)
-
-    def setup():
-        return (engine.open_session(objects, functions), events), {}
-
-    def serve(session, stream):
-        for event in stream:
-            session.submit(event)
-        session.flush()
-        return len(session.pairs)
-
-    pairs = benchmark.pedantic(serve, setup=setup, rounds=3, iterations=1)
-    assert pairs > 0
+def test_repair_matches_recompute_exactly(result):
+    assert_cells_identical(result)
 
 
-def test_dynamic_full_recompute(benchmark, workload):
-    objects, functions, events = workload
-    config = MatchingConfig(algorithm="sb", backend="disk")
-
-    def setup():
-        return (RecomputeSession(objects, functions, config), events), {}
-
-    def serve(session, stream):
-        for event in stream:
-            session.submit(event)
-        session.flush()
-        return session.recomputes
-
-    recomputes = benchmark.pedantic(serve, setup=setup, rounds=3,
-                                    iterations=1)
-    assert recomputes == len(events) + 1
-
-
-def test_dynamic_speedup_at_5pct(workload):
-    """Acceptance bar: >= 2x on node I/O *and* wall clock at 5% updates."""
-    objects, functions, events = workload
-    point = run_dynamic_point(
-        objects, functions, len(events), mix=MIXED_CHURN, seed=SEED + 3,
-        algorithm="sb", backend="disk",
-    )
-    assert point.io_speedup >= 2.0, (
-        f"incremental repair must save >= 2x node I/O, got "
-        f"{point.io_speedup:.2f}x ({point.incremental_io} vs "
-        f"{point.recompute_io})"
-    )
-    assert point.time_speedup >= 2.0, (
-        f"incremental repair must be >= 2x faster, got "
-        f"{point.time_speedup:.2f}x ({point.incremental_seconds:.3f}s vs "
-        f"{point.recompute_seconds:.3f}s)"
-    )
-
-
-def test_dynamic_session_matches_scratch(workload):
-    """The benchmarked session serves the *correct* matching."""
-    objects, functions, events = workload
-    session = MatchingEngine(
-        algorithm="sb", backend="disk", repair_threshold=1e9,
-    ).open_session(objects, functions)
-    for event in events:
-        session.submit(event)
-    surviving, prefs = apply_events(objects, functions, events)
-    scratch = match(surviving, prefs, algorithm="sb", backend="disk")
-    got = sorted((p.function_id, p.object_id, p.score)
-                 for p in session.pairs)
-    want = sorted((p.function_id, p.object_id, p.score)
-                  for p in scratch.pairs)
-    assert got == want
+def test_repair_beats_recompute_2x(result):
+    assert_gates_pass(result)

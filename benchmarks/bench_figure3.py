@@ -1,75 +1,30 @@
-"""Figure 3 of the paper: effect of object cardinality on (synthetic)
-Zillow data.
+"""Figure 3 — I/O and CPU vs cardinality on Zillow data (Section V-C).
 
-|O| is swept over 10K..400K (scaled by ``REPRO_BENCH_SCALE``), D = 5,
-|F| = 5K (scaled). Panel (a) plots I/O accesses, panel (b) CPU time.
+Thin wrapper over the ``figure3`` matrix config: the three algorithms on
+the 5-dimensional synthetic-Zillow workload, |O| swept over 10K..400K
+(scaled by ``REPRO_BENCH_SCALE``), |F| = 5K scaled. The gates encode
+the reproduced shape — SB beats both baselines in I/O at every
+cardinality (pointwise and summed over the sweep), Brute Force's I/O
+grows with |O|, and SB is cheapest in summed CPU — and every cell must
+reproduce the canonical matching exactly.
 
-Reproduced shape (asserted):
-
-* SB beats both baselines in I/O at every cardinality;
-* the baselines' costs grow with |O| much faster than SB's (on skewed
-  real-estate data the paper notes the CPU gap is even larger than on
-  synthetic data).
+Run directly (``pytest benchmarks/bench_figure3.py``) or via
+``python -m repro.bench.matrix run --config figure3``.
 """
 
 import pytest
 
-from repro.bench import ALGORITHMS, measure_matcher
-from repro.core import MatchingProblem
-
-SIZES = (10_000, 50_000, 100_000, 200_000, 400_000)
-PANEL_ALGOS = ("SB", "BruteForce", "Chain")
-
-_results = {}
+from conftest import assert_cells_identical, assert_gates_pass, run_named_matrix
 
 
-def run_sweep(workloads, algorithm):
-    results = {}
-    for size in SIZES:
-        objects, functions = workloads[size]
-        problem = MatchingProblem.build(objects, functions)
-        results[size] = measure_matcher(ALGORITHMS[algorithm](problem))
-    return results
+@pytest.fixture(scope="module")
+def result():
+    return run_named_matrix("figure3")
 
 
-@pytest.mark.parametrize("algorithm", PANEL_ALGOS)
-def test_fig3_zillow(benchmark, figure3_workloads, algorithm):
-    """Figures 3(a) I/O and 3(b) CPU: one sweep yields both series."""
-    results = benchmark.pedantic(
-        run_sweep, args=(figure3_workloads, algorithm),
-        rounds=1, iterations=1,
-    )
-    _results[algorithm] = results
-    for size, measurement in results.items():
-        benchmark.extra_info[f"O={size // 1000}K:io"] = measurement.io_accesses
-        benchmark.extra_info[f"O={size // 1000}K:cpu"] = round(
-            measurement.cpu_seconds, 4
-        )
-    benchmark.extra_info["panel"] = "3a/3b"
+def test_figure3_cells_pair_identical(result):
+    assert_cells_identical(result)
 
 
-def test_fig3_shape(benchmark):
-    """Declared as a trivial benchmark so it runs under --benchmark-only."""
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    for algorithm in PANEL_ALGOS:
-        assert algorithm in _results, "run the sweep benchmarks first"
-    for size in SIZES:
-        sb = _results["SB"][size].io_accesses
-        brute = _results["BruteForce"][size].io_accesses
-        chain = _results["Chain"][size].io_accesses
-        assert sb * 10 <= brute, (size, sb, brute)
-        assert sb * 10 <= chain, (size, sb, chain)
-    # Baseline I/O grows with |O|; SB grows far slower in absolute terms.
-    brute_series = [_results["BruteForce"][s].io_accesses for s in SIZES]
-    sb_series = [_results["SB"][s].io_accesses for s in SIZES]
-    assert brute_series[-1] > brute_series[0]
-    assert (brute_series[-1] - brute_series[0]) > 10 * (
-        sb_series[-1] - sb_series[0]
-    )
-    # CPU: SB fastest overall on the skewed data.
-    totals = {
-        algorithm: sum(_results[algorithm][s].cpu_seconds for s in SIZES)
-        for algorithm in PANEL_ALGOS
-    }
-    assert totals["SB"] < totals["BruteForce"], totals
-    assert totals["SB"] < totals["Chain"], totals
+def test_figure3_gates(result):
+    assert_gates_pass(result)

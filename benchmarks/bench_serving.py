@@ -1,99 +1,31 @@
 """Serving-path benchmarks: warm-path speedup and exactness.
 
-The acceptance measurement of the compile → prepare → serve pipeline:
-serving the *same* preference workload through a warm
-``PreparedMatching`` on the memory backend must beat a cold
-``repro.match()`` (fresh engine, staging paid) by at least 3x in wall
-clock. Repeats of one workload are exactly what the keyed result cache
-exists for, so the warm measurement includes it; the warm-miss path
-(new workload, warm tree) is measured and reported as well, without a
-hard floor — its win scales with |O|/|F| and is workload-shaped.
+Thin wrapper over the ``serving`` matrix config: the compile → prepare
+→ serve pipeline on the memory backend. The gates encode the
+acceptance bar — serving the *same* preference workload through a warm
+``PreparedMatching`` (cache hit) beats a cold ``repro.match()`` by at
+least 3x in wall clock, and the warm-miss path (new workload, warm
+tree) is never slower than cold — and every warm answer (hit or miss)
+must be pair-identical to the cold answer.
 
-Exactness is asserted unconditionally: every warm answer (hit or miss)
-must be pair-identical to the cold answer. No skips — this file runs
-anywhere (plain ``pytest benchmarks/bench_serving.py``; no
-pytest-benchmark fixtures needed).
+No skips — this file runs anywhere (plain
+``pytest benchmarks/bench_serving.py``), or via
+``python -m repro.bench.matrix run --config serving``.
 """
-
-import time
 
 import pytest
 
-import repro
-from repro.bench.serving import run_serving_point
-from repro.data import generate_independent
-from repro.engine import MatchingConfig
-from repro.prefs import generate_preferences
-
-from conftest import scaled_functions, scaled_objects
-
-SEED = 77
-DIMS = 4
-SPEEDUP_FLOOR = 3.0
-NUM_WORKLOADS = 3
+from conftest import assert_cells_identical, assert_gates_pass, run_named_matrix
 
 
 @pytest.fixture(scope="module")
-def workload():
-    n_objects = max(4000, scaled_objects())
-    n_functions = max(60, scaled_functions())
-    objects = generate_independent(n_objects, DIMS, seed=SEED)
-    workloads = [
-        generate_preferences(n_functions, DIMS, seed=SEED + 1 + query)
-        for query in range(NUM_WORKLOADS)
-    ]
-    return objects, workloads
+def result():
+    return run_named_matrix("serving")
 
 
-def test_warm_results_equal_cold_results(workload):
-    """The benchmarked configuration serves the *correct* matchings."""
-    objects, workloads = workload
-    prepared = repro.plan(algorithm="sb", backend="memory").prepare(objects)
-    try:
-        for functions in workloads:
-            cold = repro.match(objects, functions, backend="memory")
-            assert prepared.run(functions).as_set() == cold.as_set()
-            assert prepared.run(functions).as_set() == cold.as_set()  # hit
-    finally:
-        prepared.close()
+def test_warm_answers_pair_identical(result):
+    assert_cells_identical(result)
 
 
-def test_warm_path_speedup_on_memory_backend(workload):
-    """Acceptance bar: warm serving >= 3x faster than cold match()."""
-    objects, workloads = workload
-    point, _ = run_serving_point(
-        objects, workloads, MatchingConfig(algorithm="sb"),
-        backend="memory", label="SB",
-    )
-    # The same-workload (cache-hit) path is the enforced bar.
-    assert point.hit_speedup >= SPEEDUP_FLOOR, (
-        f"warm prepared.run() must be >= {SPEEDUP_FLOOR}x faster than a "
-        f"cold repro.match() for the same workload, got "
-        f"{point.hit_speedup:.2f}x ({point.cold_seconds * 1e3:.1f}ms cold "
-        f"vs {point.warm_hit_seconds * 1e3:.3f}ms warm)"
-    )
-    # Warm misses must never be slower than cold (staging is skipped).
-    assert point.miss_speedup >= 0.9, (
-        f"warm-miss serving regressed below cold: {point.miss_speedup:.2f}x"
-    )
-
-
-def test_warm_serving_throughput(workload):
-    """Report-style measurement: requests/second, warm vs cold."""
-    objects, workloads = workload
-    service = repro.MatchingService(objects, algorithm="sb",
-                                    backend="memory")
-    try:
-        for functions in workloads:
-            service.submit(functions)  # populate the cache
-        requests = 0
-        start = time.perf_counter()
-        while requests < 50:
-            service.submit(workloads[requests % len(workloads)])
-            requests += 1
-        elapsed = time.perf_counter() - start
-        stats = service.stats
-        assert stats["cache_hits"] >= 50
-        assert elapsed < 5.0  # 50 cached requests in well under 5s
-    finally:
-        service.close()
+def test_warm_hit_3x_and_miss_never_slower(result):
+    assert_gates_pass(result)

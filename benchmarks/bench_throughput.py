@@ -1,79 +1,31 @@
 """Batched-serving throughput: the ≥2x acceptance bar.
 
-The acceptance measurement of the batched request path:
-``MatchingService.submit_many`` at batch size 32 must answer at least
-2x the requests/second of looped single ``submit`` calls on the memory
-backend, with the vectorized linear fast path engaged (one numpy
-scoring pass per chunk instead of one tree traversal per function).
+Thin wrapper over the ``throughput`` matrix config:
+``MatchingService.submit_many`` vs looped single ``submit`` calls on
+the memory backend. The gates encode the acceptance bar — batch size
+32 answers at least 2x the requests/second of the looped path with the
+vectorized linear fast path fully engaged, while batch size 1 stays on
+the per-request path without a pathological regression — and a sampled
+batch of answers must be pair-identical to the canonical matcher.
 
-Exactness is asserted unconditionally inside the measured point: every
-batched answer must be pair-identical to its looped counterpart (the
-sweep raises otherwise). No skips — this file runs anywhere (plain
-``pytest benchmarks/bench_throughput.py``; no pytest-benchmark
-fixtures needed).
+No skips — this file runs anywhere (plain
+``pytest benchmarks/bench_throughput.py``), or via
+``python -m repro.bench.matrix run --config throughput``.
 """
 
 import pytest
 
-from repro.bench.throughput import (
-    THROUGHPUT_FUNCTIONS_PER_REQUEST,
-    run_throughput_point,
-)
-from repro.data import generate_independent
-from repro.engine import MatchingConfig
-from repro.prefs import generate_preferences
-
-from conftest import scaled_objects
-
-SEED = 88
-DIMS = 4
-BATCH_SIZE = 32
-NUM_REQUESTS = 2 * BATCH_SIZE
-SPEEDUP_FLOOR = 2.0
+from conftest import assert_cells_identical, assert_gates_pass, run_named_matrix
 
 
 @pytest.fixture(scope="module")
-def workload():
-    n_objects = max(4000, scaled_objects())
-    objects = generate_independent(n_objects, DIMS, seed=SEED)
-    workloads = [
-        generate_preferences(THROUGHPUT_FUNCTIONS_PER_REQUEST, DIMS,
-                             seed=SEED + 1 + request)
-        for request in range(NUM_REQUESTS)
-    ]
-    return objects, workloads
+def result():
+    return run_named_matrix("throughput")
 
 
-def test_batched_throughput_beats_looped_submit(workload):
-    """Acceptance bar: submit_many(batch=32) >= 2x looped submit req/s."""
-    objects, workloads = workload
-    point = run_throughput_point(
-        objects, workloads, MatchingConfig(algorithm="sb"),
-        batch_size=BATCH_SIZE, backend="memory", label="SB",
-    )
-    # The win must come from the vectorized linear path, not noise.
-    assert point.vectorized_requests == len(workloads), (
-        f"the vectorized fast path did not engage: "
-        f"{point.vectorized_requests}/{len(workloads)} requests vectorized"
-    )
-    assert point.speedup >= SPEEDUP_FLOOR, (
-        f"submit_many at batch {BATCH_SIZE} must serve >= "
-        f"{SPEEDUP_FLOOR}x the requests/sec of looped submit on the "
-        f"memory backend, got {point.speedup:.2f}x "
-        f"({point.looped_rps:.1f} vs {point.batched_rps:.1f} req/s)"
-    )
+def test_batched_answers_pair_identical(result):
+    assert_cells_identical(result)
 
 
-def test_batch_size_one_stays_on_the_per_request_path(workload):
-    """A batch of one has nothing to amortize: no vectorized engagement,
-    and no regression versus looped submit beyond noise."""
-    objects, workloads = workload
-    point = run_throughput_point(
-        objects, workloads[:8], MatchingConfig(algorithm="sb"),
-        batch_size=1, backend="memory", label="SB",
-    )
-    assert point.vectorized_requests == 0
-    assert point.speedup >= 0.5, (
-        f"submit_many at batch 1 regressed far below looped submit: "
-        f"{point.speedup:.2f}x"
-    )
+def test_batching_speedup_and_vectorization(result):
+    assert_gates_pass(result)

@@ -1,19 +1,21 @@
-"""Shared workload fixtures for the benchmark suite.
+"""Shared helpers for the benchmark suite.
 
-Workloads follow the paper's evaluation setup, scaled by
+The figure/ablation/serving benchmarks are thin wrappers over named
+``repro.bench.matrix`` configs (see ``src/repro/bench/matrix/configs/``):
+each file loads its config, runs the matrix once per session at
 ``REPRO_BENCH_SCALE`` (default 0.05: |O| = 5 000, |F| = 250 instead of
-100 000 / 5 000). Datasets are built once per session; each algorithm run
-gets a *fresh* problem (Brute Force and Chain mutate the R-tree) built in
-the benchmark's untimed setup phase.
+100 000 / 5 000), and asserts that every cell is pair-identical to the
+canonical matcher and every declared gate holds. Workload shapes,
+axes, and thresholds all live in the config JSON, not in this package.
+
+The remaining hand-written benchmarks (substrate ablations, rewind
+bit-identity, micro/net) keep the session-scaled workload helpers
+below.
 """
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench import PAPER_NUM_FUNCTIONS, PAPER_NUM_OBJECTS, bench_scale
-from repro.data import generate_anticorrelated, generate_independent, generate_zillow
-from repro.prefs import generate_preferences
 
 SEED = 42
 
@@ -28,44 +30,29 @@ def scaled_functions(scale=None):
     return max(20, int(PAPER_NUM_FUNCTIONS * scale))
 
 
-_GENERATORS = {
-    "independent": generate_independent,
-    "anticorrelated": generate_anticorrelated,
-}
+_MATRIX_CACHE = {}
 
 
-@pytest.fixture(scope="session")
-def figure2_workloads():
-    """{variant: {D: (objects, functions)}} for the Figure 2 sweep."""
-    num_objects = scaled_objects()
-    num_functions = scaled_functions()
-    workloads = {}
-    for variant, generator in _GENERATORS.items():
-        per_dim = {}
-        for d in (3, 4, 5, 6):
-            per_dim[d] = (
-                generator(num_objects, d, seed=SEED + d),
-                generate_preferences(num_functions, d, seed=SEED + 100 + d),
-            )
-        workloads[variant] = per_dim
-    return workloads
+def run_named_matrix(name, scale=None):
+    """Run a shipped matrix config once per session (cached by scale)."""
+    from repro.bench.matrix import load_named_config, run_matrix
+
+    scale = bench_scale() if scale is None else scale
+    key = (name, scale)
+    if key not in _MATRIX_CACHE:
+        _MATRIX_CACHE[key] = run_matrix(load_named_config(name), scale=scale)
+    return _MATRIX_CACHE[key]
 
 
-@pytest.fixture(scope="session")
-def figure3_workloads():
-    """{paper_size: (objects, functions)} for the Figure 3 sweep."""
-    scale = bench_scale()
-    sizes = (10_000, 50_000, 100_000, 200_000, 400_000)
-    universe = generate_zillow(max(400, int(max(sizes) * scale)), seed=SEED)
-    num_functions = scaled_functions()
-    functions = generate_preferences(num_functions, universe.dims,
-                                     seed=SEED + 7)
-    workloads = {}
-    for size in sizes:
-        scaled = max(200, int(size * scale))
-        objects = (
-            universe if scaled >= len(universe)
-            else universe.sample(scaled, seed=SEED + size)
-        )
-        workloads[size] = (objects, functions)
-    return workloads
+def assert_cells_identical(result):
+    """Every cell must reproduce the canonical reference matching."""
+    bad = [cell.spec.cell_id for cell in result.cells if not cell.identity_ok]
+    assert not bad, f"cells diverged from the canonical matching: {bad}"
+
+
+def assert_gates_pass(result):
+    """Every gate declared by the config must hold."""
+    failed = [gate for gate in result.gates if not gate.ok]
+    assert not failed, "matrix gates failed:\n" + "\n".join(
+        f"  {gate.name}: {gate.detail}" for gate in failed
+    )

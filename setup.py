@@ -10,7 +10,10 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    package_data={"repro": ["py.typed"]},
+    package_data={
+        "repro": ["py.typed"],
+        "repro.bench.matrix": ["configs/*.json"],
+    },
     include_package_data=True,
     zip_safe=False,
     python_requires=">=3.8",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from ..core import Matcher, Matching, MatchingProblem
 from ..storage import IOSnapshot
@@ -56,13 +56,24 @@ def measure_matcher(matcher: Matcher) -> RunMeasurement:
     the run, so the measurement covers exactly one matching execution —
     the same protocol as the paper, whose numbers exclude index building.
     """
+    measurement, _ = measure_run(matcher)
+    return measurement
+
+
+def measure_run(matcher: Matcher) -> Tuple[RunMeasurement, Matching]:
+    """:func:`measure_matcher`, but also return the matching itself.
+
+    The matrix runner needs the produced matching to assert every cell
+    pair-identical to the canonical matcher; the measurement protocol
+    (cold buffer, counters reset, index building excluded) is identical.
+    """
     problem = matcher.problem
     problem.reset_io()
     start = time.perf_counter()
     matching = matcher.run()
     cpu_seconds = time.perf_counter() - start
     stats = problem.io_stats
-    return RunMeasurement(
+    measurement = RunMeasurement(
         algorithm=matcher.name,
         io_accesses=stats.io_accesses,
         page_reads=stats.page_reads,
@@ -74,3 +85,4 @@ def measure_matcher(matcher: Matcher) -> RunMeasurement:
         top1_searches=getattr(matcher, "top1_searches", 0),
         reverse_top1_queries=getattr(matcher, "reverse_top1_queries", 0),
     )
+    return measurement, matching

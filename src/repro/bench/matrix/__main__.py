@@ -1,0 +1,7 @@
+# lint: replay-root
+"""``python -m repro.bench.matrix`` — see :mod:`repro.bench.matrix.cli`."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,262 @@
+# lint: replay-root
+"""Evaluating gate assertions over an executed matrix.
+
+A gate (:class:`~repro.bench.matrix.config.GateSpec`) selects cells by
+axis values and asserts a threshold over one metric. Evaluation is pure
+bookkeeping over :class:`~repro.bench.matrix.cells.CellResult` rows —
+no cell ever re-runs — and always yields a
+:class:`GateResult` per gate (a gate that matches no cells *fails*:
+a threshold silently skipped is a threshold not enforced).
+
+Ratio-family gates pair numerator cells with denominator cells that
+agree on every axis the selectors do not pin, so one ``ratio`` gate
+covers a whole sweep (e.g. "SB I/O ≤ BruteForce I/O / 10 at every
+dimensionality").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .cells import CellResult
+from .config import GateSpec, MatrixConfig
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """One gate's verdict: threshold, observation, and explanation."""
+
+    name: str
+    kind: str
+    metric: str
+    ok: bool
+    observed: Optional[float]
+    detail: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "metric": self.metric,
+            "ok": self.ok,
+            "observed": self.observed,
+            "detail": self.detail,
+        }
+
+
+def _cell_axes(cell: CellResult) -> Dict[str, Any]:
+    axes = {"grid": cell.spec.grid.name}
+    axes.update(cell.spec.axes)
+    return axes
+
+
+def _matches(cell: CellResult, selector: Mapping[str, Any]) -> bool:
+    axes = _cell_axes(cell)
+    return all(
+        key in axes and axes[key] == value
+        for key, value in selector.items()
+    )
+
+
+def _select(cells: Sequence[CellResult], gate: GateSpec,
+            selector: Mapping[str, Any]) -> List[CellResult]:
+    return [
+        cell for cell in cells
+        if _matches(cell, gate.where) and _matches(cell, selector)
+        and gate.metric in cell.metrics
+    ]
+
+
+def _group_key(cell: CellResult, pinned: Sequence[str],
+               ignore: Sequence[str] = ()) -> Tuple[Tuple[str, Any], ...]:
+    axes = _cell_axes(cell)
+    return tuple(
+        (key, axes[key]) for key in sorted(axes)
+        if key not in pinned and key not in ignore
+    )
+
+
+def _fail(gate: GateSpec, detail: str) -> GateResult:
+    return GateResult(name=gate.name, kind=gate.kind, metric=gate.metric,
+                      ok=False, observed=None, detail=detail)
+
+
+def _bound_gate(gate: GateSpec,
+                cells: Sequence[CellResult]) -> GateResult:
+    matched = _select(cells, gate, {})
+    if not matched:
+        return _fail(gate, "no cells matched the selector")
+    assert gate.value is not None
+    if gate.kind == "min":
+        worst = min(cell.metrics[gate.metric] for cell in matched)
+        ok = worst >= gate.value
+        relation = ">=" if ok else "<"
+        detail = (f"min over {len(matched)} cell(s) = {worst:g} "
+                  f"{relation} {gate.value:g}")
+    else:
+        worst = max(cell.metrics[gate.metric] for cell in matched)
+        ok = worst <= gate.value
+        relation = "<=" if ok else ">"
+        detail = (f"max over {len(matched)} cell(s) = {worst:g} "
+                  f"{relation} {gate.value:g}")
+    return GateResult(name=gate.name, kind=gate.kind, metric=gate.metric,
+                      ok=ok, observed=worst, detail=detail)
+
+
+def _pair_groups(gate: GateSpec, cells: Sequence[CellResult],
+                 ignore: Sequence[str] = ()) -> "List[Tuple[List[CellResult], List[CellResult]]] | GateResult":
+    """Pair numerator and denominator cells on their free axes."""
+    numerators = _select(cells, gate, gate.numerator)
+    denominators = _select(cells, gate, gate.denominator)
+    if not numerators:
+        return _fail(gate, "numerator selector matched no cells")
+    if not denominators:
+        return _fail(gate, "denominator selector matched no cells")
+    pinned = sorted(set(gate.numerator) | set(gate.denominator))
+    groups: Dict[Tuple[Tuple[str, Any], ...],
+                 Tuple[List[CellResult], List[CellResult]]] = {}
+    for cell in numerators:
+        groups.setdefault(_group_key(cell, pinned, ignore),
+                          ([], []))[0].append(cell)
+    for cell in denominators:
+        key = _group_key(cell, pinned, ignore)
+        if key in groups:
+            groups[key][1].append(cell)
+    paired = [
+        (nums, dens) for nums, dens in
+        (groups[key] for key in sorted(groups, key=repr))
+        if dens
+    ]
+    if not paired:
+        return _fail(gate, "numerator and denominator cells share no "
+                           "axis combination")
+    return paired
+
+
+def _ratio_gate(gate: GateSpec,
+                cells: Sequence[CellResult]) -> GateResult:
+    paired = _pair_groups(gate, cells)
+    if isinstance(paired, GateResult):
+        return paired
+    assert gate.max_ratio is not None
+    worst: Optional[float] = None
+    observed = 0.0
+    checked = 0
+    for nums, dens in paired:
+        for num in nums:
+            for den in dens:
+                checked += 1
+                bound = gate.max_ratio * den.metrics[gate.metric]
+                value = num.metrics[gate.metric]
+                excess = value - bound
+                if worst is None or excess > worst:
+                    worst = excess
+                    observed = (value / den.metrics[gate.metric]
+                                if den.metrics[gate.metric] else value)
+    assert worst is not None
+    ok = worst < 0 if gate.strict else worst <= 0
+    relation = ("<" if gate.strict else "<=") if ok else ">"
+    detail = (f"{checked} pair(s): worst {gate.metric} ratio "
+              f"{observed:g} {relation} {gate.max_ratio:g}")
+    return GateResult(name=gate.name, kind=gate.kind, metric=gate.metric,
+                      ok=ok, observed=observed, detail=detail)
+
+
+def _aggregate_gate(gate: GateSpec,
+                    cells: Sequence[CellResult]) -> GateResult:
+    """``sum_ratio`` and ``span_ratio``: one comparison per group.
+
+    ``along`` (mandatory for ``span_ratio``, optional for ``sum_ratio``)
+    is the aggregation axis: cells are grouped ignoring it, and each
+    group aggregates across it.
+    """
+    ignore: Tuple[str, ...] = ()
+    if gate.along is not None:
+        ignore = (gate.along,)
+    paired = _pair_groups(gate, cells, ignore)
+    if isinstance(paired, GateResult):
+        return paired
+    assert gate.max_ratio is not None
+
+    def aggregate(group: List[CellResult]) -> float:
+        values = [cell.metrics[gate.metric] for cell in group]
+        if gate.kind == "sum_ratio":
+            return sum(values)
+        assert gate.along is not None
+        ordered = sorted(
+            group, key=lambda cell: _cell_axes(cell)[gate.along]
+        )
+        return (ordered[-1].metrics[gate.metric]
+                - ordered[0].metrics[gate.metric])
+
+    worst: Optional[float] = None
+    observed = 0.0
+    for nums, dens in paired:
+        num_value = aggregate(nums)
+        den_value = aggregate(dens)
+        excess = num_value - gate.max_ratio * den_value
+        if worst is None or excess > worst:
+            worst = excess
+            observed = (num_value / den_value if den_value
+                        else num_value)
+    assert worst is not None
+    ok = worst < 0 if gate.strict else worst <= 0
+    relation = ("<" if gate.strict else "<=") if ok else ">"
+    what = "sum" if gate.kind == "sum_ratio" else f"span({gate.along})"
+    detail = (f"{len(paired)} group(s): worst {what} {gate.metric} "
+              f"ratio {observed:g} {relation} {gate.max_ratio:g}")
+    return GateResult(name=gate.name, kind=gate.kind, metric=gate.metric,
+                      ok=ok, observed=observed, detail=detail)
+
+
+def _growth_gate(gate: GateSpec,
+                 cells: Sequence[CellResult]) -> GateResult:
+    matched = _select(cells, gate, {})
+    if not matched:
+        return _fail(gate, "no cells matched the selector")
+    assert gate.along is not None
+    groups: Dict[Tuple[Tuple[str, Any], ...], List[CellResult]] = {}
+    for cell in matched:
+        groups.setdefault(
+            _group_key(cell, (), (gate.along,)), []
+        ).append(cell)
+    worst: Optional[float] = None
+    for key in sorted(groups, key=repr):
+        ordered = sorted(
+            groups[key], key=lambda cell: _cell_axes(cell)[gate.along]
+        )
+        if len(ordered) < 2:
+            return _fail(
+                gate,
+                f"a group has fewer than two points along {gate.along!r}"
+            )
+        first = ordered[0].metrics[gate.metric]
+        last = ordered[-1].metrics[gate.metric]
+        growth = last / first if first else float(last > 0)
+        if worst is None or growth < worst:
+            worst = growth
+    assert worst is not None
+    ok = worst > gate.min_growth
+    relation = ">" if ok else "<="
+    detail = (f"{len(groups)} group(s): worst {gate.metric} growth "
+              f"along {gate.along} = {worst:g}x {relation} "
+              f"{gate.min_growth:g}x")
+    return GateResult(name=gate.name, kind=gate.kind, metric=gate.metric,
+                      ok=ok, observed=worst, detail=detail)
+
+
+def evaluate_gates(config: MatrixConfig,
+                   cells: Sequence[CellResult]) -> List[GateResult]:
+    """Evaluate every configured gate over the executed cells."""
+    results: List[GateResult] = []
+    for gate in config.gates:
+        if gate.kind in ("min", "max"):
+            results.append(_bound_gate(gate, cells))
+        elif gate.kind == "ratio":
+            results.append(_ratio_gate(gate, cells))
+        elif gate.kind in ("sum_ratio", "span_ratio"):
+            results.append(_aggregate_gate(gate, cells))
+        else:
+            results.append(_growth_gate(gate, cells))
+    return results

@@ -1,0 +1,135 @@
+# lint: replay-root
+"""Rendering an executed matrix: markdown, CSV, and terminal text.
+
+The matrix report is grouped by grid (cells of one grid share a kind
+and therefore a metric set); each grid renders as one table with the
+pinned axes first and the metrics after, followed by the gate verdict
+table. CSV output is flat — one row per cell, one column per axis and
+metric union — for spreadsheet/pandas consumption.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Sequence
+
+from .cells import CellResult
+from .config import KIND_AXES, MatrixConfig
+from .gates import GateResult
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _grid_cells(cells: Sequence[CellResult]) -> Dict[str, List[CellResult]]:
+    grouped: Dict[str, List[CellResult]] = {}
+    for cell in cells:
+        grouped.setdefault(cell.spec.grid.name, []).append(cell)
+    return grouped
+
+
+def _metric_columns(cells: Sequence[CellResult]) -> List[str]:
+    names = sorted({name for cell in cells for name in cell.metrics})
+    # identity_ok last: it is the verdict, not a measurement.
+    if "identity_ok" in names:
+        names.remove("identity_ok")
+        names.append("identity_ok")
+    return names
+
+
+def matrix_to_markdown(config: MatrixConfig,
+                       cells: Sequence[CellResult],
+                       gates: Sequence[GateResult]) -> str:
+    """The full run as GitHub-flavored Markdown."""
+    lines: List[str] = [f"# Benchmark matrix: {config.name}", ""]
+    if config.description:
+        lines.extend([config.description, ""])
+    for grid_name, grid_cells in _grid_cells(cells).items():
+        kind = grid_cells[0].spec.kind
+        axes = list(KIND_AXES[kind])
+        metrics = _metric_columns(grid_cells)
+        lines.append(f"## {grid_name} ({kind})")
+        lines.append("")
+        lines.append("| " + " | ".join(axes + metrics) + " |")
+        lines.append("|" + "---|" * (len(axes) + len(metrics)))
+        for cell in grid_cells:
+            row = [str(cell.spec.axes[axis]) for axis in axes]
+            row.extend(
+                _format_value(cell.metrics[name])
+                if name in cell.metrics else ""
+                for name in metrics
+            )
+            lines.append("| " + " | ".join(row) + " |")
+        lines.append("")
+    lines.append("## Gates")
+    lines.append("")
+    if gates:
+        lines.append("| gate | kind | metric | verdict | detail |")
+        lines.append("|---|---|---|---|---|")
+        for gate in gates:
+            verdict = "pass" if gate.ok else "**FAIL**"
+            lines.append(
+                f"| {gate.name} | {gate.kind} | {gate.metric} "
+                f"| {verdict} | {gate.detail} |"
+            )
+    else:
+        lines.append("(none configured)")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def matrix_to_csv(cells: Sequence[CellResult]) -> str:
+    """One flat row per cell: grid, kind, cell id, axes, metrics."""
+    axis_names = sorted({
+        axis for cell in cells for axis in cell.spec.axes
+    })
+    metric_names = sorted({
+        name for cell in cells for name in cell.metrics
+    })
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["grid", "kind", "cell_id"] + axis_names
+                    + metric_names)
+    for cell in cells:
+        row: List[str] = [cell.spec.grid.name, cell.spec.kind,
+                          cell.spec.cell_id]
+        for axis in axis_names:
+            value = cell.spec.axes.get(axis, "")
+            row.append(str(value))
+        for name in metric_names:
+            if name in cell.metrics:
+                row.append(repr(cell.metrics[name]))
+            else:
+                row.append("")
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def matrix_to_text(config: MatrixConfig,
+                   cells: Sequence[CellResult],
+                   gates: Sequence[GateResult]) -> str:
+    """A compact terminal summary: per-grid cell counts + gate verdicts."""
+    lines = [f"matrix {config.name}: {len(cells)} cell(s)"]
+    for grid_name, grid_cells in _grid_cells(cells).items():
+        identical = sum(cell.identity_ok for cell in grid_cells)
+        lines.append(
+            f"  {grid_name} ({grid_cells[0].spec.kind}): "
+            f"{len(grid_cells)} cell(s), "
+            f"{identical}/{len(grid_cells)} pair-identical"
+        )
+    for gate in gates:
+        verdict = "pass" if gate.ok else "FAIL"
+        lines.append(f"  gate {gate.name}: {verdict} — {gate.detail}")
+    identity_ok = all(cell.identity_ok for cell in cells)
+    gates_ok = all(gate.ok for gate in gates)
+    lines.append(
+        "verdict: "
+        + ("OK" if identity_ok and gates_ok else "FAILED")
+        + (" (identity)" if not identity_ok else "")
+        + (" (gates)" if not gates_ok else "")
+    )
+    return "\n".join(lines)

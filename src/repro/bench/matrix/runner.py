@@ -1,0 +1,144 @@
+# lint: replay-root
+"""Executing a whole matrix config and emitting its artifacts.
+
+:func:`run_matrix` expands the config into cells, runs each through
+:mod:`repro.bench.matrix.cells` (sharing workloads and canonical
+reference matchings through one :class:`~repro.bench.matrix.cells.MatrixContext`),
+evaluates the gates, and returns a :class:`MatrixResult`.
+:func:`write_artifacts` persists the run: one JSON per cell, the
+whole-matrix JSON report, and markdown/CSV renderings — every JSON
+payload schema-validated *before* it touches disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from .cells import CellResult, MatrixContext, run_cell
+from .config import (
+    CellSpec,
+    MatrixConfig,
+    config_digest,
+    expand_cells,
+)
+from .gates import GateResult, evaluate_gates
+from .report import matrix_to_csv, matrix_to_markdown, matrix_to_text
+from .trajectory import canonical_dumps
+from .validate import (
+    CELL_SCHEMA,
+    CELL_SCHEMA_TAG,
+    MATRIX_SCHEMA,
+    MATRIX_SCHEMA_TAG,
+    validate,
+)
+
+PathLike = Union[str, Path]
+
+#: Called before each cell runs, with (index, total, cell).
+ProgressHook = Callable[[int, int, CellSpec], None]
+
+
+@dataclass
+class MatrixResult:
+    """One executed matrix: cells, gate verdicts, and their artifacts."""
+
+    config: MatrixConfig
+    scale: float
+    cells: List[CellResult] = field(default_factory=list)
+    gates: List[GateResult] = field(default_factory=list)
+
+    @property
+    def identity_ok(self) -> bool:
+        """Every cell produced the canonical matching."""
+        return all(cell.identity_ok for cell in self.cells)
+
+    @property
+    def gates_ok(self) -> bool:
+        return all(gate.ok for gate in self.gates)
+
+    @property
+    def ok(self) -> bool:
+        return self.identity_ok and self.gates_ok
+
+    def cell_payload(self, cell: CellResult) -> Dict[str, Any]:
+        """One cell's validated artifact payload."""
+        payload = {
+            "schema": CELL_SCHEMA_TAG,
+            "config": self.config.name,
+            "grid": cell.spec.grid.name,
+            "kind": cell.spec.kind,
+            "cell_id": cell.spec.cell_id,
+            "axes": dict(cell.spec.axes),
+            "metrics": dict(cell.metrics),
+        }
+        validate(payload, CELL_SCHEMA, cell.spec.cell_id)
+        return payload
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The whole-matrix report payload (validated)."""
+        payload = {
+            "schema": MATRIX_SCHEMA_TAG,
+            "config": self.config.name,
+            "config_digest": config_digest(self.config),
+            "scale": self.scale,
+            "reference": self.config.reference,
+            "ok": self.ok,
+            "identity_ok": self.identity_ok,
+            "cells": [self.cell_payload(cell) for cell in self.cells],
+            "gates": [gate.as_dict() for gate in self.gates],
+        }
+        validate(payload, MATRIX_SCHEMA, f"matrix {self.config.name!r}")
+        return payload
+
+    def to_markdown(self) -> str:
+        return matrix_to_markdown(self.config, self.cells, self.gates)
+
+    def to_csv(self) -> str:
+        return matrix_to_csv(self.cells)
+
+    def to_text(self) -> str:
+        return matrix_to_text(self.config, self.cells, self.gates)
+
+
+def run_matrix(config: MatrixConfig, scale: float = 1.0,
+               progress: Optional[ProgressHook] = None) -> MatrixResult:
+    """Run every cell of ``config`` at the given scale factor."""
+    specs = expand_cells(config)
+    context = MatrixContext(reference=config.reference, scale=scale)
+    result = MatrixResult(config=config, scale=scale)
+    for index, spec in enumerate(specs):
+        if progress is not None:
+            progress(index, len(specs), spec)
+        result.cells.append(run_cell(spec, context))
+    result.gates = evaluate_gates(config, result.cells)
+    return result
+
+
+def write_artifacts(result: MatrixResult, out_dir: PathLike) -> List[Path]:
+    """Persist the run under ``out_dir``; returns the written paths.
+
+    Layout: ``cells/<cell>.json`` (one validated artifact per cell),
+    ``matrix.json`` (the full report, canonical bytes), ``matrix.md``
+    and ``matrix.csv`` (renderings of the same data).
+    """
+    out = Path(out_dir)
+    cells_dir = out / "cells"
+    cells_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for cell in result.cells:
+        payload = result.cell_payload(cell)
+        path = cells_dir / f"{cell.spec.file_stem}.json"
+        path.write_text(canonical_dumps(payload))
+        written.append(path)
+    matrix_path = out / "matrix.json"
+    matrix_path.write_text(canonical_dumps(result.as_dict()))
+    written.append(matrix_path)
+    markdown_path = out / "matrix.md"
+    markdown_path.write_text(result.to_markdown())
+    written.append(markdown_path)
+    csv_path = out / "matrix.csv"
+    csv_path.write_text(result.to_csv())
+    written.append(csv_path)
+    return written

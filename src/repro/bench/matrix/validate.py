@@ -1,0 +1,224 @@
+# lint: replay-root
+"""Schema validation for every matrix artifact.
+
+Each artifact the matrix runner emits — per-cell JSON, the matrix
+report, the trajectory record — is type-checked against its schema
+*before* it is written, and again whenever it is loaded, so a malformed
+artifact can never reach disk (or be trusted off it). Failures raise
+:class:`~repro.errors.ArtifactValidationError` with the JSON path of
+the offending field.
+
+The checker is a tiny combinator set (no external dependency): a schema
+is a mapping of field name to checker, and checkers compose through
+:func:`seq_of`, :func:`map_of` and :func:`mapping`.
+
+    >>> from repro.bench.matrix.validate import is_int, mapping, validate
+    >>> validate({"pairs": 3}, {"pairs": is_int}, "demo")
+    >>> validate({"pairs": "3"}, {"pairs": is_int}, "demo")
+    Traceback (most recent call last):
+        ...
+    repro.errors.ArtifactValidationError: demo: $.pairs: expected an integer, got str
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from ...errors import ArtifactValidationError
+
+#: A checker inspects one value; it raises nothing but returns an error
+#: string (or ``None`` when the value conforms).
+Checker = Callable[[Any], "str | None"]
+
+
+def _fail(value: Any, expected: str) -> str:
+    return f"expected {expected}, got {type(value).__name__}"
+
+
+def is_str(value: Any) -> "str | None":
+    """The value must be a string."""
+    return None if isinstance(value, str) else _fail(value, "a string")
+
+
+def is_bool(value: Any) -> "str | None":
+    """The value must be a boolean."""
+    return None if isinstance(value, bool) else _fail(value, "a boolean")
+
+
+def is_int(value: Any) -> "str | None":
+    """The value must be an integer (booleans do not count)."""
+    if isinstance(value, int) and not isinstance(value, bool):
+        return None
+    return _fail(value, "an integer")
+
+
+def is_number(value: Any) -> "str | None":
+    """The value must be a finite int or float (booleans do not count)."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value != value or value in (float("inf"), float("-inf")):
+            return "expected a finite number"
+        return None
+    return _fail(value, "a number")
+
+
+def is_scalar(value: Any) -> "str | None":
+    """The value must be a JSON scalar (str, bool, finite number)."""
+    if isinstance(value, (str, bool)):
+        return None
+    return is_number(value)
+
+
+def nullable(checker: Checker) -> Checker:
+    """Allow ``None`` in addition to whatever ``checker`` accepts."""
+    def check(value: Any) -> "str | None":
+        return None if value is None else checker(value)
+    return check
+
+
+def seq_of(checker: Checker) -> Checker:
+    """The value must be a list whose items all pass ``checker``."""
+    def check(value: Any) -> "str | None":
+        if not isinstance(value, list):
+            return _fail(value, "a list")
+        for index, item in enumerate(value):
+            error = checker(item)
+            if error is not None:
+                return f"[{index}]: {error}"
+        return None
+    return check
+
+
+def map_of(checker: Checker) -> Checker:
+    """The value must be a string-keyed mapping of conforming values."""
+    def check(value: Any) -> "str | None":
+        if not isinstance(value, dict):
+            return _fail(value, "a mapping")
+        for key in sorted(value, key=repr):
+            if not isinstance(key, str):
+                return f"key {key!r} is not a string"
+            error = checker(value[key])
+            if error is not None:
+                return f".{key}: {error}"
+        return None
+    return check
+
+
+def mapping(schema: Mapping[str, Checker],
+            optional: Sequence[str] = ()) -> Checker:
+    """The value must be a dict matching ``schema`` exactly.
+
+    Every non-``optional`` schema key must be present; keys outside the
+    schema are rejected (schema drift should fail loudly, not pass
+    silently).
+    """
+    def check(value: Any) -> "str | None":
+        if not isinstance(value, dict):
+            return _fail(value, "a mapping")
+        for key in sorted(schema):
+            if key not in value:
+                if key in optional:
+                    continue
+                return f"missing required field {key!r}"
+        for key in sorted(value, key=repr):
+            if key not in schema:
+                return f"unknown field {key!r}"
+            error = schema[key](value[key])
+            if error is not None:
+                return f".{key}: {error}"
+        return None
+    return check
+
+
+def validate(payload: Any, schema: Mapping[str, Checker],
+             what: str) -> None:
+    """Check ``payload`` against ``schema``; raise on the first problem."""
+    error = mapping(schema)(payload)
+    if error is not None:
+        sep = "" if error.startswith((".", "[")) else " "
+        raise ArtifactValidationError(f"{what}: $" + sep + error)
+
+
+# ----------------------------------------------------------------------
+# The artifact schemas
+# ----------------------------------------------------------------------
+
+#: Schema tag written into (and required of) every per-cell artifact.
+CELL_SCHEMA_TAG = "repro.bench.matrix/cell@1"
+
+#: Schema tag of the matrix report artifact.
+MATRIX_SCHEMA_TAG = "repro.bench.matrix/matrix@1"
+
+#: Schema tag of the committed trajectory record.
+TRAJECTORY_SCHEMA_TAG = "repro.bench.matrix/trajectory@1"
+
+
+def _tag(expected: str) -> Checker:
+    def check(value: Any) -> "str | None":
+        if value != expected:
+            return f"expected schema tag {expected!r}, got {value!r}"
+        return None
+    return check
+
+
+#: One cell's artifact: identity, pinned axes, and its flat metrics.
+CELL_SCHEMA: Mapping[str, Checker] = {
+    "schema": _tag(CELL_SCHEMA_TAG),
+    "config": is_str,
+    "grid": is_str,
+    "kind": is_str,
+    "cell_id": is_str,
+    "axes": map_of(is_scalar),
+    "metrics": map_of(is_number),
+}
+
+_GATE_RESULT_SCHEMA: Checker = mapping({
+    "name": is_str,
+    "kind": is_str,
+    "metric": is_str,
+    "ok": is_bool,
+    "observed": nullable(is_number),
+    "detail": is_str,
+})
+
+#: The whole-matrix report: every cell plus every gate verdict.
+MATRIX_SCHEMA: Mapping[str, Checker] = {
+    "schema": _tag(MATRIX_SCHEMA_TAG),
+    "config": is_str,
+    "config_digest": is_str,
+    "scale": is_number,
+    "reference": is_str,
+    "ok": is_bool,
+    "identity_ok": is_bool,
+    "cells": seq_of(mapping(CELL_SCHEMA)),
+    "gates": seq_of(_GATE_RESULT_SCHEMA),
+}
+
+_CHECK_POLICY_SCHEMA: Checker = mapping({
+    "policy": is_str,
+    "max_regression": is_number,
+})
+
+_TRAJECTORY_CELL_SCHEMA: Checker = mapping({
+    "cell_id": is_str,
+    "kind": is_str,
+    "axes": map_of(is_scalar),
+    "metrics": map_of(is_number),
+})
+
+#: The committed trajectory record (``BENCH_<pr>.json``).
+TRAJECTORY_SCHEMA: Mapping[str, Checker] = {
+    "schema": _tag(TRAJECTORY_SCHEMA_TAG),
+    "pr": is_str,
+    "config": is_str,
+    "config_digest": is_str,
+    "scale": is_number,
+    "fingerprint": mapping({
+        "python": is_str,
+        "implementation": is_str,
+        "platform": is_str,
+        "machine": is_str,
+        "numpy": is_str,
+    }),
+    "checks": map_of(_CHECK_POLICY_SCHEMA),
+    "cells": seq_of(_TRAJECTORY_CELL_SCHEMA),
+}

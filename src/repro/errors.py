@@ -204,3 +204,32 @@ class TraceFormatError(TraceError):
     Truncated files (missing the ``end`` footer or with a record count
     that disagrees with it), non-JSON lines, unknown record kinds and
     non-monotone timestamps all land here."""
+
+
+class BenchError(ReproError):
+    """Base class for benchmark-matrix problems (:mod:`repro.bench.matrix`)."""
+
+
+class MatrixConfigError(BenchError):
+    """Raised for invalid matrix configurations.
+
+    Covers unknown axes, values outside an axis's domain, axes that do
+    not apply to a grid's kind, duplicate cells across grids, and
+    malformed gate or check specifications."""
+
+
+class ArtifactValidationError(BenchError):
+    """Raised when a benchmark artifact fails schema validation.
+
+    Every per-cell JSON, matrix report, and trajectory record is
+    type-checked against its schema *before* it is written (and again
+    when loaded), so a malformed artifact can never be committed."""
+
+
+class TrajectoryError(BenchError):
+    """Raised for unreadable or schema-invalid trajectory files.
+
+    A failed ``--check`` comparison is *not* an exception — it is a
+    :class:`~repro.bench.matrix.trajectory.CheckReport` with
+    ``ok=False``; this error means the committed file itself cannot be
+    trusted (wrong schema version, missing sections, type drift)."""

@@ -31,6 +31,8 @@ engine_batch = importlib.import_module("repro.engine.batch")
 engine_async = importlib.import_module("repro.engine.async_service")
 prefs_functions = importlib.import_module("repro.prefs.functions")
 net_codec = importlib.import_module("repro.net.codec")
+matrix_config = importlib.import_module("repro.bench.matrix.config")
+matrix_validate = importlib.import_module("repro.bench.matrix.validate")
 
 DOCUMENTED_MODULES = [
     repro,
@@ -44,6 +46,8 @@ DOCUMENTED_MODULES = [
     engine_async,
     net_codec,
     prefs_functions,
+    matrix_config,
+    matrix_validate,
     repro.dynamic,
     repro.parallel.partition,
     repro.replay,
